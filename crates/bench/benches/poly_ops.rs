@@ -1,0 +1,108 @@
+//! Criterion benchmarks for the polyhedral engine (the Omega substitute):
+//! Fourier–Motzkin projection, set difference, emptiness, and scanning-loop
+//! generation — the machinery the restructurer leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest, Set};
+use std::hint::black_box;
+
+/// `{ (i, j) | 0 <= i < n, 0 <= j <= i }`.
+fn triangle(n: i64) -> Polyhedron {
+    Polyhedron::universe(2)
+        .with_range(0, 0, n - 1)
+        .with_range(1, 0, n - 1)
+        .with(Constraint::geq_zero(
+            LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+        ))
+}
+
+/// The stripe-congruence polyhedron the symbolic restructurer builds:
+/// `{ (t, i, j) | bounds, su*(tP+d) <= C*i + j <= su*(tP+d) + su - 1 }`.
+fn stripe_poly(n: i64, su: i64, disks: i64, d: i64) -> Polyhedron {
+    let dim = 3;
+    let t = LinExpr::var(dim, 0);
+    let i = LinExpr::var(dim, 1);
+    let j = LinExpr::var(dim, 2);
+    let offset = i.scaled(n).plus(&j);
+    let stripe = t.scaled(disks).plus_const(d);
+    Polyhedron::universe(dim)
+        .with(Constraint::geq_zero(t.clone()))
+        .with_range(1, 0, n - 1)
+        .with_range(2, 0, n - 1)
+        .with(Constraint::leq(&stripe.scaled(su), &offset))
+        .with(Constraint::leq(&offset, &stripe.scaled(su).plus_const(su - 1)))
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm_projection");
+    for n in [32i64, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = triangle(n);
+            b.iter(|| black_box(p.project_onto_prefix(1)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_set_difference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_difference");
+    for n in [16i64, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = Set::from(triangle(n));
+            let hole = Set::from(
+                Polyhedron::universe(2)
+                    .with_range(0, n / 4, n / 2)
+                    .with_range(1, n / 4, n / 2),
+            );
+            b.iter(|| black_box(a.subtract(&hole)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_emptiness(c: &mut Criterion) {
+    c.bench_function("emptiness_nontrivial", |b| {
+        // Feasible only at a single point — the search must dig for it.
+        let p = Polyhedron::universe(3)
+            .with_range(0, 0, 100)
+            .with_range(1, 0, 100)
+            .with_range(2, 0, 100)
+            .with(Constraint::eq(
+                &LinExpr::var(3, 0).plus(&LinExpr::var(3, 1)),
+                &LinExpr::constant(3, 150),
+            ))
+            .with(Constraint::eq(
+                &LinExpr::var(3, 1).plus(&LinExpr::var(3, 2)),
+                &LinExpr::constant(3, 150),
+            ));
+        b.iter(|| black_box(p.is_empty()));
+    });
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_codegen");
+    for n in [64i64, 256] {
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            let p = stripe_poly(n, 64, 4, 1);
+            b.iter(|| black_box(ScanNest::build(&p)));
+        });
+        g.bench_with_input(BenchmarkId::new("execute", n), &n, |b, &n| {
+            let nest = ScanNest::build(&stripe_poly(n, 64, 4, 1));
+            b.iter(|| {
+                let mut count = 0u64;
+                nest.execute(|_| count += 1);
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_projection,
+    bench_set_difference,
+    bench_emptiness,
+    bench_codegen
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the trace generator and the disk simulator:
+//! requests-per-second throughput under each power policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_apps::Scale;
+use dpm_bench::ExperimentConfig;
+use dpm_core::{apply_transform, Transform};
+use dpm_disksim::{DrpmConfig, PowerPolicy, Simulator, TpmConfig, Trace};
+use dpm_layout::LayoutMap;
+use dpm_trace::TraceGenerator;
+use std::hint::black_box;
+
+fn prepared_trace(clustered: bool) -> (ExperimentConfig, Trace) {
+    let config = ExperimentConfig::default();
+    let app = dpm_apps::by_name("AST", Scale::Small).unwrap();
+    let p = app.program();
+    let layout = LayoutMap::new(&p, config.striping);
+    let deps = dpm_ir::analyze(&p);
+    let t = if clustered {
+        Transform::DiskReuse
+    } else {
+        Transform::Original
+    };
+    let schedule = apply_transform(&p, &layout, &deps, t);
+    let gen = TraceGenerator::new(&p, &layout, config.trace);
+    let (trace, _) = gen.generate(&schedule);
+    (config, trace)
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let app = dpm_apps::by_name("AST", Scale::Small).unwrap();
+    let p = app.program();
+    let layout = LayoutMap::new(&p, config.striping);
+    let deps = dpm_ir::analyze(&p);
+    let schedule = apply_transform(&p, &layout, &deps, Transform::Original);
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(p.total_iterations()));
+    g.bench_function("ast_small", |b| {
+        let gen = TraceGenerator::new(&p, &layout, config.trace);
+        b.iter(|| black_box(gen.generate(&schedule)));
+    });
+    g.finish();
+}
+
+fn bench_simulation_policies(c: &mut Criterion) {
+    let (config, trace) = prepared_trace(false);
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, policy) in [
+        ("base", PowerPolicy::None),
+        ("tpm", PowerPolicy::Tpm(TpmConfig::default())),
+        ("drpm", PowerPolicy::Drpm(DrpmConfig::default())),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let sim = Simulator::new(config.disk, policy, config.striping);
+            b.iter(|| black_box(sim.run(&trace)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation_clustered(c: &mut Criterion) {
+    let (config, trace) = prepared_trace(true);
+    let mut g = c.benchmark_group("simulate_clustered");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("tpm_proactive", |b| {
+        let sim = Simulator::new(
+            config.disk,
+            PowerPolicy::Tpm(TpmConfig::proactive()),
+            config.striping,
+        );
+        b.iter(|| black_box(sim.run(&trace)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_simulation_policies,
+    bench_simulation_clustered
+);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. stripe-unit sweep — how layout granularity changes the savings;
+//! 2. stripe-factor sweep — more I/O nodes = more spin-down targets;
+//! 3. TPM timeout sweep — break-even vs rent-to-buy thresholds;
+//! 4. DRPM minimum-level sweep — how deep the spindle may sleep;
+//! 5. RAID-level sub-striping — the paper's "experiments with low-level
+//!    striping generated similar results" (§7.1);
+//! 6. loop fusion vs disk-reuse restructuring — the paper's §6.2.2 claim
+//!    that its output "cannot be obtained by simple loop fusioning";
+//! 7. relaxed array↔file mappings — §2's unevaluated one-to-many and
+//!    many-to-one options, with the compiler re-deriving the disk map.
+//!
+//! Usage: `ablations [scale] [app]` (default small AST).
+
+use dpm_apps::Scale;
+use dpm_core::{apply_transform, fuse_program, Transform};
+use dpm_disksim::{
+    DiskParams, DrpmConfig, PowerPolicy, RaidConfig, SimReport, Simulator, TpmConfig,
+};
+use dpm_ir::Program;
+use dpm_layout::{FileMapping, LayoutMap, Striping};
+use dpm_trace::{TraceGenOptions, TraceGenerator};
+
+fn simulate(
+    program: &Program,
+    striping: Striping,
+    transform: Transform,
+    policy: PowerPolicy,
+    raid: RaidConfig,
+) -> SimReport {
+    simulate_with_layout(
+        program,
+        LayoutMap::new(program, striping),
+        transform,
+        policy,
+        raid,
+    )
+}
+
+fn simulate_with_layout(
+    program: &Program,
+    layout: LayoutMap,
+    transform: Transform,
+    policy: PowerPolicy,
+    raid: RaidConfig,
+) -> SimReport {
+    let striping = *layout.striping();
+    let deps = dpm_ir::analyze(program);
+    let schedule = apply_transform(program, &layout, &deps, transform);
+    let gen = TraceGenerator::new(
+        program,
+        &layout,
+        TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+    );
+    let (trace, _) = gen.generate(&schedule);
+    Simulator::new(DiskParams::default(), policy, striping)
+        .with_raid(raid)
+        .run(&trace)
+}
+
+fn saving(base: &SimReport, v: &SimReport) -> String {
+    format!("{:+.2}%", 100.0 * (1.0 - v.total_energy_j() / base.total_energy_j()))
+}
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Scale::Paper,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Small,
+    };
+    let app_name = std::env::args().nth(2).unwrap_or_else(|| "AST".into());
+    let app = dpm_apps::by_name(&app_name, scale).expect("unknown app");
+    let program = app.program();
+    println!("ablations on {} at {scale:?} scale\n", app.name);
+    let single = RaidConfig::single();
+    let tpm = PowerPolicy::Tpm(TpmConfig::proactive());
+
+    // 1. Stripe-unit sweep.
+    println!("1) stripe-unit sweep (T-TPM-s saving vs same-layout Base):");
+    for su in [8u64 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10] {
+        let s = Striping::new(su, 8, 0);
+        let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
+        let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+        println!("   {:>4} KB: {}", su >> 10, saving(&base, &t));
+    }
+
+    // 2. Stripe-factor sweep.
+    println!("2) stripe-factor sweep (32 KB stripes):");
+    for disks in [2usize, 4, 8, 16] {
+        let s = Striping::new(32 << 10, disks, 0);
+        let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
+        let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+        println!("   {disks:>2} disks: {}", saving(&base, &t));
+    }
+
+    // 3. TPM timeout sweep.
+    println!("3) TPM spin-down timeout sweep (Table 1 break-even = 15.2 s):");
+    let s = Striping::paper_default();
+    let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
+    for mult in [1.0, 2.0, 4.0] {
+        let cfg = TpmConfig {
+            spin_down_timeout_ms: 15_200.0 * mult,
+            proactive: true,
+        };
+        let t = simulate(&program, s, Transform::DiskReuse, PowerPolicy::Tpm(cfg), single);
+        println!(
+            "   {:>4.1}x break-even ({:>5.1} s): {} (degr {:+.2}%)",
+            mult,
+            15.2 * mult,
+            saving(&base, &t),
+            100.0 * (t.total_io_time_ms / base.total_io_time_ms - 1.0),
+        );
+    }
+
+    // 4. DRPM minimum-level sweep.
+    println!("4) DRPM minimum RPM sweep (T-DRPM-s):");
+    for min_rpm in [3_000u32, 6_000, 9_000, 12_000] {
+        let cfg = DrpmConfig {
+            min_rpm,
+            proactive: true,
+            ..DrpmConfig::default()
+        };
+        let t = simulate(&program, s, Transform::DiskReuse, PowerPolicy::Drpm(cfg), single);
+        println!("   min {min_rpm:>6} rpm: {}", saving(&base, &t));
+    }
+
+    // 5. RAID-level sub-striping: savings should be similar (§7.1).
+    println!("5) RAID-0 sub-striping inside each I/O node (normalized savings):");
+    for members in [1u32, 2, 4] {
+        let raid = if members == 1 {
+            RaidConfig::single()
+        } else {
+            RaidConfig::raid0(members, 8 << 10)
+        };
+        let b = simulate(&program, s, Transform::Original, PowerPolicy::None, raid);
+        let t = simulate(&program, s, Transform::DiskReuse, tpm, raid);
+        println!(
+            "   {members} disk(s)/node: saving {}  (base energy {:.0} J)",
+            saving(&b, &t),
+            b.total_energy_j()
+        );
+    }
+
+    // 7. Relaxed array↔file mappings (§2's unevaluated options). The
+    // compiler reads whatever layout is exposed, so clustering adapts.
+    println!("7) relaxed array-file mappings (T-TPM-s saving vs matching Base):");
+    let groups: Vec<Vec<usize>> = vec![(0..program.arrays.len()).collect()];
+    for (label, mapping) in [
+        ("one-to-one (default)", FileMapping::one_to_one(&program)),
+        ("all arrays in one file", FileMapping::shared(&program, &groups)),
+        ("first array split x4", FileMapping::split_rows(&program, 0, 4)),
+    ] {
+        let b = simulate_with_layout(
+            &program,
+            LayoutMap::with_mapping(&program, s, &mapping),
+            Transform::Original,
+            PowerPolicy::None,
+            single,
+        );
+        let t = simulate_with_layout(
+            &program,
+            LayoutMap::with_mapping(&program, s, &mapping),
+            Transform::DiskReuse,
+            tpm,
+            single,
+        );
+        println!("   {label:<24}: {}", saving(&b, &t));
+    }
+
+    // 6. Loop fusion baseline.
+    println!("6) classic loop fusion vs disk-reuse restructuring (TPM):");
+    let fused = fuse_program(&program);
+    println!(
+        "   fusion merged {} nests into {}",
+        program.nests.len(),
+        fused.nests.len()
+    );
+    let f = simulate(&fused, s, Transform::Original, tpm, single);
+    let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+    println!("   fused original order: {}", saving(&base, &f));
+    println!("   disk-reuse restructured: {}", saving(&base, &t));
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figure 10: percentage disk-I/O-time degradation over the
+//! Base version — part (a) single processor, part (b) four processors.
+//!
+//! Usage: `figure10 [scale] [csv-path]` (scale: paper | small | tiny).
+
+use dpm_apps::Scale;
+use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, Version};
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Paper,
+    };
+    let csv_path = std::env::args().nth(2);
+    let config = ExperimentConfig::default();
+    let mut csv = String::from("figure,app,version,degradation\n");
+
+    for (part, procs, versions) in [
+        ("10(a)", 1u32, Version::single_cpu().to_vec()),
+        ("10(b)", 4u32, Version::multi_cpu().to_vec()),
+    ] {
+        println!(
+            "\nFigure {part}: % disk I/O time degradation, {procs} processor(s), {scale:?} scale"
+        );
+        print!("{:<12}", "App");
+        for v in &versions {
+            print!(" {:>9}", v.label());
+        }
+        println!();
+        let mut all: Vec<AppResults> = Vec::new();
+        for app in dpm_apps::suite(scale) {
+            let res = run_app(&app, &versions, procs, &config);
+            print!("{:<12}", res.app);
+            for v in &versions {
+                let d = res.degradation(*v).unwrap();
+                print!(" {:>9}", pct(d));
+                let _ = writeln!(csv, "{part},{},{},{d:.4}", res.app, v.label());
+            }
+            println!();
+            all.push(res);
+        }
+        print!("{:<12}", "average");
+        for v in &versions {
+            let avg = mean(
+                &all.iter()
+                    .map(|r| r.degradation(*v).unwrap())
+                    .collect::<Vec<_>>(),
+            );
+            print!(" {:>9}", pct(avg));
+        }
+        println!();
+        if procs == 1 {
+            println!("paper avgs:  TPM ~0%, DRPM 11.9%, T-TPM-s 2.1%, T-DRPM-s 4.7%");
+        } else {
+            println!(
+                "paper avgs:  DRPM 16.8%, T-TPM-s 4.7%, T-DRPM-s 8.7%, T-TPM-m 2.8%, T-DRPM-m 5.0%"
+            );
+        }
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("write csv");
+        println!("\nCSV written to {path}");
+    }
+}

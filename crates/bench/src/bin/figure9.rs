@@ -1,0 +1,78 @@
+//! Regenerates Figure 9: normalized disk energy consumption per application
+//! and code version — part (a) single processor, part (b) four processors.
+//!
+//! Usage: `figure9 [scale] [csv-path]` (scale: paper | small | tiny).
+//! Prints the paper's reported averages next to the measured ones and
+//! optionally writes a CSV with every bar.
+
+use dpm_apps::Scale;
+use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, Version};
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Paper,
+    };
+    let csv_path = std::env::args().nth(2);
+    let config = ExperimentConfig::default();
+    let mut csv = String::from("figure,app,version,normalized_energy\n");
+
+    for (part, procs, versions) in [
+        ("9(a)", 1u32, Version::single_cpu().to_vec()),
+        ("9(b)", 4u32, Version::multi_cpu().to_vec()),
+    ] {
+        println!("\nFigure {part}: normalized energy, {procs} processor(s), {scale:?} scale");
+        print!("{:<12}", "App");
+        for v in &versions {
+            print!(" {:>9}", v.label());
+        }
+        println!();
+        let mut all: Vec<AppResults> = Vec::new();
+        for app in dpm_apps::suite(scale) {
+            let res = run_app(&app, &versions, procs, &config);
+            print!("{:<12}", res.app);
+            for v in &versions {
+                let e = res.normalized_energy(*v).unwrap();
+                print!(" {:>9.3}", e);
+                let _ = writeln!(csv, "{part},{},{},{e:.4}", res.app, v.label());
+            }
+            println!();
+            all.push(res);
+        }
+        print!("{:<12}", "average");
+        for v in &versions {
+            let avg = mean(
+                &all.iter()
+                    .map(|r| r.normalized_energy(*v).unwrap())
+                    .collect::<Vec<_>>(),
+            );
+            print!(" {:>9.3}", avg);
+        }
+        println!();
+        print!("{:<12}", "avg saving");
+        for v in &versions {
+            let avg = mean(
+                &all.iter()
+                    .map(|r| 1.0 - r.normalized_energy(*v).unwrap())
+                    .collect::<Vec<_>>(),
+            );
+            print!(" {:>9}", pct(avg));
+        }
+        println!();
+        if procs == 1 {
+            println!(
+                "paper avgs:  TPM ~0%, DRPM 9.95%, T-TPM-s 8.30%, T-DRPM-s 18.30% savings"
+            );
+        } else {
+            println!(
+                "paper avgs:  T-TPM-s 3.84%, T-DRPM-s 10.66%, T-TPM-m 11.04%, T-DRPM-m 18.04% savings"
+            );
+        }
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("write csv");
+        println!("\nCSV written to {path}");
+    }
+}

@@ -1,0 +1,387 @@
+//! Classic loop transformations used as comparison baselines.
+//!
+//! The paper emphasizes (§6.2.2) that its global, layout-driven
+//! restructuring "cannot be obtained by simple loop fusioning"; this module
+//! provides that simple fusion — plus loop interchange — so the claim can
+//! be tested quantitatively (see the `ablations` experiment binary and the
+//! integration tests).
+
+use dpm_ir::{analyze, CrossDep, DependenceInfo, Distance, LoopNest, NestId, Program};
+
+/// Whether two adjacent nests can be fused: identical loop headers and no
+/// fusion-preventing dependence between them. We accept identity cross-nest
+/// dependences (`X[i][j]` written by the first nest and read at the same
+/// subscripts by the second) — after fusion they become loop-independent —
+/// and reject everything else conservatively.
+pub fn can_fuse(program: &Program, deps: &DependenceInfo, a: NestId, b: NestId) -> bool {
+    debug_assert_eq!(b, a + 1, "fusion candidates must be adjacent");
+    let na = &program.nests[a];
+    let nb = &program.nests[b];
+    if na.loops != nb.loops {
+        return false;
+    }
+    deps.cross.iter().all(|c| {
+        let (src, dst) = c.endpoints();
+        if (src, dst) != (a, b) {
+            return true;
+        }
+        match c {
+            CrossDep::Exact { map, .. } => map.is_identity(),
+            CrossDep::Barrier { .. } => false,
+        }
+    })
+}
+
+/// Greedily fuses maximal runs of adjacent fusable nests, returning the
+/// transformed program (a genuine source-to-source pass: the result
+/// pretty-prints and re-parses).
+pub fn fuse_program(program: &Program) -> Program {
+    let deps = analyze(program);
+    let mut out = Program::new(format!("{}_fused", program.name));
+    for a in &program.arrays {
+        out.add_array(a.clone());
+    }
+    let mut i = 0;
+    while i < program.nests.len() {
+        let mut fused: LoopNest = program.nests[i].clone();
+        let mut j = i;
+        while j + 1 < program.nests.len() && can_fuse(program, &deps, j, j + 1) {
+            // Append the next nest's body; keep the first nest's headers.
+            fused.body.extend(program.nests[j + 1].body.iter().cloned());
+            fused.name = format!("{}_{}", fused.name, program.nests[j + 1].name);
+            j += 1;
+        }
+        out.add_nest(fused);
+        i = j + 1;
+    }
+    out
+}
+
+/// Legality of interchanging loops `a` and `b` (0-based depths, `a < b`) of
+/// a nest: every dependence distance must remain lexicographically
+/// non-negative after swapping its entries. `*` entries block interchange.
+pub fn can_interchange(distances: &[&Distance], a: usize, b: usize) -> bool {
+    distances.iter().all(|d| {
+        let Some(mut v) = d.as_exact() else {
+            return false;
+        };
+        if a < v.len() && b < v.len() {
+            v.swap(a, b);
+        }
+        // Lexicographically positive or zero after the swap.
+        for &x in &v {
+            if x > 0 {
+                return true;
+            }
+            if x < 0 {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// Interchanges loops `a` and `b` of nest `nest` (constant bounds only),
+/// returning the transformed program.
+///
+/// # Errors
+///
+/// Returns a message when the interchange is illegal (dependence or
+/// non-rectangular bounds).
+pub fn interchange(
+    program: &Program,
+    nest: NestId,
+    a: usize,
+    b: usize,
+) -> Result<Program, String> {
+    let n = &program.nests[nest];
+    if a >= n.depth() || b >= n.depth() || a == b {
+        return Err(format!("invalid loop indices {a}, {b}"));
+    }
+    let (a, b) = (a.min(b), a.max(b));
+    for l in [&n.loops[a], &n.loops[b]] {
+        if !l.lo.is_constant() || !l.hi.is_constant() {
+            return Err("interchange requires rectangular (constant) bounds".into());
+        }
+    }
+    // Bounds of loops strictly between a and b must not reference a or b…
+    // with constant-bounds a and b that is automatic; but loops between may
+    // reference a (now deeper): reject if any bound in (a, b] mentions a.
+    for k in (a + 1)..=b {
+        for e in [&n.loops[k].lo, &n.loops[k].hi] {
+            if e.coeff(a) != 0 {
+                return Err(format!(
+                    "loop {} bound references interchanged loop {}",
+                    k, a
+                ));
+            }
+        }
+    }
+    let deps = analyze(program);
+    if !can_interchange(&deps.nest_distances(nest), a, b) {
+        return Err("interchange violates a data dependence".into());
+    }
+    let mut out = program.clone();
+    let nref = &mut out.nests[nest];
+    // Swap loop headers (names travel with bounds)…
+    nref.loops.swap(a, b);
+    // …and permute every affine expression's coefficients accordingly.
+    let depth = nref.depth();
+    let mut perm: Vec<usize> = (0..depth).collect();
+    perm.swap(a, b);
+    let remap = |e: &dpm_poly::LinExpr| -> dpm_poly::LinExpr {
+        e.remap(depth, &perm)
+    };
+    for l in &mut nref.loops {
+        l.lo = remap(&l.lo);
+        l.hi = remap(&l.hi);
+    }
+    for s in &mut nref.body {
+        for r in &mut s.refs {
+            for ix in &mut r.indices {
+                *ix = remap(ix);
+            }
+        }
+    }
+    out.validate().map_err(|e| format!("interchange broke the program: {e}"))?;
+    Ok(out)
+}
+
+/// Strip-mines loop `k` of `nest` by `factor`, introducing a tile loop
+/// just outside it. Always legal (iteration order is unchanged); the IR's
+/// single-expression bounds require the loop's trip count to be a multiple
+/// of `factor` and its bounds to be constant.
+///
+/// # Errors
+///
+/// Returns a message for non-constant bounds, non-divisible trip counts,
+/// or a bad factor.
+pub fn tile(
+    program: &Program,
+    nest: NestId,
+    k: usize,
+    factor: i64,
+) -> Result<Program, String> {
+    if factor < 2 {
+        return Err("tile factor must be at least 2".into());
+    }
+    let n = &program.nests[nest];
+    if k >= n.depth() {
+        return Err(format!("no loop {k} in a depth-{} nest", n.depth()));
+    }
+    let l = &n.loops[k];
+    if !l.lo.is_constant() || !l.hi.is_constant() {
+        return Err("tiling requires constant bounds".into());
+    }
+    let lo = l.lo.constant_term();
+    let hi = l.hi.constant_term();
+    let trips = hi - lo + 1;
+    if trips <= 0 || trips % factor != 0 {
+        return Err(format!(
+            "trip count {trips} is not a positive multiple of {factor}"
+        ));
+    }
+    let old_depth = n.depth();
+    let new_depth = old_depth + 1;
+    // Old variable v maps to position v (+1 if v >= k): the tile loop sits
+    // at position k, the element loop moves to k + 1.
+    let var_map: Vec<usize> = (0..old_depth).map(|v| if v >= k { v + 1 } else { v }).collect();
+    let remap = |e: &dpm_poly::LinExpr| e.remap(new_depth, &var_map);
+
+    let mut out = program.clone();
+    let nref = &mut out.nests[nest];
+    let tile_var = format!("{}_t", l.var);
+    let mut loops = Vec::with_capacity(new_depth);
+    for (v, old) in n.loops.iter().enumerate() {
+        if v == k {
+            // Tile loop: 0 .. trips/factor - 1.
+            loops.push(dpm_ir::Loop {
+                var: tile_var.clone(),
+                lo: dpm_poly::LinExpr::constant(new_depth, 0),
+                hi: dpm_poly::LinExpr::constant(new_depth, trips / factor - 1),
+            });
+            // Element loop: lo + factor*t .. lo + factor*t + factor - 1.
+            let base = dpm_poly::LinExpr::var(new_depth, k)
+                .scaled(factor)
+                .plus_const(lo);
+            loops.push(dpm_ir::Loop {
+                var: old.var.clone(),
+                lo: base.clone(),
+                hi: base.plus_const(factor - 1),
+            });
+        } else {
+            loops.push(dpm_ir::Loop {
+                var: old.var.clone(),
+                lo: remap(&old.lo),
+                hi: remap(&old.hi),
+            });
+        }
+    }
+    nref.loops = loops;
+    for st in &mut nref.body {
+        for r in &mut st.refs {
+            for ix in &mut r.indices {
+                *ix = remap(ix);
+            }
+        }
+    }
+    out.validate().map_err(|e| format!("tiling broke the program: {e}"))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_ir::parse_program;
+
+    #[test]
+    fn fuses_identical_independent_nests() {
+        let p = parse_program(
+            "program t; array A[8][8] : f64; array B[8][8] : f64;
+             nest L1 { for i = 0 .. 7 { for j = 0 .. 7 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 7 { for j = 0 .. 7 { B[i][j] = 2; } } }",
+        )
+        .unwrap();
+        let f = fuse_program(&p);
+        assert_eq!(f.nests.len(), 1);
+        assert_eq!(f.nests[0].body.len(), 2);
+        assert_eq!(f.total_iterations(), 64);
+        // The fused program still parses after printing.
+        let printed = dpm_ir::printer::print_program(&f);
+        assert!(parse_program(&printed).is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn fuses_through_identity_dependences() {
+        let p = parse_program(
+            "program t; array A[8][8] : f64;
+             nest L1 { for i = 0 .. 7 { for j = 0 .. 7 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 7 { for j = 0 .. 7 { A[i][j] = A[i][j] + 1; } } }",
+        )
+        .unwrap();
+        assert_eq!(fuse_program(&p).nests.len(), 1);
+    }
+
+    #[test]
+    fn refuses_transposed_dependence() {
+        let p = parse_program(
+            "program t; array A[8][8] : f64; array B[8][8] : f64;
+             nest L1 { for i = 0 .. 7 { for j = 0 .. 7 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 7 { for j = 0 .. 7 { B[i][j] = A[j][i]; } } }",
+        )
+        .unwrap();
+        // Fusing would read A[j][i] before the fused iteration writes it.
+        assert_eq!(fuse_program(&p).nests.len(), 2);
+    }
+
+    #[test]
+    fn refuses_mismatched_headers() {
+        let p = parse_program(
+            "program t; array A[8][8] : f64;
+             nest L1 { for i = 0 .. 7 { for j = 0 .. 7 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 6 { for j = 0 .. 7 { A[i][j] = 2; } } }",
+        )
+        .unwrap();
+        assert_eq!(fuse_program(&p).nests.len(), 2);
+    }
+
+    #[test]
+    fn interchange_swaps_subscripts() {
+        let p = parse_program(
+            "program t; array A[8][16] : f64;
+             nest L { for i = 0 .. 7 { for j = 0 .. 15 { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let q = interchange(&p, 0, 0, 1).unwrap();
+        let n = &q.nests[0];
+        assert_eq!(n.loops[0].var, "j");
+        assert_eq!(n.loops[1].var, "i");
+        // A[i][j] still indexes dim 0 with i (now loop 1).
+        let r = &n.body[0].refs[0];
+        assert_eq!(r.indices[0].coeff(1), 1);
+        assert_eq!(r.indices[1].coeff(0), 1);
+        assert_eq!(q.total_iterations(), 128);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn interchange_respects_dependences() {
+        // d = (1, -1): legal order only with i outer; interchange must fail.
+        let p = parse_program(
+            "program t; array A[16][16] : f64;
+             nest L { for i = 1 .. 15 { for j = 0 .. 14 { A[i][j] = A[i-1][j+1]; } } }",
+        )
+        .unwrap();
+        assert!(interchange(&p, 0, 0, 1).is_err());
+        // d = (1, 1) stays lexicographically positive when swapped: legal.
+        let q = parse_program(
+            "program t; array A[16][16] : f64;
+             nest L { for i = 1 .. 15 { for j = 1 .. 15 { A[i][j] = A[i-1][j-1]; } } }",
+        )
+        .unwrap();
+        assert!(interchange(&q, 0, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn tiling_preserves_iteration_multiset() {
+        let p = parse_program(
+            "program t; array A[16][8] : f64;
+             nest L { for i = 0 .. 15 { for j = 0 .. 7 { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let q = tile(&p, 0, 0, 4).unwrap();
+        assert_eq!(q.nests[0].depth(), 3);
+        assert_eq!(q.nests[0].loops[0].var, "i_t");
+        assert_eq!(q.total_iterations(), p.total_iterations());
+        // Every element is still touched exactly once.
+        let mut touched = std::collections::HashSet::new();
+        for it in q.nests[0].iterations() {
+            let coords = q.nests[0].body[0].refs[0].element_at(&it);
+            assert!(touched.insert(coords));
+        }
+        assert_eq!(touched.len(), 128);
+    }
+
+    #[test]
+    fn tiling_then_interchange_builds_tile_major_order() {
+        // Tile j, then push the tile loop outward: the classic blocking.
+        let p = parse_program(
+            "program t; array A[8][16] : f64;
+             nest L { for i = 0 .. 7 { for j = 0 .. 15 { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let tiled = tile(&p, 0, 1, 4).unwrap();
+        assert_eq!(tiled.nests[0].depth(), 3);
+        let blocked = interchange(&tiled, 0, 0, 1).unwrap();
+        assert_eq!(blocked.nests[0].loops[0].var, "j_t");
+        assert_eq!(blocked.total_iterations(), 128);
+    }
+
+    #[test]
+    fn tiling_rejects_bad_inputs() {
+        let p = parse_program(
+            "program t; array A[10] : f64;
+             nest L { for i = 0 .. 9 { A[i] = 1; } }",
+        )
+        .unwrap();
+        assert!(tile(&p, 0, 0, 1).is_err());
+        assert!(tile(&p, 0, 0, 4).is_err()); // 10 % 4 != 0
+        assert!(tile(&p, 0, 1, 2).is_err()); // no loop 1
+        let tri = parse_program(
+            "program t; array A[8][8] : f64;
+             nest L { for i = 0 .. 7 { for j = 0 .. i { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        assert!(tile(&tri, 0, 1, 2).is_err()); // non-constant bounds
+    }
+
+    #[test]
+    fn interchange_rejects_triangular_bounds() {
+        let p = parse_program(
+            "program t; array A[8][8] : f64;
+             nest L { for i = 0 .. 7 { for j = 0 .. i { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        assert!(interchange(&p, 0, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! The trace-driven multi-disk simulator: splits application requests into
+//! per-disk sub-requests according to the striping, feeds each disk's
+//! stream through its [`DiskSim`], and aggregates energy and I/O-time
+//! statistics.
+
+use crate::disk::{DiskSim, SubRequest};
+use crate::params::{DiskParams, PowerPolicy, RaidConfig};
+use crate::request::Trace;
+use crate::stats::SimReport;
+use dpm_layout::Striping;
+
+/// A configured simulator: disk parameters + power policy + striping.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_disksim::{Simulator, Trace, IoRequest, RequestKind, PowerPolicy, DiskParams};
+/// use dpm_layout::Striping;
+///
+/// let striping = Striping::new(32 * 1024, 4, 0);
+/// let sim = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);
+/// let trace = Trace::from_requests(vec![IoRequest {
+///     arrival_ms: 0.0,
+///     offset: 0,
+///     len: 128 * 1024, // spans all four disks
+///     kind: RequestKind::Read,
+///     proc_id: 0,
+/// }]);
+/// let report = sim.run(&trace);
+/// assert_eq!(report.per_disk.len(), 4);
+/// assert!(report.per_disk.iter().all(|d| d.requests == 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    params: DiskParams,
+    policy: PowerPolicy,
+    striping: Striping,
+    raid: RaidConfig,
+    timelines: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator over `striping.num_disks()` identical
+    /// single-disk I/O nodes.
+    pub fn new(params: DiskParams, policy: PowerPolicy, striping: Striping) -> Self {
+        Simulator {
+            params,
+            policy,
+            striping,
+            raid: RaidConfig::single(),
+            timelines: false,
+        }
+    }
+
+    /// Enables per-disk power-state timeline recording in the report.
+    #[must_use]
+    pub fn with_timelines(mut self) -> Self {
+        self.timelines = true;
+        self
+    }
+
+    /// Backs each I/O node with a RAID set (§2's second striping level).
+    #[must_use]
+    pub fn with_raid(mut self, raid: RaidConfig) -> Self {
+        self.raid = raid;
+        self
+    }
+
+    /// The striping in effect.
+    pub fn striping(&self) -> &Striping {
+        &self.striping
+    }
+
+    /// The power policy in effect.
+    pub fn policy(&self) -> PowerPolicy {
+        self.policy
+    }
+
+    /// Splits one application request into its per-disk contiguous pieces
+    /// `(disk, local_byte, len)`. Consecutive stripes on the same disk are
+    /// merged into one piece (they are adjacent in the disk's local address
+    /// space).
+    pub fn split_request(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        self.striping.split_range(offset, len)
+    }
+
+    /// Runs the simulation over a (time-sorted) trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's arrivals are not non-decreasing.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        let n = self.striping.num_disks();
+        let mut disks: Vec<DiskSim> = (0..n)
+            .map(|_| {
+                let mut d = DiskSim::with_raid(self.params, self.policy, self.raid);
+                if self.timelines {
+                    d.record_timeline();
+                }
+                d
+            })
+            .collect();
+        let mut total_io_time_ms = 0.0;
+        let mut total_response_ms = 0.0;
+        let mut makespan: f64 = 0.0;
+        let mut prev_arrival = f64::NEG_INFINITY;
+        for r in trace.requests() {
+            assert!(
+                r.arrival_ms >= prev_arrival,
+                "trace must be sorted by arrival time"
+            );
+            prev_arrival = r.arrival_ms;
+            let mut completion = r.arrival_ms;
+            let mut device_ms = 0.0_f64;
+            for (disk, local_byte, len) in self.split_request(r.offset, r.len) {
+                let out = disks[disk].service(&SubRequest {
+                    arrival_ms: r.arrival_ms,
+                    local_byte,
+                    len,
+                });
+                completion = completion.max(out.completion_ms);
+                device_ms = device_ms.max(out.stall_ms + out.service_ms);
+            }
+            total_io_time_ms += device_ms;
+            total_response_ms += completion - r.arrival_ms;
+            makespan = makespan.max(completion);
+        }
+        for d in &mut disks {
+            d.finish(makespan);
+        }
+        SimReport {
+            makespan_ms: makespan,
+            total_io_time_ms,
+            total_response_ms,
+            idle_histograms: disks.iter().map(|d| d.idle_histogram().clone()).collect(),
+            timelines: if self.timelines {
+                Some(
+                    disks
+                        .iter()
+                        .map(|d| d.timeline().unwrap_or_default().to_vec())
+                        .collect(),
+                )
+            } else {
+                None
+            },
+            per_disk: disks.into_iter().map(|d| d.stats().clone()).collect(),
+            app_requests: trace.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{DrpmConfig, TpmConfig};
+    use crate::request::{IoRequest, RequestKind};
+
+    fn striping4() -> Striping {
+        Striping::new(1024, 4, 0)
+    }
+
+    fn simulator(policy: PowerPolicy) -> Simulator {
+        Simulator::new(DiskParams::default(), policy, striping4())
+    }
+
+    fn read(t: f64, offset: u64, len: u64) -> IoRequest {
+        IoRequest {
+            arrival_ms: t,
+            offset,
+            len,
+            kind: RequestKind::Read,
+            proc_id: 0,
+        }
+    }
+
+    #[test]
+    fn split_single_stripe() {
+        let sim = simulator(PowerPolicy::None);
+        assert_eq!(sim.split_request(100, 200), vec![(0, 100, 200)]);
+        assert_eq!(sim.split_request(1024, 1024), vec![(1, 0, 1024)]);
+    }
+
+    #[test]
+    fn split_across_disks() {
+        let sim = simulator(PowerPolicy::None);
+        let pieces = sim.split_request(512, 2048);
+        // Stripe 0 tail (512 B on disk 0), stripe 1 (1024 B on disk 1),
+        // stripe 2 head (512 B on disk 2).
+        assert_eq!(pieces, vec![(0, 512, 512), (1, 0, 1024), (2, 0, 512)]);
+    }
+
+    #[test]
+    fn split_merges_wraparound_stripes() {
+        let sim = simulator(PowerPolicy::None);
+        // Two full rows: stripes 0..8. Disk 0 gets stripes 0 and 4, which
+        // are locally adjacent and merge into one 2048-byte piece.
+        let pieces = sim.split_request(0, 8 * 1024);
+        assert_eq!(pieces.len(), 4);
+        for (d, b, l) in pieces {
+            assert_eq!(b, 0, "disk {d}");
+            assert_eq!(l, 2048, "disk {d}");
+        }
+    }
+
+    #[test]
+    fn split_length_conservation() {
+        let sim = simulator(PowerPolicy::None);
+        for (off, len) in [(0u64, 10_000u64), (777, 5_000), (1023, 2), (4096, 1)] {
+            let total: u64 = sim.split_request(off, len).iter().map(|&(_, _, l)| l).sum();
+            assert_eq!(total, len, "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    fn run_accounts_every_disk_until_makespan() {
+        let sim = simulator(PowerPolicy::None);
+        let trace = Trace::from_requests(vec![read(0.0, 0, 1024), read(50.0, 1024, 1024)]);
+        let r = sim.run(&trace);
+        assert_eq!(r.app_requests, 2);
+        for d in &r.per_disk {
+            let wall = d.busy_ms + d.idle_ms + d.standby_ms + d.transition_ms;
+            assert!((wall - r.makespan_ms).abs() < 1e-6);
+        }
+        // Disks 2 and 3 never service anything.
+        assert_eq!(r.per_disk[2].requests, 0);
+        assert_eq!(r.per_disk[3].requests, 0);
+    }
+
+    #[test]
+    fn io_time_counts_slowest_piece() {
+        let sim = simulator(PowerPolicy::None);
+        // One request spanning two disks: response = slower piece.
+        let trace = Trace::from_requests(vec![read(0.0, 512, 1024)]);
+        let r = sim.run(&trace);
+        let svc = DiskParams::default().service_ms(512, 15_000, false);
+        assert!((r.total_io_time_ms - svc).abs() < 1e-9);
+        assert!((r.total_response_ms - svc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_energy_scales_with_makespan() {
+        let sim = simulator(PowerPolicy::None);
+        let t1 = Trace::from_requests(vec![read(0.0, 0, 1024), read(1_000.0, 0, 1024)]);
+        let t2 = Trace::from_requests(vec![read(0.0, 0, 1024), read(10_000.0, 0, 1024)]);
+        let r1 = sim.run(&t1);
+        let r2 = sim.run(&t2);
+        assert!(r2.total_energy_j() > r1.total_energy_j());
+    }
+
+    #[test]
+    fn tpm_beats_base_when_idle_is_long() {
+        let reqs = vec![read(0.0, 0, 1024), read(120_000.0, 0, 1024)];
+        let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
+        let tpm = simulator(PowerPolicy::Tpm(TpmConfig::default()))
+            .run(&Trace::from_requests(reqs));
+        assert!(tpm.total_energy_j() < base.total_energy_j());
+        assert!(tpm.total_spin_downs() == 4); // every disk idles long
+    }
+
+    #[test]
+    fn drpm_beats_base_on_medium_idle() {
+        // 20-second gaps: below TPM's spin-down timeout, ripe for DRPM.
+        let reqs: Vec<IoRequest> = (0..10).map(|k| read(20_000.0 * k as f64, 0, 4096)).collect();
+        let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
+        let tpm = simulator(PowerPolicy::Tpm(TpmConfig::default()))
+            .run(&Trace::from_requests(reqs.clone()));
+        let drpm = simulator(PowerPolicy::Drpm(DrpmConfig::default()))
+            .run(&Trace::from_requests(reqs));
+        assert!((tpm.total_energy_j() - base.total_energy_j()).abs() < 1e-6);
+        assert!(drpm.total_energy_j() < 0.8 * base.total_energy_j());
+    }
+
+    #[test]
+    fn report_normalization_helpers() {
+        let reqs = vec![read(0.0, 0, 1024), read(60_000.0, 0, 1024)];
+        let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
+        let drpm = simulator(PowerPolicy::Drpm(DrpmConfig::default()))
+            .run(&Trace::from_requests(reqs));
+        let saving = drpm.energy_saving_vs(&base);
+        assert!(saving > 0.0 && saving < 1.0);
+        assert!(drpm.degradation_vs(&base) >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use crate::params::TpmConfig;
+    use crate::request::{IoRequest, RequestKind};
+    use crate::stats::SpanState;
+
+    #[test]
+    fn timelines_cover_the_makespan_without_overlap() {
+        let striping = Striping::new(1024, 4, 0);
+        let sim = Simulator::new(
+            DiskParams::default(),
+            PowerPolicy::Tpm(TpmConfig::default()),
+            striping,
+        )
+        .with_timelines();
+        let trace = Trace::from_requests(vec![
+            IoRequest {
+                arrival_ms: 0.0,
+                offset: 0,
+                len: 4096,
+                kind: RequestKind::Read,
+                proc_id: 0,
+            },
+            IoRequest {
+                arrival_ms: 120_000.0,
+                offset: 0,
+                len: 4096,
+                kind: RequestKind::Write,
+                proc_id: 0,
+            },
+        ]);
+        let r = sim.run(&trace);
+        let timelines = r.timelines.as_ref().expect("recording enabled");
+        assert_eq!(timelines.len(), 4);
+        for spans in timelines {
+            // Contiguous, non-overlapping, starting at 0.
+            let mut cursor = 0.0;
+            for s in spans {
+                assert!((s.start_ms - cursor).abs() < 1e-6, "gap at {cursor}");
+                assert!(s.end_ms > s.start_ms);
+                cursor = s.end_ms;
+            }
+            // Reaches (at least) the makespan; spin-up stalls may extend
+            // the accounted span past it.
+            assert!(cursor >= r.makespan_ms - 1e-6);
+        }
+        // The long gap must show standby somewhere.
+        assert!(timelines
+            .iter()
+            .flatten()
+            .any(|s| s.state == SpanState::Standby));
+    }
+
+    #[test]
+    fn timelines_absent_unless_requested() {
+        let striping = Striping::new(1024, 4, 0);
+        let sim = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);
+        let trace = Trace::from_requests(vec![IoRequest {
+            arrival_ms: 0.0,
+            offset: 0,
+            len: 4096,
+            kind: RequestKind::Read,
+            proc_id: 0,
+        }]);
+        assert!(sim.run(&trace).timelines.is_none());
+    }
+}
+
+#[cfg(test)]
+mod raid_tests {
+    use super::*;
+    use crate::params::RaidConfig;
+    use crate::request::{IoRequest, RequestKind};
+
+    fn trace() -> Trace {
+        Trace::from_requests(
+            (0..50)
+                .map(|k| IoRequest {
+                    arrival_ms: 40.0 * k as f64,
+                    offset: 65536 * k as u64,
+                    len: 32 * 1024,
+                    kind: RequestKind::Read,
+                    proc_id: 0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn raid0_speeds_up_large_requests() {
+        let striping = Striping::new(32 * 1024, 4, 0);
+        let single = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);
+        let raid = Simulator::new(DiskParams::default(), PowerPolicy::None, striping)
+            .with_raid(RaidConfig::raid0(4, 8 * 1024));
+        let rs = single.run(&trace());
+        let rr = raid.run(&trace());
+        assert!(
+            rr.total_io_time_ms < rs.total_io_time_ms,
+            "raid {} vs single {}",
+            rr.total_io_time_ms,
+            rs.total_io_time_ms
+        );
+    }
+
+    #[test]
+    fn raid0_scales_node_power() {
+        let striping = Striping::new(32 * 1024, 4, 0);
+        let single = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);
+        let raid = Simulator::new(DiskParams::default(), PowerPolicy::None, striping)
+            .with_raid(RaidConfig::raid0(2, 8 * 1024));
+        let rs = single.run(&trace());
+        let rr = raid.run(&trace());
+        let ratio = rr.total_energy_j() / rs.total_energy_j();
+        assert!((1.8..2.05).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn max_member_bytes_distribution() {
+        let r = RaidConfig::raid0(4, 8 * 1024);
+        // 32 KB = 4 chunks → 1 per member.
+        assert_eq!(r.max_member_bytes(32 * 1024), 8 * 1024);
+        // 40 KB = 5 chunks → one member carries 2.
+        assert_eq!(r.max_member_bytes(40 * 1024), 16 * 1024);
+        // Tiny request: one member does all of it.
+        assert_eq!(r.max_member_bytes(100), 100);
+        assert_eq!(RaidConfig::single().max_member_bytes(12345), 12345);
+    }
+}

@@ -1,0 +1,206 @@
+//! Precise boundary-case tests for the TPM and DRPM state machines: the
+//! transitions at and around each threshold, where off-by-one accounting
+//! errors would silently skew every energy number.
+
+use dpm_disksim::{
+    DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig,
+};
+
+fn params() -> DiskParams {
+    DiskParams::ultrastar_36z15()
+}
+
+fn sub(t: f64, byte: u64) -> SubRequest {
+    SubRequest {
+        arrival_ms: t,
+        local_byte: byte,
+        len: 4096,
+    }
+}
+
+/// Runs two requests separated by `gap` and returns the disk's stats.
+fn two_requests(policy: PowerPolicy, gap: f64) -> (dpm_disksim::DiskStats, f64) {
+    let mut d = DiskSim::new(params(), policy);
+    let c1 = d.service(&sub(0.0, 0)).completion_ms;
+    let out = d.service(&sub(c1 + gap, 1 << 30));
+    let stall = out.stall_ms;
+    d.finish(out.completion_ms);
+    (d.stats().clone(), stall)
+}
+
+#[test]
+fn tpm_gap_exactly_at_timeout_stays_idle() {
+    let cfg = TpmConfig::default();
+    let (s, stall) = two_requests(PowerPolicy::Tpm(cfg), cfg.spin_down_timeout_ms);
+    assert_eq!(s.spin_downs, 0);
+    assert_eq!(stall, 0.0);
+}
+
+#[test]
+fn tpm_gap_just_past_timeout_spins_down_mid_transition() {
+    let cfg = TpmConfig::default();
+    let p = params();
+    // Arrival lands 1 ms into the spin-down: the request waits for the
+    // rest of the spin-down plus the whole spin-up.
+    let gap = cfg.spin_down_timeout_ms + 1.0;
+    let (s, stall) = two_requests(PowerPolicy::Tpm(cfg), gap);
+    assert_eq!(s.spin_downs, 1);
+    assert_eq!(s.spin_ups, 1);
+    assert_eq!(s.standby_ms, 0.0);
+    let expect = (p.spin_down_ms - 1.0) + p.spin_up_ms;
+    assert!((stall - expect).abs() < 1e-9, "stall {stall} vs {expect}");
+}
+
+#[test]
+fn tpm_gap_with_standby_charges_reduced_stall_only_when_proactive() {
+    let p = params();
+    let reactive = TpmConfig::default();
+    let gap = reactive.spin_down_timeout_ms + p.spin_down_ms + 5_000.0;
+    let (s, stall) = two_requests(PowerPolicy::Tpm(reactive), gap);
+    assert_eq!(s.spin_downs, 1);
+    assert!((s.standby_ms - 5_000.0).abs() < 1e-9);
+    assert!((stall - p.spin_up_ms).abs() < 1e-9);
+
+    // Proactive: this gap cannot cover timeout + down + up, so the
+    // compiler declines to spin down at all — no stall, no transition.
+    let proactive = TpmConfig::proactive();
+    let (s2, stall2) = two_requests(PowerPolicy::Tpm(proactive), gap);
+    assert_eq!(s2.spin_downs, 0);
+    assert!(stall2 < 1e-9, "stall {stall2}");
+
+    // With a gap past the profitability bound, the spin-up hides entirely
+    // inside the standby period.
+    let gap2 = proactive.spin_down_timeout_ms + p.spin_down_ms + p.spin_up_ms + 3_000.0;
+    let (s3, stall3) = two_requests(PowerPolicy::Tpm(proactive), gap2);
+    assert_eq!(s3.spin_downs, 1);
+    assert!(stall3 < 1e-9, "stall {stall3}");
+    // Standby shows only the part of the tail the spin-up did not consume.
+    assert!((s3.standby_ms - 3_000.0).abs() < 1e-9, "standby {}", s3.standby_ms);
+}
+
+#[test]
+fn proactive_tpm_skips_unprofitable_spin_down() {
+    let p = params();
+    let cfg = TpmConfig::proactive();
+    // Gap too short to cover timeout + down + up: no spin-down at all.
+    let gap = cfg.spin_down_timeout_ms + p.spin_down_ms + p.spin_up_ms - 1.0;
+    let (s, stall) = two_requests(PowerPolicy::Tpm(cfg), gap);
+    assert_eq!(s.spin_downs, 0);
+    assert_eq!(stall, 0.0);
+    // One millisecond more and it becomes fully hidden.
+    let gap2 = gap + 2.0;
+    let (s2, stall2) = two_requests(PowerPolicy::Tpm(cfg), gap2);
+    assert_eq!(s2.spin_downs, 1);
+    assert!(stall2 < 1e-9, "stall {stall2}");
+}
+
+#[test]
+fn tpm_energy_accounting_closed_form() {
+    // gap long enough for a full down → standby → up cycle; check the
+    // total energy against a hand computation.
+    let p = params();
+    let cfg = TpmConfig::default();
+    let standby = 60_000.0;
+    let gap = cfg.spin_down_timeout_ms + p.spin_down_ms + standby;
+    let mut d = DiskSim::new(params(), PowerPolicy::Tpm(cfg));
+    let c1 = d.service(&sub(0.0, 0)).completion_ms;
+    let svc = c1; // first request starts at t=0
+    let out = d.service(&sub(c1 + gap, 1 << 30));
+    d.finish(out.completion_ms);
+    let s = d.stats();
+    let expect = 13.5 * (2.0 * svc) / 1000.0                // two services
+        + 10.2 * cfg.spin_down_timeout_ms / 1000.0          // idle until timeout
+        + 13.0                                              // spin-down energy
+        + 2.5 * standby / 1000.0                            // standby
+        + 135.0;                                            // spin-up energy
+    assert!(
+        (s.energy_j - expect).abs() < 0.5,
+        "energy {} vs hand computation {expect}",
+        s.energy_j
+    );
+}
+
+#[test]
+fn drpm_gap_at_ramp_threshold_stays_at_speed() {
+    let cfg = DrpmConfig::default();
+    let (s, stall) = two_requests(PowerPolicy::Drpm(cfg), cfg.idle_ramp_threshold_ms);
+    assert_eq!(s.speed_changes, 0);
+    assert_eq!(stall, 0.0);
+}
+
+#[test]
+fn drpm_arrival_mid_transition_waits_for_it() {
+    let cfg = DrpmConfig::default();
+    // Just past the threshold: the first down-transition is in flight when
+    // the request arrives; it waits for the remainder.
+    let gap = cfg.idle_ramp_threshold_ms + cfg.transition_ms_per_step / 2.0;
+    let (s, stall) = two_requests(PowerPolicy::Drpm(cfg), gap);
+    assert_eq!(s.speed_changes, 1);
+    assert!(
+        (stall - cfg.transition_ms_per_step / 2.0).abs() < 1e-9,
+        "stall {stall}"
+    );
+}
+
+#[test]
+fn drpm_reaches_floor_on_long_gap_and_counts_levels() {
+    let cfg = DrpmConfig::default();
+    let p = params();
+    let levels = (p.max_rpm - cfg.min_rpm) / cfg.rpm_step;
+    let mut d = DiskSim::new(p, PowerPolicy::Drpm(cfg));
+    let c1 = d.service(&sub(0.0, 0)).completion_ms;
+    d.finish(c1 + 600_000.0);
+    assert_eq!(d.rpm(), cfg.min_rpm);
+    assert_eq!(d.stats().speed_changes as u32, levels);
+}
+
+#[test]
+fn proactive_drpm_returns_to_full_speed_in_time() {
+    let cfg = DrpmConfig::proactive();
+    let p = params();
+    let mut d = DiskSim::new(p, PowerPolicy::Drpm(cfg));
+    let c1 = d.service(&sub(0.0, 0)).completion_ms;
+    // A gap long enough to bottom out and still ramp back.
+    let out = d.service(&sub(c1 + 120_000.0, 1 << 30));
+    assert_eq!(out.stall_ms, 0.0, "proactive ramp must hide the transition");
+    assert_eq!(d.rpm(), p.max_rpm, "service happens at full speed");
+    // The second service time equals the full-speed time.
+    let full = p.service_ms(4096, p.max_rpm, false);
+    assert!((out.service_ms - full).abs() < 1e-9);
+    d.finish(out.completion_ms);
+}
+
+#[test]
+fn reactive_drpm_services_slowly_after_long_gap() {
+    let cfg = DrpmConfig::default();
+    let p = params();
+    let mut d = DiskSim::new(p, PowerPolicy::Drpm(cfg));
+    let c1 = d.service(&sub(0.0, 0)).completion_ms;
+    let out = d.service(&sub(c1 + 120_000.0, 1 << 30));
+    let slow = p.service_ms(4096, cfg.min_rpm, false);
+    assert!((out.service_ms - slow).abs() < 1e-9, "service {}", out.service_ms);
+    d.finish(out.completion_ms);
+}
+
+#[test]
+fn drpm_proactive_beats_reactive_io_time_and_ties_energy_roughly() {
+    let p = params();
+    let run = |cfg: DrpmConfig| {
+        let mut d = DiskSim::new(p, PowerPolicy::Drpm(cfg));
+        let mut t = 0.0;
+        let mut io = 0.0;
+        for k in 0..6u64 {
+            let out = d.service(&sub(t, k << 30));
+            io += out.stall_ms + out.service_ms;
+            t = out.completion_ms + 60_000.0;
+        }
+        d.finish(t);
+        (d.stats().energy_j, io)
+    };
+    let (e_reactive, io_reactive) = run(DrpmConfig::default());
+    let (e_proactive, io_proactive) = run(DrpmConfig::proactive());
+    assert!(io_proactive < io_reactive);
+    // Proactive spends slightly more energy (it ramps back up) but within
+    // a modest factor.
+    assert!(e_proactive < e_reactive * 1.5);
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the disk power-management state machines:
+//! energy/time conservation, policy dominance relations, and monotonicity
+//! over randomized request streams.
+
+use dpm_disksim::{
+    DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig,
+};
+use proptest::prelude::*;
+
+/// A stream of sub-requests with randomized gaps (log-scaled from sub-ms to
+/// minutes) and sizes.
+fn arb_stream() -> impl Strategy<Value = Vec<SubRequest>> {
+    prop::collection::vec((0u8..5, 1u64..64, any::<bool>()), 1..40).prop_map(|items| {
+        let mut t = 0.0;
+        let mut pos = 0u64;
+        let mut out = Vec::new();
+        for (gap_mag, blocks, jump) in items {
+            t += 10.0_f64.powi(i32::from(gap_mag)) * 0.5;
+            if jump {
+                pos += 1 << 22;
+            }
+            let len = blocks * 4096;
+            out.push(SubRequest {
+                arrival_ms: t,
+                local_byte: pos,
+                len,
+            });
+            pos += len;
+        }
+        out
+    })
+}
+
+fn run(policy: PowerPolicy, stream: &[SubRequest]) -> dpm_disksim::DiskStats {
+    let mut d = DiskSim::new(DiskParams::default(), policy);
+    let mut last = 0.0f64;
+    for r in stream {
+        let out = d.service(r);
+        last = last.max(out.completion_ms);
+    }
+    d.finish(last + 1_000.0);
+    d.stats().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wall-clock conservation: busy + idle + standby + transition covers
+    /// the makespan. (Spin-up stalls extend the clock past the recorded
+    /// gap, so the accounted total may exceed, but never undershoot, the
+    /// finish time.)
+    #[test]
+    fn time_conservation(stream in arb_stream(), pol in 0usize..3) {
+        let policy = match pol {
+            0 => PowerPolicy::None,
+            1 => PowerPolicy::Tpm(TpmConfig::default()),
+            _ => PowerPolicy::Drpm(DrpmConfig::default()),
+        };
+        let s = run(policy, &stream);
+        let total = s.busy_ms + s.idle_ms + s.standby_ms + s.transition_ms;
+        let makespan = stream.iter().map(|r| r.arrival_ms).fold(0.0, f64::max) + 1_000.0;
+        prop_assert!(total >= makespan * 0.99,
+            "accounted {total} < makespan {makespan}");
+    }
+
+    /// Energy is bounded by power extremes times accounted time, plus the
+    /// lump transition energies.
+    #[test]
+    fn energy_bounds(stream in arb_stream(), pol in 0usize..3) {
+        let params = DiskParams::default();
+        let policy = match pol {
+            0 => PowerPolicy::None,
+            1 => PowerPolicy::Tpm(TpmConfig::default()),
+            _ => PowerPolicy::Drpm(DrpmConfig::default()),
+        };
+        let s = run(policy, &stream);
+        let total_s = (s.busy_ms + s.idle_ms + s.standby_ms + s.transition_ms) / 1000.0;
+        let lumps = (s.spin_downs as f64) * params.spin_down_energy_j
+            + (s.spin_ups as f64) * params.spin_up_energy_j;
+        prop_assert!(s.energy_j <= params.active_power_w * total_s + lumps + 1e-6);
+        prop_assert!(s.energy_j >= params.standby_power_w * total_s * 0.999 - 1e-6);
+    }
+
+    /// Plain TPM never *increases* energy relative to Base on the same
+    /// stream by more than the transition lumps (it only replaces idle
+    /// time at 10.2 W with cheaper standby time plus transitions).
+    #[test]
+    fn tpm_energy_never_much_worse_than_base(stream in arb_stream()) {
+        let base = run(PowerPolicy::None, &stream);
+        let tpm = run(PowerPolicy::Tpm(TpmConfig::default()), &stream);
+        let params = DiskParams::default();
+        let slack = (tpm.spin_ups.max(1) as f64) * params.spin_up_energy_j;
+        prop_assert!(tpm.energy_j <= base.energy_j + slack,
+            "tpm {} vs base {}", tpm.energy_j, base.energy_j);
+    }
+
+    /// Proactive TPM is always at least as good as reactive TPM in both
+    /// energy and stall time.
+    #[test]
+    fn proactive_tpm_dominates_reactive(stream in arb_stream()) {
+        let reactive = run(PowerPolicy::Tpm(TpmConfig::default()), &stream);
+        let proactive = run(PowerPolicy::Tpm(TpmConfig::proactive()), &stream);
+        prop_assert!(proactive.energy_j <= reactive.energy_j + 1e-6);
+    }
+
+    /// Byte accounting is exact.
+    #[test]
+    fn bytes_accounted(stream in arb_stream()) {
+        let s = run(PowerPolicy::None, &stream);
+        let expect: u64 = stream.iter().map(|r| r.len).sum();
+        prop_assert_eq!(s.bytes, expect);
+        prop_assert_eq!(s.requests, stream.len() as u64);
+    }
+
+    /// Completions are non-decreasing (FIFO service).
+    #[test]
+    fn completions_monotone(stream in arb_stream(), pol in 0usize..3) {
+        let policy = match pol {
+            0 => PowerPolicy::None,
+            1 => PowerPolicy::Tpm(TpmConfig::default()),
+            _ => PowerPolicy::Drpm(DrpmConfig::default()),
+        };
+        let mut d = DiskSim::new(DiskParams::default(), policy);
+        let mut last = f64::NEG_INFINITY;
+        for r in &stream {
+            let out = d.service(r);
+            prop_assert!(out.completion_ms >= last);
+            prop_assert!(out.service_ms > 0.0);
+            prop_assert!(out.stall_ms >= 0.0);
+            last = out.completion_ms;
+        }
+    }
+}

@@ -1,0 +1,835 @@
+//! Front-end for the pseudo-language the paper writes its examples in.
+//!
+//! ```text
+//! program fig2;
+//!
+//! const N = 64;
+//!
+//! array U1[2*N][2*N] : f64;
+//! array U2[2*N][2*N] : f64;
+//!
+//! nest L1 {
+//!   for i = 0 .. 2*N-1 {
+//!     for j = 0 .. 2*N-1 {
+//!       S1: U1[i][j] = f(U2[j][i]) @ 120;
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! * `const` bindings are folded at parse time.
+//! * Loop bounds and subscripts are affine in the enclosing loop variables.
+//! * A statement is `[label:] [lvalue =] expr [@ cycles];` — the right-hand
+//!   side may be an arbitrary arithmetic/call expression; only the array
+//!   references inside it are retained (as reads). The left-hand side, if
+//!   present, must be an array reference (a write).
+//! * Line comments start with `#` or `//`.
+
+use crate::ast::{AccessKind, ArrayDecl, ArrayRef, Loop, LoopNest, Program, Statement};
+use dpm_poly::LinExpr;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default per-statement compute cost when no `@ cycles` suffix is given.
+pub const DEFAULT_STMT_COST: u64 = 100;
+
+/// A parse failure, with 1-based line/column of the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic or semantic
+/// problem (unknown identifier, non-affine subscript, …).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// program tiny;
+/// array A[8] : f64;
+/// nest L1 { for i = 0 .. 7 { A[i] = A[i] + 1; } }
+/// ";
+/// let p = dpm_ir::parse_program(src)?;
+/// assert_eq!(p.nests.len(), 1);
+/// assert_eq!(p.nests[0].trip_count(), 8);
+/// # Ok::<(), dpm_ir::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        consts: HashMap::new(),
+    };
+    p.program()
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Punct(&'static str),
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            advance(1, &mut i, &mut col);
+            continue;
+        }
+        if c == '#' || (c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            col += i - start;
+            let v = text.parse::<i64>().map_err(|_| ParseError {
+                message: format!("integer literal `{text}` out of range"),
+                line: tl,
+                col: tc,
+            })?;
+            out.push(SpannedTok {
+                tok: Tok::Int(v),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            col += i - start;
+            out.push(SpannedTok {
+                tok: Tok::Ident(text),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Multi-char punctuation first.
+        if c == '.' && i + 1 < bytes.len() && bytes[i + 1] == '.' {
+            out.push(SpannedTok {
+                tok: Tok::Punct(".."),
+                line: tl,
+                col: tc,
+            });
+            advance(2, &mut i, &mut col);
+            continue;
+        }
+        let p: &'static str = match c {
+            ';' => ";",
+            ':' => ":",
+            ',' => ",",
+            '=' => "=",
+            '[' => "[",
+            ']' => "]",
+            '(' => "(",
+            ')' => ")",
+            '{' => "{",
+            '}' => "}",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '@' => "@",
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{c}`"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        };
+        out.push(SpannedTok {
+            tok: Tok::Punct(p),
+            line: tl,
+            col: tc,
+        });
+        advance(1, &mut i, &mut col);
+    }
+    Ok(out)
+}
+
+/// A symbolic affine expression over named loop variables, resolved to a
+/// [`LinExpr`] once the nest's variable list is known.
+#[derive(Clone, Debug, Default)]
+struct SymExpr {
+    terms: HashMap<String, i64>,
+    constant: i64,
+}
+
+impl SymExpr {
+    fn constant(k: i64) -> Self {
+        SymExpr {
+            terms: HashMap::new(),
+            constant: k,
+        }
+    }
+
+    fn var(name: &str) -> Self {
+        let mut terms = HashMap::new();
+        terms.insert(name.to_string(), 1);
+        SymExpr { terms, constant: 0 }
+    }
+
+    fn add(mut self, other: &SymExpr) -> Self {
+        for (k, v) in &other.terms {
+            *self.terms.entry(k.clone()).or_insert(0) += v;
+        }
+        self.constant += other.constant;
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        for v in self.terms.values_mut() {
+            *v *= k;
+        }
+        self.constant *= k;
+        self
+    }
+
+    fn is_constant(&self) -> bool {
+        self.terms.values().all(|&v| v == 0)
+    }
+
+    fn resolve(&self, vars: &[String]) -> Result<LinExpr, String> {
+        let mut e = LinExpr::constant(vars.len(), self.constant);
+        for (name, &c) in &self.terms {
+            if c == 0 {
+                continue;
+            }
+            match vars.iter().position(|v| v == name) {
+                Some(ix) => e.set_coeff(ix, c),
+                None => return Err(format!("unknown variable `{name}`")),
+            }
+        }
+        Ok(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    consts: HashMap<String, i64>,
+}
+
+/// An array reference collected while parsing an expression, with symbolic
+/// subscripts awaiting resolution.
+struct SymRef {
+    array: String,
+    indices: Vec<SymExpr>,
+    line: usize,
+    col: usize,
+}
+
+impl Parser {
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.eat_keyword("program")?;
+        let name = self.ident()?;
+        self.eat_punct(";")?;
+        let mut prog = Program::new(name);
+        let mut array_ids: HashMap<String, usize> = HashMap::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Tok::Ident(kw)) if kw == "const" => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    self.eat_punct("=")?;
+                    let e = self.affine(&[])?;
+                    if !e.is_constant() {
+                        return Err(self.err_here("const initializer must be constant"));
+                    }
+                    self.eat_punct(";")?;
+                    self.consts.insert(name, e.constant);
+                }
+                Some(Tok::Ident(kw)) if kw == "array" => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    let mut dims = Vec::new();
+                    while self.try_punct("[") {
+                        let e = self.affine(&[])?;
+                        if !e.is_constant() || e.constant <= 0 {
+                            return Err(
+                                self.err_here("array extent must be a positive constant")
+                            );
+                        }
+                        dims.push(e.constant as u64);
+                        self.eat_punct("]")?;
+                    }
+                    if dims.is_empty() {
+                        return Err(self.err_here("array needs at least one extent"));
+                    }
+                    self.eat_punct(":")?;
+                    let ty = self.ident()?;
+                    let elem_bytes = match ty.as_str() {
+                        "f64" | "i64" | "u64" => 8,
+                        "f32" | "i32" | "u32" => 4,
+                        "i16" | "u16" => 2,
+                        "i8" | "u8" => 1,
+                        // `bytes(N)`: an opaque record of N bytes — used to
+                        // model tile/block-granularity out-of-core data.
+                        "bytes" => {
+                            self.eat_punct("(")?;
+                            let n = match self.next() {
+                                Some(Tok::Int(v)) if v > 0 && v <= i64::from(u32::MAX) => v as u32,
+                                _ => {
+                                    return Err(
+                                        self.err_here("expected positive byte count in bytes(N)")
+                                    )
+                                }
+                            };
+                            self.eat_punct(")")?;
+                            n
+                        }
+                        other => {
+                            return Err(self.err_here(format!("unknown element type `{other}`")))
+                        }
+                    };
+                    self.eat_punct(";")?;
+                    if array_ids.contains_key(&name) {
+                        return Err(self.err_here(format!("duplicate array `{name}`")));
+                    }
+                    let id = prog.add_array(ArrayDecl::new(name.clone(), dims, elem_bytes));
+                    array_ids.insert(name, id);
+                }
+                Some(Tok::Ident(kw)) if kw == "nest" => {
+                    let nest = self.nest(&array_ids)?;
+                    prog.add_nest(nest);
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected `const`, `array`, or `nest`, found {other:?}"
+                    )))
+                }
+            }
+        }
+        prog.validate().map_err(|m| self.err_here(m))?;
+        Ok(prog)
+    }
+
+    fn nest(&mut self, arrays: &HashMap<String, usize>) -> Result<LoopNest, ParseError> {
+        self.eat_keyword("nest")?;
+        let name = self.ident()?;
+        self.eat_punct("{")?;
+        // Collect loop headers until a statement begins.
+        let mut headers: Vec<(String, SymExpr, SymExpr)> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(kw)) if kw == "for" => {
+                    self.pos += 1;
+                    let var = self.ident()?;
+                    if headers.iter().any(|(v, _, _)| *v == var) {
+                        return Err(self.err_here(format!("duplicate loop variable `{var}`")));
+                    }
+                    self.eat_punct("=")?;
+                    let vars: Vec<String> = headers.iter().map(|(v, _, _)| v.clone()).collect();
+                    let refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+                    let lo = self.affine(&refs)?;
+                    self.eat_punct("..")?;
+                    let hi = self.affine(&refs)?;
+                    self.eat_punct("{")?;
+                    headers.push((var, lo, hi));
+                }
+                _ => break,
+            }
+        }
+        if headers.is_empty() {
+            return Err(self.err_here("nest must contain at least one `for` loop"));
+        }
+        let vars: Vec<String> = headers.iter().map(|(v, _, _)| v.clone()).collect();
+        let var_refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+        // Statements in the innermost body.
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Some(Tok::Punct("}"))) {
+            body.push(self.statement(arrays, &var_refs, body.len())?);
+        }
+        // Close every loop brace plus the nest brace.
+        for _ in 0..headers.len() {
+            self.eat_punct("}")?;
+        }
+        self.eat_punct("}")?;
+        let depth = vars.len();
+        let mut loops = Vec::with_capacity(depth);
+        for (var, lo, hi) in headers {
+            let lo = lo.resolve(&vars).map_err(|m| self.err_here(m))?;
+            let hi = hi.resolve(&vars).map_err(|m| self.err_here(m))?;
+            debug_assert_eq!(lo.dim(), depth);
+            loops.push(Loop { var, lo, hi });
+        }
+        Ok(LoopNest { name, loops, body })
+    }
+
+    fn statement(
+        &mut self,
+        arrays: &HashMap<String, usize>,
+        vars: &[&str],
+        index: usize,
+    ) -> Result<Statement, ParseError> {
+        // Optional `label:` — an identifier followed by `:` that is not an
+        // array reference.
+        let mut label = format!("S{}", index + 1);
+        if let (Some(Tok::Ident(id)), Some(t2)) =
+            (self.peek(), self.tokens.get(self.pos + 1).map(|t| &t.tok))
+        {
+            if *t2 == Tok::Punct(":") {
+                label = id.clone();
+                self.pos += 2;
+            }
+        }
+        let mut refs: Vec<SymRef> = Vec::new();
+        // Parse the first expression; if `=` follows and the expression was
+        // a lone array reference, it is the write target.
+        let before = refs.len();
+        self.expr(arrays, vars, &mut refs)?;
+        let mut kinds: Vec<AccessKind>;
+        if self.try_punct("=") {
+            if refs.len() != before + 1 {
+                return Err(self.err_here("left-hand side must be a single array reference"));
+            }
+            self.expr(arrays, vars, &mut refs)?;
+            kinds = vec![AccessKind::Read; refs.len()];
+            kinds[before] = AccessKind::Write;
+        } else {
+            kinds = vec![AccessKind::Read; refs.len()];
+        }
+        let mut cost = DEFAULT_STMT_COST;
+        if self.try_punct("@") {
+            match self.next() {
+                Some(Tok::Int(v)) if v >= 0 => cost = v as u64,
+                _ => return Err(self.err_here("expected non-negative cycle count after `@`")),
+            }
+        }
+        self.eat_punct(";")?;
+        let mut out_refs = Vec::with_capacity(refs.len());
+        for (r, kind) in refs.into_iter().zip(kinds) {
+            let array = *arrays.get(&r.array).ok_or_else(|| ParseError {
+                message: format!("unknown array `{}`", r.array),
+                line: r.line,
+                col: r.col,
+            })?;
+            let vars_owned: Vec<String> = vars.iter().map(|s| s.to_string()).collect();
+            let mut indices = Vec::with_capacity(r.indices.len());
+            for e in &r.indices {
+                indices.push(e.resolve(&vars_owned).map_err(|m| ParseError {
+                    message: m,
+                    line: r.line,
+                    col: r.col,
+                })?);
+            }
+            out_refs.push(ArrayRef::new(array, indices, kind));
+        }
+        Ok(Statement {
+            label,
+            refs: out_refs,
+            cost_cycles: cost,
+        })
+    }
+
+    /// Parses a general arithmetic expression, collecting array references
+    /// into `refs`. The expression's own value is discarded.
+    fn expr(
+        &mut self,
+        arrays: &HashMap<String, usize>,
+        vars: &[&str],
+        refs: &mut Vec<SymRef>,
+    ) -> Result<(), ParseError> {
+        self.expr_term(arrays, vars, refs)?;
+        while matches!(
+            self.peek(),
+            Some(Tok::Punct("+")) | Some(Tok::Punct("-")) | Some(Tok::Punct("*"))
+                | Some(Tok::Punct("/"))
+        ) {
+            self.pos += 1;
+            self.expr_term(arrays, vars, refs)?;
+        }
+        Ok(())
+    }
+
+    fn expr_term(
+        &mut self,
+        arrays: &HashMap<String, usize>,
+        vars: &[&str],
+        refs: &mut Vec<SymRef>,
+    ) -> Result<(), ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                self.expr(arrays, vars, refs)?;
+                self.eat_punct(")")
+            }
+            Some(Tok::Punct("-")) => {
+                self.pos += 1;
+                self.expr_term(arrays, vars, refs)
+            }
+            Some(Tok::Int(_)) => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(Tok::Ident(id)) => {
+                let (line, col) = {
+                    let t = &self.tokens[self.pos];
+                    (t.line, t.col)
+                };
+                self.pos += 1;
+                match self.peek() {
+                    Some(Tok::Punct("[")) => {
+                        let mut indices = Vec::new();
+                        while self.try_punct("[") {
+                            indices.push(self.affine(vars)?);
+                            self.eat_punct("]")?;
+                        }
+                        if !arrays.contains_key(&id) {
+                            return Err(ParseError {
+                                message: format!("unknown array `{id}`"),
+                                line,
+                                col,
+                            });
+                        }
+                        refs.push(SymRef {
+                            array: id,
+                            indices,
+                            line,
+                            col,
+                        });
+                        Ok(())
+                    }
+                    Some(Tok::Punct("(")) => {
+                        // Call: f(arg, arg, …) — collect refs from arguments.
+                        self.pos += 1;
+                        if !self.try_punct(")") {
+                            loop {
+                                self.expr(arrays, vars, refs)?;
+                                if self.try_punct(")") {
+                                    break;
+                                }
+                                self.eat_punct(",")?;
+                            }
+                        }
+                        Ok(())
+                    }
+                    // Bare scalar identifier (loop var or const) — no I/O.
+                    _ => Ok(()),
+                }
+            }
+            other => Err(self.err_here(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    /// Parses an affine expression over `vars` (plus folded constants).
+    fn affine(&mut self, vars: &[&str]) -> Result<SymExpr, ParseError> {
+        let mut acc = self.affine_term(vars)?;
+        loop {
+            if self.try_punct("+") {
+                let t = self.affine_term(vars)?;
+                acc = acc.add(&t);
+            } else if self.try_punct("-") {
+                let t = self.affine_term(vars)?;
+                acc = acc.add(&t.scale(-1));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn affine_term(&mut self, vars: &[&str]) -> Result<SymExpr, ParseError> {
+        let mut acc = self.affine_atom(vars)?;
+        while self.try_punct("*") {
+            let rhs = self.affine_atom(vars)?;
+            if rhs.is_constant() {
+                acc = acc.scale(rhs.constant);
+            } else if acc.is_constant() {
+                acc = rhs.scale(acc.constant);
+            } else {
+                return Err(self.err_here("non-affine product of two variables"));
+            }
+        }
+        Ok(acc)
+    }
+
+    fn affine_atom(&mut self, vars: &[&str]) -> Result<SymExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(SymExpr::constant(v))
+            }
+            Some(Tok::Punct("-")) => {
+                self.pos += 1;
+                Ok(self.affine_atom(vars)?.scale(-1))
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.affine(vars)?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) => {
+                self.pos += 1;
+                if let Some(&k) = self.consts.get(&id) {
+                    Ok(SymExpr::constant(k))
+                } else if vars.contains(&id.as_str()) {
+                    Ok(SymExpr::var(&id))
+                } else {
+                    Err(self.err_here(format!("unknown identifier `{id}` in affine expression")))
+                }
+            }
+            other => Err(self.err_here(format!("unexpected token in affine expression: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AccessKind;
+
+    #[test]
+    fn parse_minimal() {
+        let p = parse_program(
+            "program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }",
+        )
+        .unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.nests[0].depth(), 1);
+        assert_eq!(p.nests[0].body[0].refs[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn parse_consts_and_affine_bounds() {
+        let p = parse_program(
+            "program t; const N = 8; array A[2*N][N] : f32;
+             nest L { for i = 0 .. 2*N-1 { for j = 0 .. i { A[i][j] = A[i][j-1]; } } }",
+        )
+        .unwrap();
+        assert_eq!(p.arrays[0].dims, vec![16, 8]);
+        assert_eq!(p.arrays[0].elem_bytes, 4);
+        let nest = &p.nests[0];
+        assert_eq!(nest.loops[0].hi.constant_term(), 15);
+        // Triangular: hi of j is i
+        assert_eq!(nest.loops[1].hi.coeff(0), 1);
+        let refs = &nest.body[0].refs;
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].kind, AccessKind::Write);
+        assert_eq!(refs[1].kind, AccessKind::Read);
+        assert_eq!(refs[1].indices[1].constant_term(), -1);
+    }
+
+    #[test]
+    fn parse_costs_and_labels() {
+        let p = parse_program(
+            "program t; array A[4] : f64;
+             nest L { for i = 0 .. 3 {
+               S9: A[i] = A[i] + 2 @ 450;
+               A[i] = 0;
+             } }",
+        )
+        .unwrap();
+        let body = &p.nests[0].body;
+        assert_eq!(body[0].label, "S9");
+        assert_eq!(body[0].cost_cycles, 450);
+        assert_eq!(body[1].label, "S2");
+        assert_eq!(body[1].cost_cycles, DEFAULT_STMT_COST);
+    }
+
+    #[test]
+    fn parse_calls_and_nested_expressions() {
+        let p = parse_program(
+            "program t; array A[4][4] : f64; array B[4][4] : f64;
+             nest L { for i = 0 .. 3 { for j = 0 .. 3 {
+               A[i][j] = f(B[j][i], 3 * (B[i][j] - 1)) / 2;
+             } } }",
+        )
+        .unwrap();
+        let refs = &p.nests[0].body[0].refs;
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs.iter().filter(|r| r.kind.is_write()).count(), 1);
+        // B[j][i] transposed subscripts
+        assert_eq!(refs[1].indices[0].coeff(1), 1);
+        assert_eq!(refs[1].indices[1].coeff(0), 1);
+    }
+
+    #[test]
+    fn parse_statement_without_write() {
+        let p = parse_program(
+            "program t; array A[4] : f64;
+             nest L { for i = 0 .. 3 { f(A[i]); } }",
+        )
+        .unwrap();
+        let refs = &p.nests[0].body[0].refs;
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn error_unknown_array() {
+        let e = parse_program("program t; nest L { for i = 0 .. 3 { Z[i] = 1; } }").unwrap_err();
+        assert!(e.message.contains("unknown array"), "{e}");
+    }
+
+    #[test]
+    fn error_non_affine_subscript() {
+        let e = parse_program(
+            "program t; array A[4][4] : f64;
+             nest L { for i = 0 .. 3 { for j = 0 .. 3 { A[i*j][0] = 1; } } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("non-affine"), "{e}");
+    }
+
+    #[test]
+    fn error_inner_var_in_bound() {
+        let e = parse_program(
+            "program t; array A[9][9] : f64;
+             nest L { for i = 0 .. j { for j = 0 .. 3 { A[i][j] = 1; } } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown identifier"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_program("program t;\n  bogus").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.col >= 3);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "program t; # hello\n// world\narray A[2] : f64;\nnest L { for i = 0 .. 1 { A[i] = 1; } }",
+        )
+        .unwrap();
+        assert_eq!(p.arrays.len(), 1);
+    }
+
+    #[test]
+    fn multiple_nests_share_arrays() {
+        let p = parse_program(
+            "program t; const N = 4; array U1[N][N] : f64; array U2[N][N] : f64;
+             nest L1 { for i = 0 .. N-1 { for j = 0 .. N-1 { U2[i][j] = U1[i][j]; } } }
+             nest L2 { for i = 0 .. N-1 { for j = 0 .. N-1 { U1[j][i] = U2[j][i]; } } }",
+        )
+        .unwrap();
+        assert_eq!(p.nests.len(), 2);
+        assert_eq!(p.total_iterations(), 32);
+    }
+}

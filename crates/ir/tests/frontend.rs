@@ -1,0 +1,178 @@
+//! Front-end integration tests: the pseudo-language corner cases the unit
+//! tests don't reach, plus printer/parser agreement on generated programs.
+
+use dpm_ir::{parse_program, printer, AccessKind};
+
+#[test]
+fn const_arithmetic_folds_everywhere() {
+    let p = parse_program(
+        "program t;
+         const N = 8; const M = 2*N - 4; const K = (M + N) / 1;
+         array A[M][N] : f64;
+         nest L { for i = 0 .. M-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }",
+    );
+    // `/` is not supported in const exprs — the parse must fail cleanly,
+    // not panic.
+    assert!(p.is_err());
+    let p = parse_program(
+        "program t;
+         const N = 8; const M = 2*N - 4;
+         array A[M][N] : f64;
+         nest L { for i = 0 .. M-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }",
+    )
+    .unwrap();
+    assert_eq!(p.arrays[0].dims, vec![12, 8]);
+}
+
+#[test]
+fn negative_bounds_and_offsets() {
+    let p = parse_program(
+        "program t; array A[32] : f64;
+         nest L { for i = -8 .. 8 { A[i+16] = A[i+8]; } }",
+    )
+    .unwrap();
+    assert_eq!(p.nests[0].trip_count(), 17);
+    let its = p.nests[0].iterations();
+    assert_eq!(its[0], vec![-8]);
+    assert_eq!(its.last().unwrap(), &vec![8]);
+}
+
+#[test]
+fn depth_four_nest() {
+    let p = parse_program(
+        "program t; array A[4][4][4][4] : f64;
+         nest L { for a = 0 .. 3 { for b = 0 .. 3 { for c = 0 .. 3 { for d = 0 .. 3 {
+             A[a][b][c][d] = 1;
+         } } } } }",
+    )
+    .unwrap();
+    assert_eq!(p.nests[0].depth(), 4);
+    assert_eq!(p.total_iterations(), 256);
+    assert_eq!(p.arrays[0].strides(), vec![64, 16, 4, 1]);
+}
+
+#[test]
+fn zero_cost_statement() {
+    let p = parse_program(
+        "program t; array A[4] : f64;
+         nest L { for i = 0 .. 3 { A[i] = 1 @ 0; } }",
+    )
+    .unwrap();
+    assert_eq!(p.nests[0].body[0].cost_cycles, 0);
+    assert_eq!(p.nests[0].total_cycles(), 0);
+}
+
+#[test]
+fn subscript_constant_folding_with_consts() {
+    let p = parse_program(
+        "program t; const OFF = 3; array A[16] : f64;
+         nest L { for i = 0 .. 7 { A[i + OFF] = A[2*OFF]; } }",
+    )
+    .unwrap();
+    let refs = &p.nests[0].body[0].refs;
+    assert_eq!(refs[0].indices[0].constant_term(), 3);
+    assert_eq!(refs[1].indices[0].constant_term(), 6);
+    assert!(refs[1].indices[0].is_constant());
+}
+
+#[test]
+fn bytes_type_round_trips() {
+    let src = "program t; array T[8][8] : bytes(65536);
+               nest L { for i = 0 .. 7 { for j = 0 .. 7 { T[i][j] = 1; } } }";
+    let p = parse_program(src).unwrap();
+    assert_eq!(p.arrays[0].elem_bytes, 65536);
+    let printed = printer::print_program(&p);
+    assert!(printed.contains("bytes(65536)"), "{printed}");
+    let q = parse_program(&printed).unwrap();
+    assert_eq!(p.arrays, q.arrays);
+}
+
+#[test]
+fn multiple_writes_in_one_body() {
+    let p = parse_program(
+        "program t; array A[8] : f64; array B[8] : f64;
+         nest L { for i = 0 .. 7 {
+             A[i] = 1;
+             B[i] = A[i] + 2;
+         } }",
+    )
+    .unwrap();
+    let body = &p.nests[0].body;
+    assert_eq!(body.len(), 2);
+    assert_eq!(body[0].refs.len(), 1);
+    assert_eq!(body[1].refs.len(), 2);
+    assert_eq!(
+        body[1].refs.iter().filter(|r| r.kind == AccessKind::Write).count(),
+        1
+    );
+}
+
+#[test]
+fn triangular_total_cycles() {
+    let p = parse_program(
+        "program t; array A[8][8] : f64;
+         nest L { for i = 0 .. 7 { for j = 0 .. i { A[i][j] = 1 @ 10; } } }",
+    )
+    .unwrap();
+    assert_eq!(p.nests[0].trip_count(), 36);
+    assert_eq!(p.nests[0].total_cycles(), 360);
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    for (src, needle) in [
+        ("program t; array A[0] : f64;", "positive"),
+        ("program t; array A[4] : f128;", "unknown element type"),
+        ("program t; array A[4] : f64; array A[4] : f64;", "duplicate array"),
+        (
+            "program t; array A[4] : f64; nest L { for i = 0 .. 3 { for i = 0 .. 3 { A[i] = 1; } } }",
+            "duplicate loop variable",
+        ),
+        ("program t; nest L { }", "at least one `for`"),
+    ] {
+        let e = parse_program(src).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "source `{src}` produced `{}`, expected to contain `{needle}`",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn display_program_via_fmt() {
+    let p = parse_program(
+        "program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }",
+    )
+    .unwrap();
+    let shown = format!("{p}");
+    assert!(shown.contains("program t;"));
+    assert!(shown.contains("for i = 0 .. 3"));
+}
+
+#[test]
+fn cross_nest_anti_dependence_detected() {
+    // Nest 1 reads A; nest 2 writes it: a WAR dependence must appear.
+    let p = parse_program(
+        "program t; array A[8] : f64; array B[8] : f64;
+         nest L1 { for i = 0 .. 7 { B[i] = A[i]; } }
+         nest L2 { for i = 0 .. 7 { A[i] = 0; } }",
+    )
+    .unwrap();
+    let deps = dpm_ir::analyze(&p);
+    assert_eq!(deps.cross.len(), 1);
+    assert_eq!(deps.cross[0].endpoints(), (0, 1));
+}
+
+#[test]
+fn self_output_dependence_within_statement() {
+    // A[i] = A[i+1]: anti-dependence with distance 1 (read of i+1 happens
+    // before the write that clobbers it one iteration later).
+    let p = parse_program(
+        "program t; array A[16] : f64;
+         nest L { for i = 0 .. 14 { A[i] = A[i+1]; } }",
+    )
+    .unwrap();
+    let deps = dpm_ir::analyze(&p);
+    assert_eq!(deps.nest_exact_distances(0), vec![vec![1]]);
+}

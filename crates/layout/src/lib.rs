@@ -1,0 +1,31 @@
+//! # dpm-layout — disk-resident array layouts
+//!
+//! Models the storage organization of §2 of the CGO 2006 paper: arrays map
+//! one-to-one onto files; files are striped round-robin across I/O nodes at
+//! a software-visible granularity (stripe unit / stripe factor / starting
+//! iodevice, Table 1 defaults 32 KB / 8 / first disk). The compiler crates
+//! query a [`LayoutMap`] to learn which I/O node holds each array element —
+//! the "disk layout exposed to the compiler" that drives the restructuring.
+//!
+//! ```
+//! use dpm_layout::{LayoutMap, Striping};
+//! let p = dpm_ir::parse_program(
+//!     "program t; array A[1024] : f64; nest L { for i = 0 .. 0 { A[0] = 1; } }",
+//! ).unwrap();
+//! let map = LayoutMap::new(&p, Striping::new(1024, 4, 0));
+//! // 1024-byte stripes of 128 elements each, dealt over 4 disks:
+//! assert_eq!(map.disk_of_element(&p, 0, &[0]), 0);
+//! assert_eq!(map.disk_of_element(&p, 0, &[128]), 1);
+//! assert_eq!(map.disk_of_element(&p, 0, &[512]), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod map;
+mod mapping;
+mod striping;
+
+pub use map::LayoutMap;
+pub use mapping::{ArraySlice, FileMapping};
+pub use striping::{DiskId, DiskLocation, Striping};

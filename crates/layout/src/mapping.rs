@@ -1,0 +1,188 @@
+//! Relaxed array↔file mappings.
+//!
+//! §2 of the paper assumes one array per file and notes: "While we can
+//! relax this assumption by allowing one-to-many and many-to-one mappings
+//! between the files and the data arrays, we do not evaluate these options
+//! in this paper." This module provides both relaxations:
+//!
+//! * **many-to-one** ([`FileMapping::shared`]): several arrays packed
+//!   back-to-back into one file, so the later arrays do *not* restart at
+//!   the starting iodevice — their striping phase is shifted by the
+//!   preceding arrays' sizes;
+//! * **one-to-many** ([`FileMapping::split_rows`]): one array split
+//!   row-wise over several files, each starting on a fresh stripe row.
+
+use dpm_ir::{ArrayId, Program};
+
+/// How the program's arrays map onto files.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileMapping {
+    /// One entry per file, in volume order: the arrays stored in that
+    /// file, and for each, the inclusive range of *rows* (outermost-
+    /// dimension indices) it contributes.
+    files: Vec<Vec<ArraySlice>>,
+}
+
+/// A contiguous row-range of one array, stored in one file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArraySlice {
+    /// The array.
+    pub array: ArrayId,
+    /// First outermost-dimension index (inclusive).
+    pub row_lo: u64,
+    /// Last outermost-dimension index (inclusive).
+    pub row_hi: u64,
+}
+
+impl FileMapping {
+    /// The paper's default: one array per file, whole.
+    pub fn one_to_one(program: &Program) -> Self {
+        FileMapping {
+            files: (0..program.arrays.len())
+                .map(|a| {
+                    vec![ArraySlice {
+                        array: a,
+                        row_lo: 0,
+                        row_hi: program.arrays[a].dims[0] - 1,
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    /// Many-to-one: each group of arrays shares a file (whole arrays,
+    /// packed in the order given). Every array must appear exactly once
+    /// over all groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an array is missing or duplicated.
+    pub fn shared(program: &Program, groups: &[Vec<ArrayId>]) -> Self {
+        let mut seen = vec![false; program.arrays.len()];
+        let files = groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&a| {
+                        assert!(!seen[a], "array {a} appears twice in the mapping");
+                        seen[a] = true;
+                        ArraySlice {
+                            array: a,
+                            row_lo: 0,
+                            row_hi: program.arrays[a].dims[0] - 1,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(
+            seen.iter().all(|&s| s),
+            "every array must appear in exactly one group"
+        );
+        FileMapping { files }
+    }
+
+    /// One-to-many: array `target` is split row-wise into `pieces` files of
+    /// (nearly) equal row counts; every other array keeps its own file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces == 0` or exceeds the array's row count.
+    pub fn split_rows(program: &Program, target: ArrayId, pieces: u64) -> Self {
+        let rows = program.arrays[target].dims[0];
+        assert!(pieces > 0 && pieces <= rows, "bad piece count {pieces}");
+        let mut files = Vec::new();
+        for a in 0..program.arrays.len() {
+            if a == target {
+                for k in 0..pieces {
+                    let lo = rows * k / pieces;
+                    let hi = rows * (k + 1) / pieces - 1;
+                    files.push(vec![ArraySlice {
+                        array: a,
+                        row_lo: lo,
+                        row_hi: hi,
+                    }]);
+                }
+            } else {
+                files.push(vec![ArraySlice {
+                    array: a,
+                    row_lo: 0,
+                    row_hi: program.arrays[a].dims[0] - 1,
+                }]);
+            }
+        }
+        FileMapping { files }
+    }
+
+    /// The files, in volume order.
+    pub fn files(&self) -> &[Vec<ArraySlice>] {
+        &self.files
+    }
+
+    /// Bytes a slice occupies.
+    pub fn slice_bytes(&self, program: &Program, s: &ArraySlice) -> u64 {
+        let decl = &program.arrays[s.array];
+        let row_bytes: u64 =
+            decl.dims[1..].iter().product::<u64>() * u64::from(decl.elem_bytes);
+        (s.row_hi - s.row_lo + 1) * row_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_ir::parse_program;
+
+    fn prog() -> Program {
+        parse_program(
+            "program t; array A[8][4] : f64; array B[6][4] : f64;
+             nest L { for i = 0 .. 0 { A[0][0] = B[0][0]; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_to_one_covers_all_rows() {
+        let p = prog();
+        let m = FileMapping::one_to_one(&p);
+        assert_eq!(m.files().len(), 2);
+        assert_eq!(m.files()[0][0].row_hi, 7);
+        assert_eq!(m.files()[1][0].row_hi, 5);
+    }
+
+    #[test]
+    fn shared_packs_arrays_in_one_file() {
+        let p = prog();
+        let m = FileMapping::shared(&p, &[vec![0, 1]]);
+        assert_eq!(m.files().len(), 1);
+        assert_eq!(m.files()[0].len(), 2);
+        let bytes: u64 = m.files()[0]
+            .iter()
+            .map(|s| m.slice_bytes(&p, s))
+            .sum();
+        assert_eq!(bytes, (8 * 4 + 6 * 4) * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_rejects_missing_array() {
+        let p = prog();
+        let _ = FileMapping::shared(&p, &[vec![0]]);
+    }
+
+    #[test]
+    fn split_rows_partitions_evenly() {
+        let p = prog();
+        let m = FileMapping::split_rows(&p, 0, 3);
+        // A in 3 files + B in 1.
+        assert_eq!(m.files().len(), 4);
+        let a_rows: u64 = m
+            .files()
+            .iter()
+            .flatten()
+            .filter(|s| s.array == 0)
+            .map(|s| s.row_hi - s.row_lo + 1)
+            .sum();
+        assert_eq!(a_rows, 8);
+    }
+}

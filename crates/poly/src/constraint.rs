@@ -1,0 +1,306 @@
+//! Affine constraints: `expr >= 0` and `expr == 0`.
+
+use crate::expr::{floor_div, gcd, LinExpr};
+use std::fmt;
+
+/// The relation a [`Constraint`] asserts about its expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr >= 0`
+    GeqZero,
+    /// `expr == 0`
+    EqZero,
+}
+
+/// An affine constraint over a variable space: `expr >= 0` or `expr == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_poly::{Constraint, LinExpr};
+/// // i - 1 >= 0, i.e. i >= 1
+/// let c = Constraint::geq_zero(LinExpr::var(1, 0).plus_const(-1));
+/// assert!(c.holds_at(&[1]));
+/// assert!(!c.holds_at(&[0]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    expr: LinExpr,
+    relation: Relation,
+}
+
+impl Constraint {
+    /// Constraint `expr >= 0`.
+    pub fn geq_zero(expr: LinExpr) -> Self {
+        Constraint {
+            expr,
+            relation: Relation::GeqZero,
+        }
+    }
+
+    /// Constraint `expr == 0`.
+    pub fn eq_zero(expr: LinExpr) -> Self {
+        Constraint {
+            expr,
+            relation: Relation::EqZero,
+        }
+    }
+
+    /// Convenience: `lhs >= rhs`.
+    pub fn geq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::geq_zero(lhs.minus(rhs))
+    }
+
+    /// Convenience: `lhs <= rhs`.
+    pub fn leq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::geq_zero(rhs.minus(lhs))
+    }
+
+    /// Convenience: `lhs == rhs`.
+    pub fn eq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::eq_zero(lhs.minus(rhs))
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation kind.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// Number of variables in the constraint's space.
+    pub fn dim(&self) -> usize {
+        self.expr.dim()
+    }
+
+    /// Whether the constraint holds at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn holds_at(&self, point: &[i64]) -> bool {
+        let v = self.expr.eval(point);
+        match self.relation {
+            Relation::GeqZero => v >= 0,
+            Relation::EqZero => v == 0,
+        }
+    }
+
+    /// Integer-tightens the constraint in place and reports satisfiability.
+    ///
+    /// For an inequality whose variable coefficients share content `g > 1`,
+    /// the constraint `g*e' + k >= 0` is equivalent (over the integers) to
+    /// `e' + floor(k/g) >= 0`. For an equality, unsatisfiable unless `g`
+    /// divides the constant. Constant constraints are resolved to a verdict.
+    ///
+    /// Returns `false` if the constraint is unsatisfiable on its own (e.g.
+    /// `-1 >= 0`), in which case the containing polyhedron is empty.
+    pub fn normalize(&mut self) -> bool {
+        if self.expr.is_constant() {
+            let k = self.expr.constant_term();
+            return match self.relation {
+                Relation::GeqZero => k >= 0,
+                Relation::EqZero => k == 0,
+            };
+        }
+        let g = self.expr.coeff_content();
+        debug_assert!(g > 0);
+        if g == 1 {
+            return true;
+        }
+        let k = self.expr.constant_term();
+        match self.relation {
+            Relation::GeqZero => {
+                let coeffs = self.expr.coeffs().iter().map(|c| c / g).collect();
+                self.expr = LinExpr::from_parts(coeffs, floor_div(k, g));
+                true
+            }
+            Relation::EqZero => {
+                if k % g != 0 {
+                    return false;
+                }
+                let coeffs = self.expr.coeffs().iter().map(|c| c / g).collect();
+                self.expr = LinExpr::from_parts(coeffs, k / g);
+                true
+            }
+        }
+    }
+
+    /// Whether the constraint is trivially true regardless of the point
+    /// (constant and satisfied).
+    pub fn is_trivially_true(&self) -> bool {
+        if !self.expr.is_constant() {
+            return false;
+        }
+        let k = self.expr.constant_term();
+        match self.relation {
+            Relation::GeqZero => k >= 0,
+            Relation::EqZero => k == 0,
+        }
+    }
+
+    /// The negation of the constraint as a set of alternative constraints
+    /// (a disjunction). Over the integers:
+    ///
+    /// * `¬(e >= 0)`  is `-e - 1 >= 0`;
+    /// * `¬(e == 0)`  is `e - 1 >= 0` **or** `-e - 1 >= 0`.
+    pub fn negations(&self) -> Vec<Constraint> {
+        match self.relation {
+            Relation::GeqZero => vec![Constraint::geq_zero(self.expr.scaled(-1).plus_const(-1))],
+            Relation::EqZero => vec![
+                Constraint::geq_zero(self.expr.plus_const(-1)),
+                Constraint::geq_zero(self.expr.scaled(-1).plus_const(-1)),
+            ],
+        }
+    }
+
+    /// Splits an equality into the pair of inequalities `e >= 0`, `-e >= 0`;
+    /// an inequality is returned unchanged.
+    pub fn as_inequalities(&self) -> Vec<Constraint> {
+        match self.relation {
+            Relation::GeqZero => vec![self.clone()],
+            Relation::EqZero => vec![
+                Constraint::geq_zero(self.expr.clone()),
+                Constraint::geq_zero(self.expr.scaled(-1)),
+            ],
+        }
+    }
+
+    /// Substitutes variable `index` with `replacement` in the constraint.
+    #[must_use]
+    pub fn substitute(&self, index: usize, replacement: &LinExpr) -> Constraint {
+        Constraint {
+            expr: self.expr.substitute(index, replacement),
+            relation: self.relation,
+        }
+    }
+
+    /// Remaps the constraint into a larger space (see [`LinExpr::remap`]).
+    #[must_use]
+    pub fn remap(&self, new_dim: usize, var_map: &[usize]) -> Constraint {
+        Constraint {
+            expr: self.expr.remap(new_dim, var_map),
+            relation: self.relation,
+        }
+    }
+
+    /// Renders the constraint with the given variable names.
+    pub fn display_with(&self, names: &[&str]) -> String {
+        let op = match self.relation {
+            Relation::GeqZero => ">=",
+            Relation::EqZero => "==",
+        };
+        format!("{} {} 0", self.expr.display_with(names), op)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.relation {
+            Relation::GeqZero => ">=",
+            Relation::EqZero => "==",
+        };
+        write!(f, "{:?} {} 0", self.expr, op)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Normalizes the gcd content out of a lower/upper bound pair used by
+/// Fourier–Motzkin combination: returns `(a/g, b/g)` with `g = gcd(a, b)`.
+pub(crate) fn reduce_pair(a: i64, b: i64) -> (i64, i64) {
+    let g = gcd(a, b);
+    if g <= 1 {
+        (a, b)
+    } else {
+        (a / g, b / g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_at() {
+        let c = Constraint::geq_zero(LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)));
+        assert!(c.holds_at(&[3, 2]));
+        assert!(c.holds_at(&[2, 2]));
+        assert!(!c.holds_at(&[1, 2]));
+        let e = Constraint::eq_zero(LinExpr::var(1, 0).plus_const(-5));
+        assert!(e.holds_at(&[5]));
+        assert!(!e.holds_at(&[4]));
+    }
+
+    #[test]
+    fn normalize_tightens_inequalities() {
+        // 2x - 3 >= 0  =>  x - 2 >= 0 (x >= ceil(3/2) = 2)
+        let mut c = Constraint::geq_zero(LinExpr::from_parts(vec![2], -3));
+        assert!(c.normalize());
+        assert_eq!(c.expr().coeff(0), 1);
+        assert_eq!(c.expr().constant_term(), -2);
+    }
+
+    #[test]
+    fn normalize_detects_infeasible_equality() {
+        // 2x + 1 == 0 has no integer solution
+        let mut c = Constraint::eq_zero(LinExpr::from_parts(vec![2], 1));
+        assert!(!c.normalize());
+    }
+
+    #[test]
+    fn normalize_constant_verdicts() {
+        let mut t = Constraint::geq_zero(LinExpr::constant(1, 0));
+        assert!(t.normalize());
+        let mut f = Constraint::geq_zero(LinExpr::constant(1, -1));
+        assert!(!f.normalize());
+        let mut e = Constraint::eq_zero(LinExpr::constant(1, 0));
+        assert!(e.normalize());
+    }
+
+    #[test]
+    fn negation_of_inequality() {
+        // ¬(x >= 0)  ==  -x - 1 >= 0  ==  x <= -1
+        let c = Constraint::geq_zero(LinExpr::var(1, 0));
+        let n = c.negations();
+        assert_eq!(n.len(), 1);
+        assert!(n[0].holds_at(&[-1]));
+        assert!(!n[0].holds_at(&[0]));
+    }
+
+    #[test]
+    fn negation_of_equality_is_disjunction() {
+        let c = Constraint::eq_zero(LinExpr::var(1, 0));
+        let n = c.negations();
+        assert_eq!(n.len(), 2);
+        // x = 3 satisfies the first branch; x = -2 the second; x = 0 neither.
+        assert!(n[0].holds_at(&[3]) || n[1].holds_at(&[3]));
+        assert!(n[0].holds_at(&[-2]) || n[1].holds_at(&[-2]));
+        assert!(!n[0].holds_at(&[0]) && !n[1].holds_at(&[0]));
+    }
+
+    #[test]
+    fn equality_splits_into_inequalities() {
+        let c = Constraint::eq_zero(LinExpr::var(1, 0).plus_const(-2));
+        let ineqs = c.as_inequalities();
+        assert_eq!(ineqs.len(), 2);
+        assert!(ineqs.iter().all(|c| c.holds_at(&[2])));
+        assert!(!ineqs.iter().all(|c| c.holds_at(&[3])));
+        assert!(!ineqs.iter().all(|c| c.holds_at(&[1])));
+    }
+
+    #[test]
+    fn display_names() {
+        let c = Constraint::geq_zero(
+            LinExpr::var(2, 0).scaled(3).minus(&LinExpr::var(2, 1)).plus_const(1),
+        );
+        assert_eq!(c.display_with(&["i", "j"]), "3*i - j + 1 >= 0");
+    }
+}

@@ -1,0 +1,463 @@
+//! Affine (linear + constant) integer expressions over an ordered variable
+//! space.
+//!
+//! A [`LinExpr`] with dimension `n` denotes the affine form
+//! `c0*x0 + c1*x1 + … + c(n-1)*x(n-1) + k`, where the `xi` are the
+//! variables of the enclosing space. All arithmetic is checked:
+//! coefficient overflow panics rather than wrapping, which in this
+//! crate's usage (loop bounds of simulated programs) indicates a logic
+//! error upstream.
+
+use std::fmt;
+
+/// Greatest common divisor of two non-negative integers.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dpm_poly::gcd(12, 18), 6);
+/// assert_eq!(dpm_poly::gcd(0, 7), 7);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Floor division: largest integer `q` with `q * d <= n`. Requires `d > 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dpm_poly::floor_div(7, 2), 3);
+/// assert_eq!(dpm_poly::floor_div(-7, 2), -4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `d <= 0`.
+pub fn floor_div(n: i64, d: i64) -> i64 {
+    assert!(d > 0, "floor_div requires a positive divisor, got {d}");
+    n.div_euclid(d)
+}
+
+/// Ceiling division: smallest integer `q` with `q * d >= n`. Requires `d > 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dpm_poly::ceil_div(7, 2), 4);
+/// assert_eq!(dpm_poly::ceil_div(-7, 2), -3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `d <= 0`.
+pub fn ceil_div(n: i64, d: i64) -> i64 {
+    assert!(d > 0, "ceil_div requires a positive divisor, got {d}");
+    -((-n).div_euclid(d))
+}
+
+/// An affine expression `sum(coeffs[i] * x_i) + constant` over a fixed-arity
+/// variable space.
+///
+/// The dimension (number of variables) is the length of the coefficient
+/// vector and must agree between expressions that are combined.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_poly::LinExpr;
+/// // 2*x0 - x1 + 3 over a 2-variable space
+/// let e = LinExpr::var(2, 0).scaled(2).minus(&LinExpr::var(2, 1)).plus_const(3);
+/// assert_eq!(e.eval(&[5, 4]), 9);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression over `dim` variables.
+    pub fn zero(dim: usize) -> Self {
+        LinExpr {
+            coeffs: vec![0; dim],
+            constant: 0,
+        }
+    }
+
+    /// The constant expression `k` over `dim` variables.
+    pub fn constant(dim: usize, k: i64) -> Self {
+        LinExpr {
+            coeffs: vec![0; dim],
+            constant: k,
+        }
+    }
+
+    /// The single-variable expression `x_index` over `dim` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn var(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "variable index {index} out of range for dim {dim}");
+        let mut coeffs = vec![0; dim];
+        coeffs[index] = 1;
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Builds an expression from raw parts.
+    pub fn from_parts(coeffs: Vec<i64>, constant: i64) -> Self {
+        LinExpr { coeffs, constant }
+    }
+
+    /// Number of variables in the expression's space.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    pub fn coeff(&self, index: usize) -> i64 {
+        self.coeffs[index]
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// All coefficients, in variable order.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Returns `true` if every coefficient is zero (the expression is
+    /// constant).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Sets the coefficient of variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    pub fn set_coeff(&mut self, index: usize, value: i64) {
+        self.coeffs[index] = value;
+    }
+
+    /// Adds `delta` to the constant term, returning the new expression.
+    #[must_use]
+    pub fn plus_const(&self, delta: i64) -> Self {
+        let mut r = self.clone();
+        r.constant = r
+            .constant
+            .checked_add(delta)
+            .expect("constant overflow in LinExpr::plus_const");
+        r
+    }
+
+    /// Pointwise sum of two expressions of equal dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ or on coefficient overflow.
+    #[must_use]
+    pub fn plus(&self, other: &LinExpr) -> Self {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in LinExpr::plus");
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| a.checked_add(b).expect("coefficient overflow"))
+            .collect();
+        LinExpr {
+            coeffs,
+            constant: self
+                .constant
+                .checked_add(other.constant)
+                .expect("constant overflow"),
+        }
+    }
+
+    /// Pointwise difference of two expressions of equal dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ or on coefficient overflow.
+    #[must_use]
+    pub fn minus(&self, other: &LinExpr) -> Self {
+        self.plus(&other.scaled(-1))
+    }
+
+    /// The expression multiplied by the scalar `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient overflow.
+    #[must_use]
+    pub fn scaled(&self, k: i64) -> Self {
+        LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&c| c.checked_mul(k).expect("coefficient overflow"))
+                .collect(),
+            constant: self.constant.checked_mul(k).expect("constant overflow"),
+        }
+    }
+
+    /// Evaluates the expression at the given point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()` or on arithmetic overflow.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch in eval");
+        let mut acc: i128 = self.constant as i128;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc += (*c as i128) * (*x as i128);
+        }
+        i64::try_from(acc).expect("overflow evaluating LinExpr")
+    }
+
+    /// Evaluates using only the first `point.len()` variables; remaining
+    /// coefficients must be zero.
+    ///
+    /// This is the evaluation used during code generation, where bounds of
+    /// inner loops refer only to already-fixed outer variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient beyond `point.len()` is non-zero.
+    pub fn eval_prefix(&self, point: &[i64]) -> i64 {
+        for (i, &c) in self.coeffs.iter().enumerate().skip(point.len()) {
+            assert!(c == 0, "eval_prefix: variable {i} is unbound but has coefficient {c}");
+        }
+        let mut acc: i128 = self.constant as i128;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc += (*c as i128) * (*x as i128);
+        }
+        i64::try_from(acc).expect("overflow evaluating LinExpr")
+    }
+
+    /// Substitutes variable `index` with `replacement` (an expression over
+    /// the same space), returning the new expression. The coefficient of
+    /// `index` in `replacement` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ, if `replacement` mentions `index`, or on
+    /// overflow.
+    #[must_use]
+    pub fn substitute(&self, index: usize, replacement: &LinExpr) -> Self {
+        assert_eq!(self.dim(), replacement.dim(), "dimension mismatch in substitute");
+        assert_eq!(
+            replacement.coeff(index),
+            0,
+            "replacement must not mention the substituted variable"
+        );
+        let c = self.coeff(index);
+        let mut out = self.clone();
+        out.set_coeff(index, 0);
+        out.plus(&replacement.scaled(c))
+    }
+
+    /// Embeds this expression into a larger space of `new_dim` variables,
+    /// mapping variable `i` to `var_map[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_map.len() != self.dim()` or any target index is out of
+    /// range.
+    #[must_use]
+    pub fn remap(&self, new_dim: usize, var_map: &[usize]) -> Self {
+        assert_eq!(var_map.len(), self.dim(), "var_map length mismatch");
+        let mut out = LinExpr::constant(new_dim, self.constant);
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                let t = var_map[i];
+                assert!(t < new_dim, "remap target {t} out of range");
+                out.coeffs[t] = out.coeffs[t].checked_add(c).expect("overflow in remap");
+            }
+        }
+        out
+    }
+
+    /// Content (gcd of all coefficients and the constant); `0` for the zero
+    /// expression.
+    pub fn content(&self) -> i64 {
+        let mut g = self.constant.abs();
+        for &c in &self.coeffs {
+            g = gcd(g, c);
+        }
+        g
+    }
+
+    /// Gcd of the variable coefficients only (ignores the constant).
+    pub fn coeff_content(&self) -> i64 {
+        let mut g = 0;
+        for &c in &self.coeffs {
+            g = gcd(g, c);
+        }
+        g
+    }
+
+    /// Renders the expression with the given variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != self.dim()`.
+    pub fn display_with(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.dim(), "names length mismatch");
+        let mut parts: Vec<String> = Vec::new();
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            match c {
+                0 => {}
+                1 => parts.push(names[i].to_string()),
+                -1 => parts.push(format!("-{}", names[i])),
+                _ => parts.push(format!("{}*{}", c, names[i])),
+            }
+        }
+        if self.constant != 0 || parts.is_empty() {
+            parts.push(self.constant.to_string());
+        }
+        let mut s = String::new();
+        for (k, p) in parts.iter().enumerate() {
+            if k == 0 {
+                s.push_str(p);
+            } else if let Some(rest) = p.strip_prefix('-') {
+                s.push_str(" - ");
+                s.push_str(rest);
+            } else {
+                s.push_str(" + ");
+                s.push_str(p);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.dim()).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        write!(f, "{}", self.display_with(&refs))
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn floor_ceil_div() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(8, 4), 2);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(8, 4), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn floor_div_rejects_nonpositive() {
+        let _ = floor_div(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let x = LinExpr::var(3, 0);
+        let y = LinExpr::var(3, 1);
+        let e = x.scaled(2).plus(&y.scaled(-3)).plus_const(7);
+        assert_eq!(e.eval(&[1, 2, 99]), 2 - 6 + 7);
+        assert_eq!(e.coeff(0), 2);
+        assert_eq!(e.coeff(1), -3);
+        assert_eq!(e.coeff(2), 0);
+        assert_eq!(e.constant_term(), 7);
+        let d = e.minus(&e);
+        assert!(d.is_constant());
+        assert_eq!(d.eval(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn substitution() {
+        // e = 2x + y; substitute x := y + 1  =>  2y + 2 + y = 3y + 2
+        let e = LinExpr::var(2, 0).scaled(2).plus(&LinExpr::var(2, 1));
+        let r = LinExpr::var(2, 1).plus_const(1);
+        let s = e.substitute(0, &r);
+        assert_eq!(s.coeff(0), 0);
+        assert_eq!(s.coeff(1), 3);
+        assert_eq!(s.constant_term(), 2);
+    }
+
+    #[test]
+    fn remap_into_larger_space() {
+        let e = LinExpr::var(2, 0).plus(&LinExpr::var(2, 1).scaled(5)).plus_const(-2);
+        let m = e.remap(4, &[3, 1]);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.coeff(3), 1);
+        assert_eq!(m.coeff(1), 5);
+        assert_eq!(m.constant_term(), -2);
+    }
+
+    #[test]
+    fn eval_prefix_allows_unbound_zero_coeffs() {
+        let e = LinExpr::var(3, 0).plus_const(4);
+        assert_eq!(e.eval_prefix(&[2]), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn eval_prefix_rejects_unbound_nonzero() {
+        let e = LinExpr::var(3, 2);
+        let _ = e.eval_prefix(&[1, 2]);
+    }
+
+    #[test]
+    fn display() {
+        let e = LinExpr::var(2, 0).scaled(2).minus(&LinExpr::var(2, 1)).plus_const(-3);
+        assert_eq!(e.display_with(&["i", "j"]), "2*i - j - 3");
+        assert_eq!(LinExpr::zero(1).display_with(&["i"]), "0");
+    }
+
+    #[test]
+    fn content() {
+        let e = LinExpr::from_parts(vec![4, 6], 10);
+        assert_eq!(e.content(), 2);
+        assert_eq!(e.coeff_content(), 2);
+        let z = LinExpr::zero(2);
+        assert_eq!(z.content(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Affine maps between integer spaces — the "relation" half of the Omega
+//! library: apply to points, compose, and take exact images/preimages of
+//! sets by embedding the graph `{(x, y) | y = M(x)}` in a product space and
+//! projecting.
+
+use crate::constraint::Constraint;
+use crate::expr::LinExpr;
+use crate::polyhedron::Polyhedron;
+use crate::set::Set;
+use std::fmt;
+
+/// An affine map `Z^in → Z^out`: each output coordinate is an affine
+/// expression over the input variables.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_poly::{AffineMap, LinExpr};
+/// // (i, j) → (j, i + 1): a transposition with a shift.
+/// let m = AffineMap::new(2, vec![
+///     LinExpr::var(2, 1),
+///     LinExpr::var(2, 0).plus_const(1),
+/// ]);
+/// assert_eq!(m.apply(&[3, 7]), vec![7, 4]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct AffineMap {
+    dim_in: usize,
+    outputs: Vec<LinExpr>,
+}
+
+impl AffineMap {
+    /// Builds a map from its output expressions (each of dimension
+    /// `dim_in`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output's dimension differs from `dim_in`.
+    pub fn new(dim_in: usize, outputs: Vec<LinExpr>) -> Self {
+        for o in &outputs {
+            assert_eq!(o.dim(), dim_in, "output expression dimension mismatch");
+        }
+        AffineMap { dim_in, outputs }
+    }
+
+    /// The identity map on `dim` variables.
+    pub fn identity(dim: usize) -> Self {
+        AffineMap {
+            dim_in: dim,
+            outputs: (0..dim).map(|v| LinExpr::var(dim, v)).collect(),
+        }
+    }
+
+    /// Input arity.
+    pub fn dim_in(&self) -> usize {
+        self.dim_in
+    }
+
+    /// Output arity.
+    pub fn dim_out(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The output expressions.
+    pub fn outputs(&self) -> &[LinExpr] {
+        &self.outputs
+    }
+
+    /// Applies the map to a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim_in()`.
+    pub fn apply(&self, point: &[i64]) -> Vec<i64> {
+        self.outputs.iter().map(|e| e.eval(point)).collect()
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.dim_out() != self.dim_in()`.
+    #[must_use]
+    pub fn compose(&self, other: &AffineMap) -> AffineMap {
+        assert_eq!(
+            other.dim_out(),
+            self.dim_in,
+            "arity mismatch in composition"
+        );
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|e| {
+                // Substitute each input variable of `self` with the
+                // corresponding output expression of `other`.
+                let mut acc = LinExpr::constant(other.dim_in, e.constant_term());
+                for v in 0..self.dim_in {
+                    let c = e.coeff(v);
+                    if c != 0 {
+                        acc = acc.plus(&other.outputs[v].scaled(c));
+                    }
+                }
+                acc
+            })
+            .collect();
+        AffineMap {
+            dim_in: other.dim_in,
+            outputs,
+        }
+    }
+
+    /// The graph `{(x, y) | x ∈ domain, y = M(x)}` as a polyhedron over
+    /// `dim_in + dim_out` variables (inputs first).
+    pub fn graph(&self, domain: &Polyhedron) -> Polyhedron {
+        assert_eq!(domain.dim(), self.dim_in, "domain dimension mismatch");
+        let total = self.dim_in + self.dim_out();
+        let in_map: Vec<usize> = (0..self.dim_in).collect();
+        let mut g = Polyhedron::universe(total);
+        for c in domain.constraints() {
+            g.add(c.remap(total, &in_map));
+        }
+        for (k, e) in self.outputs.iter().enumerate() {
+            let lifted = e.remap(total, &in_map);
+            let y = LinExpr::var(total, self.dim_in + k);
+            g.add(Constraint::eq(&y, &lifted));
+        }
+        g
+    }
+
+    /// Exact image of a set: `{ M(x) | x ∈ s }`.
+    ///
+    /// Computed by enumerating the (bounded) set — exact, and sufficient
+    /// for iteration-space-sized sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is unbounded.
+    pub fn image(&self, s: &Set) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        s.enumerate(|p| out.push(self.apply(p)));
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Exact preimage of a target polyhedron: `{ x ∈ domain | M(x) ∈ target }`
+    /// as a polyhedron over the input space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities mismatch.
+    pub fn preimage(&self, domain: &Polyhedron, target: &Polyhedron) -> Polyhedron {
+        assert_eq!(target.dim(), self.dim_out(), "target dimension mismatch");
+        let mut out = domain.clone();
+        for c in target.constraints() {
+            // Substitute y_k := outputs[k] in the target constraint.
+            let e = c.expr();
+            let mut acc = LinExpr::constant(self.dim_in, e.constant_term());
+            for k in 0..self.dim_out() {
+                let coeff = e.coeff(k);
+                if coeff != 0 {
+                    acc = acc.plus(&self.outputs[k].scaled(coeff));
+                }
+            }
+            out.add(match c.relation() {
+                crate::constraint::Relation::GeqZero => Constraint::geq_zero(acc),
+                crate::constraint::Relation::EqZero => Constraint::eq_zero(acc),
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Debug for AffineMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ins: Vec<String> = (0..self.dim_in).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = ins.iter().map(|s| s.as_str()).collect();
+        let outs: Vec<String> = self.outputs.iter().map(|e| e.display_with(&refs)).collect();
+        write!(f, "({}) -> ({})", refs.join(", "), outs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transpose_shift() -> AffineMap {
+        AffineMap::new(
+            2,
+            vec![LinExpr::var(2, 1), LinExpr::var(2, 0).plus_const(1)],
+        )
+    }
+
+    #[test]
+    fn apply_and_identity() {
+        let m = transpose_shift();
+        assert_eq!(m.apply(&[3, 7]), vec![7, 4]);
+        let id = AffineMap::identity(3);
+        assert_eq!(id.apply(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn composition_matches_pointwise() {
+        let m = transpose_shift();
+        let comp = m.compose(&m); // (i, j) -> (i + 1, j + 1)
+        for p in [[0i64, 0], [2, 5], [-3, 4]] {
+            assert_eq!(comp.apply(&p), m.apply(&m.apply(&p)));
+        }
+        assert_eq!(comp.apply(&[2, 5]), vec![3, 6]);
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let m = transpose_shift();
+        let id = AffineMap::identity(2);
+        assert_eq!(m.compose(&id), m);
+        assert_eq!(id.compose(&m), m);
+    }
+
+    #[test]
+    fn graph_contains_exactly_the_pairs() {
+        let m = transpose_shift();
+        let dom = Polyhedron::universe(2).with_range(0, 0, 3).with_range(1, 0, 3);
+        let g = m.graph(&dom);
+        assert_eq!(g.dim(), 4);
+        assert!(g.contains(&[1, 2, 2, 2]));
+        assert!(!g.contains(&[1, 2, 2, 3]));
+        assert_eq!(g.count_points(), dom.count_points());
+    }
+
+    #[test]
+    fn image_of_box() {
+        let m = transpose_shift();
+        let s = Set::from(Polyhedron::universe(2).with_range(0, 0, 1).with_range(1, 5, 6));
+        let img = m.image(&s);
+        assert_eq!(
+            img,
+            vec![vec![5, 1], vec![5, 2], vec![6, 1], vec![6, 2]]
+        );
+    }
+
+    #[test]
+    fn preimage_inverts_image() {
+        let m = transpose_shift();
+        let dom = Polyhedron::universe(2).with_range(0, 0, 9).with_range(1, 0, 9);
+        // Target: first output coordinate == 4 (i.e. j == 4).
+        let target = Polyhedron::universe(2).with(Constraint::eq(
+            &LinExpr::var(2, 0),
+            &LinExpr::constant(2, 4),
+        ));
+        let pre = m.preimage(&dom, &target);
+        let mut pts = Vec::new();
+        pre.enumerate(|p| pts.push(p.to_vec()));
+        assert_eq!(pts.len(), 10);
+        assert!(pts.iter().all(|p| p[1] == 4));
+    }
+}

@@ -1,0 +1,681 @@
+//! Convex integer polyhedra: conjunctions of affine constraints, with
+//! Fourier–Motzkin projection, exact integer point enumeration, and
+//! emptiness testing.
+
+use crate::constraint::{reduce_pair, Constraint, Relation};
+use crate::expr::{ceil_div, floor_div, LinExpr};
+use std::fmt;
+
+/// A conjunction of affine constraints over `dim` integer variables.
+///
+/// The empty conjunction is the universe. A polyhedron whose constraints are
+/// mutually unsatisfiable over the integers is *empty*; emptiness is decided
+/// exactly by [`Polyhedron::find_point`] as long as every variable is
+/// bounded (which is always the case for loop iteration spaces).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_poly::{Polyhedron, Constraint, LinExpr};
+/// // { (i, j) | 0 <= i <= 3, 0 <= j <= i }
+/// let p = Polyhedron::universe(2)
+///     .with(Constraint::geq_zero(LinExpr::var(2, 0)))
+///     .with(Constraint::geq_zero(LinExpr::var(2, 0).scaled(-1).plus_const(3)))
+///     .with(Constraint::geq_zero(LinExpr::var(2, 1)))
+///     .with(Constraint::geq_zero(LinExpr::var(2, 0).minus(&LinExpr::var(2, 1))));
+/// assert_eq!(p.count_points(), 4 + 3 + 2 + 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    dim: usize,
+    constraints: Vec<Constraint>,
+    /// Set when constraint normalization proves unsatisfiability.
+    trivially_empty: bool,
+}
+
+impl Polyhedron {
+    /// The universe over `dim` variables (no constraints).
+    pub fn universe(dim: usize) -> Self {
+        Polyhedron {
+            dim,
+            constraints: Vec::new(),
+            trivially_empty: false,
+        }
+    }
+
+    /// An explicitly empty polyhedron over `dim` variables.
+    pub fn empty(dim: usize) -> Self {
+        Polyhedron {
+            dim,
+            constraints: Vec::new(),
+            trivially_empty: true,
+        }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The constraints currently held (normalized, deduplicated).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.dim() != self.dim()`.
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.dim(), self.dim, "constraint dimension mismatch");
+        let mut c = c;
+        if !c.normalize() {
+            self.trivially_empty = true;
+            return;
+        }
+        if c.is_trivially_true() || self.constraints.contains(&c) {
+            return;
+        }
+        self.constraints.push(c);
+    }
+
+    /// Builder-style [`add`](Self::add).
+    #[must_use]
+    pub fn with(mut self, c: Constraint) -> Self {
+        self.add(c);
+        self
+    }
+
+    /// Adds the rectangular bound `lo <= x_var <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.dim()`.
+    #[must_use]
+    pub fn with_range(self, var: usize, lo: i64, hi: i64) -> Self {
+        let x = LinExpr::var(self.dim, var);
+        self.with(Constraint::geq_zero(x.plus_const(-lo)))
+            .with(Constraint::geq_zero(x.scaled(-1).plus_const(hi)))
+    }
+
+    /// Conjunction of two polyhedra over the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in intersect");
+        let mut out = self.clone();
+        if other.trivially_empty {
+            out.trivially_empty = true;
+        }
+        for c in &other.constraints {
+            out.add(c.clone());
+        }
+        out
+    }
+
+    /// Whether `point` satisfies every constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        !self.trivially_empty && self.constraints.iter().all(|c| c.holds_at(point))
+    }
+
+    /// Fourier–Motzkin elimination of variable `var`. The result is a
+    /// (rational, integer-tightened) projection: every integer point of
+    /// `self` maps to a point of the result with `var` dropped; the result
+    /// may include extra points that have no integer preimage.
+    ///
+    /// The resulting polyhedron lives in the same `dim`-variable space with
+    /// a zero coefficient for `var` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.dim()`.
+    #[must_use]
+    pub fn eliminate(&self, var: usize) -> Polyhedron {
+        assert!(var < self.dim, "variable out of range in eliminate");
+        if self.trivially_empty {
+            return Polyhedron::empty(self.dim);
+        }
+        // Fast path: an equality with a ±1 coefficient lets us substitute.
+        if let Some(pos) = self.constraints.iter().position(|c| {
+            c.relation() == Relation::EqZero && c.expr().coeff(var).abs() == 1
+        }) {
+            let eqc = self.constraints[pos].clone();
+            let a = eqc.expr().coeff(var);
+            // a*x + e == 0  =>  x == -e/a; for a = ±1, x = -a*e.
+            let mut rest = eqc.expr().clone();
+            rest.set_coeff(var, 0);
+            let replacement = rest.scaled(-a);
+            let mut out = Polyhedron::universe(self.dim);
+            for (i, c) in self.constraints.iter().enumerate() {
+                if i == pos {
+                    continue;
+                }
+                out.add(c.substitute(var, &replacement));
+            }
+            return out;
+        }
+
+        let mut lowers: Vec<Constraint> = Vec::new();
+        let mut uppers: Vec<Constraint> = Vec::new();
+        let mut out = Polyhedron::universe(self.dim);
+        for c in &self.constraints {
+            for ineq in c.as_inequalities() {
+                let a = ineq.expr().coeff(var);
+                if a == 0 {
+                    out.add(ineq);
+                } else if a > 0 {
+                    lowers.push(ineq);
+                } else {
+                    uppers.push(ineq);
+                }
+            }
+        }
+        for lo in &lowers {
+            let la = lo.expr().coeff(var);
+            for up in &uppers {
+                let ua = -up.expr().coeff(var);
+                debug_assert!(la > 0 && ua > 0);
+                let (mlo, mup) = reduce_pair(ua, la);
+                // mlo * lo + mup * up cancels the var coefficient.
+                let combined = lo.expr().scaled(mlo).plus(&up.expr().scaled(mup));
+                debug_assert_eq!(combined.coeff(var), 0);
+                out.add(Constraint::geq_zero(combined));
+            }
+        }
+        out
+    }
+
+    /// Projects away all variables with index `>= keep`, leaving constraints
+    /// that mention only the first `keep` variables.
+    #[must_use]
+    pub fn project_onto_prefix(&self, keep: usize) -> Polyhedron {
+        let mut p = self.clone();
+        for v in (keep..self.dim).rev() {
+            p = p.eliminate(v);
+        }
+        p
+    }
+
+    /// For the triangular scan: constraints of the `level`-th projection
+    /// (variables `level+1..` eliminated) that mention variable `level`,
+    /// split into lower/upper bound inequalities on that variable.
+    pub(crate) fn level_bounds(&self, level: usize) -> (Vec<Constraint>, Vec<Constraint>) {
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for c in &self.constraints {
+            for ineq in c.as_inequalities() {
+                let a = ineq.expr().coeff(level);
+                if a > 0 {
+                    lowers.push(ineq);
+                } else if a < 0 {
+                    uppers.push(ineq);
+                }
+            }
+        }
+        (lowers, uppers)
+    }
+
+    /// Builds the chain of projections used for scanning: element `k` is the
+    /// polyhedron with variables `k+1..dim` eliminated.
+    pub(crate) fn projection_chain(&self) -> Vec<Polyhedron> {
+        let mut chain = vec![self.clone(); self.dim.max(1)];
+        if self.dim == 0 {
+            chain[0] = self.clone();
+            return chain;
+        }
+        let mut cur = self.clone();
+        for k in (0..self.dim).rev() {
+            chain[k] = cur.clone();
+            if k > 0 {
+                cur = cur.eliminate(k);
+            }
+        }
+        chain
+    }
+
+    /// Finds one integer point, or `None` if the polyhedron is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some variable is unbounded (no finite lower or upper bound
+    /// after projection) while a point search would need to scan it.
+    pub fn find_point(&self) -> Option<Vec<i64>> {
+        let mut found = None;
+        self.scan_impl(&mut |p| {
+            found = Some(p.to_vec());
+            false
+        });
+        found
+    }
+
+    /// Whether the polyhedron contains no integer point.
+    pub fn is_empty(&self) -> bool {
+        self.find_point().is_none()
+    }
+
+    /// A cheap, conservative emptiness test that never enumerates points:
+    /// runs Fourier–Motzkin elimination over all variables and reports
+    /// `true` only when a contradiction is derived. Returns `false` for
+    /// sets that are rationally non-empty (even if they might contain no
+    /// integer point). Total even on unbounded polyhedra, unlike
+    /// [`is_empty`](Self::is_empty).
+    pub fn is_rationally_empty(&self) -> bool {
+        if self.trivially_empty {
+            return true;
+        }
+        let mut cur = self.clone();
+        for v in 0..self.dim {
+            cur = cur.eliminate(v);
+            if cur.trivially_empty {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Calls `f` for every integer point, in lexicographic order of the
+    /// variable tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron is unbounded.
+    pub fn enumerate<F: FnMut(&[i64])>(&self, mut f: F) {
+        self.scan_impl(&mut |p| {
+            f(p);
+            true
+        });
+    }
+
+    /// Number of integer points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron is unbounded.
+    pub fn count_points(&self) -> u64 {
+        let mut n = 0u64;
+        self.enumerate(|_| n += 1);
+        n
+    }
+
+    /// Core scanner; `f` returns `false` to stop early. Returns `false` if
+    /// stopped early.
+    fn scan_impl(&self, f: &mut dyn FnMut(&[i64]) -> bool) -> bool {
+        if self.trivially_empty {
+            return true;
+        }
+        if self.dim == 0 {
+            if self.constraints.iter().all(|c| c.holds_at(&[])) {
+                return f(&[]);
+            }
+            return true;
+        }
+        let chain = self.projection_chain();
+        // Quick rational infeasibility check at level 0.
+        if chain[0].trivially_empty {
+            return true;
+        }
+        let mut point = vec![0i64; self.dim];
+        self.scan_rec(&chain, 0, &mut point, f)
+    }
+
+    fn scan_rec(
+        &self,
+        chain: &[Polyhedron],
+        level: usize,
+        point: &mut Vec<i64>,
+        f: &mut dyn FnMut(&[i64]) -> bool,
+    ) -> bool {
+        let (lowers, uppers) = chain[level].level_bounds(level);
+        let prefix = &point[..level];
+        let mut lo: Option<i64> = None;
+        for c in &lowers {
+            // a*x + e >= 0, a > 0  =>  x >= ceil(-e / a)
+            let a = c.expr().coeff(level);
+            let mut e = c.expr().clone();
+            e.set_coeff(level, 0);
+            let v = ceil_div(-e.eval_prefix(prefix), a);
+            lo = Some(lo.map_or(v, |cur| cur.max(v)));
+        }
+        let mut hi: Option<i64> = None;
+        for c in &uppers {
+            // a*x + e >= 0, a < 0  =>  x <= floor(e / -a)
+            let a = c.expr().coeff(level);
+            let mut e = c.expr().clone();
+            e.set_coeff(level, 0);
+            let v = floor_div(e.eval_prefix(prefix), -a);
+            hi = Some(hi.map_or(v, |cur| cur.min(v)));
+        }
+        let (lo, hi) = match (lo, hi) {
+            (Some(l), Some(h)) => (l, h),
+            _ => panic!(
+                "polyhedron is unbounded in variable {level}; \
+                 enumeration requires bounded iteration spaces"
+            ),
+        };
+        for x in lo..=hi {
+            point[level] = x;
+            if level + 1 == self.dim {
+                if self.contains(point) && !f(point) {
+                    return false;
+                }
+            } else if !self.scan_rec(chain, level + 1, point, f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Removes redundant constraints: a constraint implied by the others
+    /// (its negation intersected with the rest is infeasible by the cheap
+    /// rational test) is dropped. The point set is unchanged; the
+    /// representation — and any loop nest generated from it — gets smaller.
+    #[must_use]
+    pub fn simplified(&self) -> Polyhedron {
+        if self.trivially_empty {
+            return self.clone();
+        }
+        let mut kept: Vec<Constraint> = self.constraints.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            // Candidate for removal: check whether the remaining
+            // constraints force it.
+            let candidate = kept[i].clone();
+            let mut rest = Polyhedron::universe(self.dim);
+            for (j, c) in kept.iter().enumerate() {
+                if j != i {
+                    rest.add(c.clone());
+                }
+            }
+            let implied = candidate.negations().iter().all(|neg| {
+                rest.clone().with(neg.clone()).is_rationally_empty()
+            });
+            if implied {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let mut out = Polyhedron::universe(self.dim);
+        for c in kept {
+            out.add(c);
+        }
+        out
+    }
+
+    /// The lexicographically smallest integer point, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron is unbounded (see [`Self::enumerate`]).
+    pub fn lexmin(&self) -> Option<Vec<i64>> {
+        self.find_point()
+    }
+
+    /// The lexicographically largest integer point, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron is unbounded.
+    pub fn lexmax(&self) -> Option<Vec<i64>> {
+        // Mirror the space (x → −x) and take the lexmin of the image.
+        let mut mirrored = Polyhedron::universe(self.dim);
+        for c in &self.constraints {
+            let mut e = c.expr().clone();
+            let flipped: Vec<i64> = e.coeffs().iter().map(|&a| -a).collect();
+            e = crate::expr::LinExpr::from_parts(flipped, e.constant_term());
+            mirrored.add(match c.relation() {
+                crate::constraint::Relation::GeqZero => Constraint::geq_zero(e),
+                crate::constraint::Relation::EqZero => Constraint::eq_zero(e),
+            });
+        }
+        if self.trivially_empty {
+            return None;
+        }
+        mirrored
+            .find_point()
+            .map(|p| p.into_iter().map(|x| -x).collect())
+    }
+
+    /// Per-variable constant bounds `[lo, hi]`, or `None` if the polyhedron
+    /// is rationally empty at the top projection. Unbounded directions are
+    /// reported as `None` entries.
+    pub fn bounding_box(&self) -> Vec<(Option<i64>, Option<i64>)> {
+        let mut out = Vec::with_capacity(self.dim);
+        for v in 0..self.dim {
+            let mut p = self.clone();
+            for u in 0..self.dim {
+                if u != v {
+                    p = p.eliminate(u);
+                }
+            }
+            let (lowers, uppers) = p.level_bounds(v);
+            let lo = lowers
+                .iter()
+                .map(|c| {
+                    let a = c.expr().coeff(v);
+                    ceil_div(-c.expr().constant_term(), a)
+                })
+                .max();
+            let hi = uppers
+                .iter()
+                .map(|c| {
+                    let a = c.expr().coeff(v);
+                    floor_div(c.expr().constant_term(), -a)
+                })
+                .min();
+            out.push((lo, hi));
+        }
+        out
+    }
+
+    /// Renders the polyhedron with the given variable names.
+    pub fn display_with(&self, names: &[&str]) -> String {
+        if self.trivially_empty {
+            return "{ false }".to_string();
+        }
+        if self.constraints.is_empty() {
+            return "{ true }".to_string();
+        }
+        let parts: Vec<String> = self.constraints.iter().map(|c| c.display_with(names)).collect();
+        format!("{{ {} }}", parts.join(" and "))
+    }
+}
+
+impl fmt::Debug for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.dim).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        write!(f, "{}", self.display_with(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(dim: usize, bounds: &[(i64, i64)]) -> Polyhedron {
+        let mut p = Polyhedron::universe(dim);
+        for (v, &(lo, hi)) in bounds.iter().enumerate() {
+            p = p.with_range(v, lo, hi);
+        }
+        p
+    }
+
+    #[test]
+    fn rectangle_count() {
+        let p = rect(2, &[(0, 3), (1, 2)]);
+        assert_eq!(p.count_points(), 4 * 2);
+        assert!(p.contains(&[0, 1]));
+        assert!(!p.contains(&[0, 0]));
+        assert!(!p.contains(&[4, 1]));
+    }
+
+    #[test]
+    fn triangle_count() {
+        // 0 <= i <= 9, 0 <= j <= i
+        let p = rect(2, &[(0, 9), (0, 9)]).with(Constraint::geq_zero(
+            LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+        ));
+        assert_eq!(p.count_points(), (1..=10).sum::<i64>() as u64);
+    }
+
+    #[test]
+    fn empty_by_contradiction() {
+        let p = rect(1, &[(0, 5)]).with(Constraint::geq_zero(
+            LinExpr::var(1, 0).plus_const(-10),
+        ));
+        assert!(p.is_empty());
+        assert_eq!(p.count_points(), 0);
+    }
+
+    #[test]
+    fn empty_by_parity_equality() {
+        // 2x == 1 within 0..10
+        let p = rect(1, &[(0, 10)]).with(Constraint::eq_zero(LinExpr::from_parts(vec![2], -1)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn equality_substitution_elimination() {
+        // { (i, j) | j == i + 1, 0 <= i <= 4 }: eliminating j keeps i range.
+        let p = rect(2, &[(0, 4), (-100, 100)]).with(Constraint::eq(
+            &LinExpr::var(2, 1),
+            &LinExpr::var(2, 0).plus_const(1),
+        ));
+        assert_eq!(p.count_points(), 5);
+        let q = p.eliminate(1);
+        // After elimination, j unconstrained; points of q over i must be 0..4.
+        let proj = q.project_onto_prefix(1);
+        let (lowers, uppers) = proj.level_bounds(0);
+        assert!(!lowers.is_empty() && !uppers.is_empty());
+    }
+
+    #[test]
+    fn fm_projection_soundness() {
+        // Diagonal strip: 0 <= i, j <= 9, |i - j| <= 1.
+        let p = rect(2, &[(0, 9), (0, 9)])
+            .with(Constraint::geq_zero(
+                LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)).plus_const(1),
+            ))
+            .with(Constraint::geq_zero(
+                LinExpr::var(2, 1).minus(&LinExpr::var(2, 0)).plus_const(1),
+            ));
+        let proj = p.project_onto_prefix(1);
+        // Every i in 0..=9 has a j; projection must contain exactly those.
+        for i in 0..=9 {
+            assert!(proj.contains(&[i, 0]) || proj.contains(&[i, 9]), "i={i}");
+        }
+        let mut count = 0;
+        p.enumerate(|_| count += 1);
+        assert_eq!(count, 10 + 9 + 9);
+    }
+
+    #[test]
+    fn lexicographic_enumeration_order() {
+        let p = rect(2, &[(0, 1), (0, 1)]);
+        let mut pts = Vec::new();
+        p.enumerate(|q| pts.push(q.to_vec()));
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn scaled_coefficient_bounds() {
+        // { x | 0 <= 3x <= 10 } = {0, 1, 2, 3}
+        let p = Polyhedron::universe(1)
+            .with(Constraint::geq_zero(LinExpr::from_parts(vec![3], 0)))
+            .with(Constraint::geq_zero(LinExpr::from_parts(vec![-3], 10)));
+        assert_eq!(p.count_points(), 4);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let p = rect(2, &[(2, 7), (-3, 3)]);
+        let bb = p.bounding_box();
+        assert_eq!(bb[0], (Some(2), Some(7)));
+        assert_eq!(bb[1], (Some(-3), Some(3)));
+    }
+
+    #[test]
+    fn simplified_drops_redundant_constraints() {
+        // x >= 0 is implied by x >= 5; x <= 100 implied by x <= 10.
+        let p = Polyhedron::universe(1)
+            .with_range(0, 0, 100)
+            .with_range(0, 5, 10);
+        let q = p.simplified();
+        assert_eq!(q.constraints().len(), 2);
+        // Same point set.
+        let mut a = Vec::new();
+        p.enumerate(|x| a.push(x.to_vec()));
+        let mut b = Vec::new();
+        q.enumerate(|x| b.push(x.to_vec()));
+        assert_eq!(a, b);
+        // Nothing to drop in an irredundant system.
+        let tri = Polyhedron::universe(2)
+            .with_range(0, 0, 4)
+            .with_range(1, 0, 4)
+            .with(Constraint::geq_zero(
+                LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+            ));
+        // j >= 0 is *not* redundant; j <= 4 is (implied by j <= i <= 4).
+        let st = tri.simplified();
+        assert_eq!(st.count_points(), tri.count_points());
+        assert!(st.constraints().len() < tri.constraints().len());
+    }
+
+    #[test]
+    fn lexmin_lexmax() {
+        let p = rect(2, &[(2, 7), (-3, 3)]).with(Constraint::geq_zero(
+            LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+        ));
+        assert_eq!(p.lexmin(), Some(vec![2, -3]));
+        assert_eq!(p.lexmax(), Some(vec![7, 3]));
+        let empty = rect(1, &[(5, 2)]);
+        assert_eq!(empty.lexmin(), None);
+        assert_eq!(empty.lexmax(), None);
+        // Triangle: lexmax of { 0<=i<=4, 0<=j<=i } is (4,4).
+        let t = rect(2, &[(0, 4), (0, 9)]).with(Constraint::geq_zero(
+            LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+        ));
+        assert_eq!(t.lexmax(), Some(vec![4, 4]));
+    }
+
+    #[test]
+    fn zero_dim_polyhedron() {
+        let p = Polyhedron::universe(0);
+        assert_eq!(p.count_points(), 1);
+        assert!(Polyhedron::empty(0).is_empty());
+    }
+
+    #[test]
+    fn intersect_of_disjoint_is_empty() {
+        let a = rect(1, &[(0, 3)]);
+        let b = rect(1, &[(5, 9)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn stripe_congruence_via_aux_var() {
+        // Iterations i in 0..16 whose block i div 4 is congruent to 1 mod 2,
+        // encoded with an auxiliary q: i in [ (2q+1)*4, (2q+1)*4 + 3 ].
+        // Space: (q, i).
+        let q = LinExpr::var(2, 0);
+        let i = LinExpr::var(2, 1);
+        let blk_lo = q.scaled(8).plus_const(4);
+        let p = Polyhedron::universe(2)
+            .with_range(1, 0, 15)
+            .with(Constraint::geq(&i, &blk_lo))
+            .with(Constraint::leq(&i, &blk_lo.plus_const(3)))
+            .with_range(0, 0, 1);
+        let mut is = Vec::new();
+        p.enumerate(|pt| is.push(pt[1]));
+        assert_eq!(is, vec![4, 5, 6, 7, 12, 13, 14, 15]);
+    }
+}

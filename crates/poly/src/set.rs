@@ -1,0 +1,340 @@
+//! Unions of convex polyhedra ("Presburger-lite" sets) with the algebra the
+//! restructuring algorithm needs: union, intersection, difference,
+//! membership, and exact enumeration.
+
+use crate::constraint::Constraint;
+use crate::polyhedron::Polyhedron;
+use std::fmt;
+
+/// A finite union of convex integer polyhedra over a common space.
+///
+/// This plays the role of an Omega-library relation restricted to sets: the
+/// restructuring algorithm of the paper builds per-disk iteration sets
+/// `Q_d`, subtracts scheduled iterations (`Q = Q − Q_d`), and intersects
+/// with dependence-ready windows — exactly the operations provided here.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_poly::{Set, Polyhedron};
+/// let a = Set::from(Polyhedron::universe(1).with_range(0, 0, 9));
+/// let b = Set::from(Polyhedron::universe(1).with_range(0, 4, 6));
+/// let d = a.subtract(&b);
+/// assert_eq!(d.count_points(), 7);
+/// assert!(d.contains(&[3]) && !d.contains(&[5]));
+/// ```
+#[derive(Clone)]
+pub struct Set {
+    dim: usize,
+    parts: Vec<Polyhedron>,
+}
+
+impl Set {
+    /// The empty set over `dim` variables.
+    pub fn empty(dim: usize) -> Self {
+        Set {
+            dim,
+            parts: Vec::new(),
+        }
+    }
+
+    /// The universe over `dim` variables.
+    pub fn universe(dim: usize) -> Self {
+        Set {
+            dim,
+            parts: vec![Polyhedron::universe(dim)],
+        }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The disjuncts. They may overlap (union does not disjointify); the
+    /// enumeration methods deduplicate.
+    pub fn parts(&self) -> &[Polyhedron] {
+        &self.parts
+    }
+
+    /// Whether `point` belongs to any disjunct.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.parts.iter().any(|p| p.contains(point))
+    }
+
+    /// Union (concatenation of disjuncts, empty disjuncts dropped lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn union(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in union");
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Intersection (pairwise conjunction of disjuncts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn intersect(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in intersect");
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                let c = a.intersect(b);
+                if !c.is_rationally_empty() {
+                    parts.push(c);
+                }
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Set difference `self − other`, computed by complement splitting: for
+    /// each disjunct `B = c1 ∧ … ∧ ck` of `other`, `A − B` is the union over
+    /// `j` of `A ∧ c1 ∧ … ∧ c(j−1) ∧ ¬cj`. The result's disjuncts are
+    /// pairwise disjoint with respect to each subtracted disjunct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn subtract(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in subtract");
+        let mut current = self.clone();
+        for b in &other.parts {
+            current = current.subtract_polyhedron(b);
+        }
+        current
+    }
+
+    fn subtract_polyhedron(&self, b: &Polyhedron) -> Set {
+        if b.is_rationally_empty() {
+            // Subtracting nothing: note this also covers a `b` whose stored
+            // constraints are accompanied by a proven-infeasible one.
+            return self.clone();
+        }
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            // A ∧ ¬(c1 ∧ … ∧ ck) = ⋃_j (A ∧ c1 … c(j−1) ∧ ¬cj);
+            // when b has no constraints it is the universe and nothing of
+            // `a` survives.
+            let mut context = a.clone();
+            for c in b.constraints() {
+                for neg in c.negations() {
+                    let piece = context.clone().with(neg);
+                    if !piece.is_rationally_empty() {
+                        parts.push(piece);
+                    }
+                }
+                context = context.with(c.clone());
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Whether the set has no integer points.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Drops disjuncts proven empty (by the cheap rational test); returns
+    /// the simplified set.
+    #[must_use]
+    pub fn simplified(&self) -> Set {
+        Set {
+            dim: self.dim,
+            parts: self
+                .parts
+                .iter()
+                .filter(|p| !p.is_rationally_empty())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Calls `f` for each distinct integer point. Points are produced in
+    /// lexicographic order *within* each disjunct; a point contained in an
+    /// earlier disjunct is skipped so each point is visited exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any disjunct is unbounded.
+    pub fn enumerate<F: FnMut(&[i64])>(&self, mut f: F) {
+        for (i, p) in self.parts.iter().enumerate() {
+            p.enumerate(|pt| {
+                if !self.parts[..i].iter().any(|q| q.contains(pt)) {
+                    f(pt);
+                }
+            });
+        }
+    }
+
+    /// All distinct points, sorted lexicographically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any disjunct is unbounded.
+    pub fn points_sorted(&self) -> Vec<Vec<i64>> {
+        let mut pts = Vec::new();
+        self.enumerate(|p| pts.push(p.to_vec()));
+        pts.sort();
+        pts
+    }
+
+    /// Number of distinct integer points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any disjunct is unbounded.
+    pub fn count_points(&self) -> u64 {
+        let mut n = 0;
+        self.enumerate(|_| n += 1);
+        n
+    }
+
+    /// Adds a constraint to every disjunct.
+    #[must_use]
+    pub fn constrained(&self, c: &Constraint) -> Set {
+        Set {
+            dim: self.dim,
+            parts: self.parts.iter().map(|p| p.clone().with(c.clone())).collect(),
+        }
+    }
+
+    /// Renders the set with the given variable names.
+    pub fn display_with(&self, names: &[&str]) -> String {
+        if self.parts.is_empty() {
+            return "{ } (empty)".to_string();
+        }
+        let parts: Vec<String> = self.parts.iter().map(|p| p.display_with(names)).collect();
+        parts.join(" union ")
+    }
+}
+
+impl From<Polyhedron> for Set {
+    fn from(p: Polyhedron) -> Self {
+        Set {
+            dim: p.dim(),
+            parts: vec![p],
+        }
+    }
+}
+
+impl fmt::Debug for Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.dim).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        write!(f, "{}", self.display_with(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    fn interval(lo: i64, hi: i64) -> Set {
+        Set::from(Polyhedron::universe(1).with_range(0, lo, hi))
+    }
+
+    #[test]
+    fn union_counts_each_point_once() {
+        let u = interval(0, 5).union(&interval(3, 8));
+        assert_eq!(u.count_points(), 9);
+    }
+
+    #[test]
+    fn intersect_intervals() {
+        let i = interval(0, 5).intersect(&interval(3, 8));
+        assert_eq!(i.points_sorted(), vec![vec![3], vec![4], vec![5]]);
+    }
+
+    #[test]
+    fn subtract_middle() {
+        let d = interval(0, 9).subtract(&interval(4, 6));
+        assert_eq!(d.count_points(), 7);
+        assert!(d.contains(&[0]) && d.contains(&[9]));
+        assert!(!d.contains(&[5]));
+    }
+
+    #[test]
+    fn subtract_everything_yields_empty() {
+        let d = interval(2, 4).subtract(&interval(0, 10));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn subtract_disjoint_is_identity() {
+        let a = interval(0, 3);
+        let d = a.subtract(&interval(10, 20));
+        assert_eq!(d.count_points(), a.count_points());
+    }
+
+    #[test]
+    fn subtract_union_of_pieces() {
+        let b = interval(1, 2).union(&interval(5, 6));
+        let d = interval(0, 9).subtract(&b);
+        assert_eq!(
+            d.points_sorted(),
+            vec![vec![0], vec![3], vec![4], vec![7], vec![8], vec![9]]
+        );
+    }
+
+    #[test]
+    fn cardinality_law() {
+        // |A - B| == |A| - |A ∩ B|
+        let a = interval(0, 19);
+        let b = interval(15, 30);
+        assert_eq!(
+            a.subtract(&b).count_points(),
+            a.count_points() - a.intersect(&b).count_points()
+        );
+    }
+
+    #[test]
+    fn two_dimensional_difference() {
+        let square = Set::from(
+            Polyhedron::universe(2).with_range(0, 0, 3).with_range(1, 0, 3),
+        );
+        let diag = Set::from(Polyhedron::universe(2).with(Constraint::eq(
+            &LinExpr::var(2, 0),
+            &LinExpr::var(2, 1),
+        )));
+        let off = square.subtract(&diag);
+        assert_eq!(off.count_points(), 16 - 4);
+        assert!(!off.contains(&[2, 2]));
+        assert!(off.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = Set::empty(2);
+        assert!(e.is_empty());
+        assert_eq!(e.count_points(), 0);
+        let a = Set::from(Polyhedron::universe(2).with_range(0, 0, 1).with_range(1, 0, 1));
+        assert_eq!(a.subtract(&e).count_points(), 4);
+        assert_eq!(a.intersect(&e).count_points(), 0);
+        assert_eq!(a.union(&e).count_points(), 4);
+    }
+
+    #[test]
+    fn simplified_drops_empty_parts() {
+        let a = interval(0, 3).union(&interval(10, 5)); // second is empty
+        assert_eq!(a.simplified().parts().len(), 1);
+    }
+}

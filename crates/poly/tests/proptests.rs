@@ -1,0 +1,131 @@
+//! Property-based tests for the set algebra and the loop generator: the
+//! algebraic laws the restructurer depends on, checked over random boxes,
+//! halfspaces, and congruence-style constraints.
+
+use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest, ScanProgram, Set};
+use proptest::prelude::*;
+
+/// A random box in 2-D with a couple of optional extra halfspaces.
+fn arb_polyhedron() -> impl Strategy<Value = Polyhedron> {
+    (
+        -8i64..8,
+        0i64..10,
+        -8i64..8,
+        0i64..10,
+        prop::option::of((-2i64..3, -2i64..3, -12i64..12)),
+        prop::option::of((-2i64..3, -2i64..3, -12i64..12)),
+    )
+        .prop_map(|(x0, dx, y0, dy, h1, h2)| {
+            let mut p = Polyhedron::universe(2)
+                .with_range(0, x0, x0 + dx)
+                .with_range(1, y0, y0 + dy);
+            for h in [h1, h2].into_iter().flatten() {
+                let (a, b, c) = h;
+                p.add(Constraint::geq_zero(LinExpr::from_parts(vec![a, b], c)));
+            }
+            p
+        })
+}
+
+fn arb_set() -> impl Strategy<Value = Set> {
+    prop::collection::vec(arb_polyhedron(), 1..3).prop_map(|parts| {
+        let mut s = Set::empty(2);
+        for p in parts {
+            s = s.union(&Set::from(p));
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// |A − B| = |A| − |A ∩ B| and (A − B) ∩ B = ∅ and (A − B) ∪ (A ∩ B) = A.
+    #[test]
+    fn difference_laws(a in arb_set(), b in arb_set()) {
+        let diff = a.subtract(&b);
+        let inter = a.intersect(&b);
+        prop_assert_eq!(diff.count_points(), a.count_points() - inter.count_points());
+        prop_assert!(diff.intersect(&b).is_empty());
+        let mut rebuilt = diff.union(&inter).points_sorted();
+        rebuilt.dedup();
+        prop_assert_eq!(rebuilt, a.points_sorted());
+    }
+
+    /// Membership agrees with enumeration.
+    #[test]
+    fn membership_matches_enumeration(a in arb_polyhedron()) {
+        let mut pts = Vec::new();
+        a.enumerate(|p| pts.push(p.to_vec()));
+        for p in &pts {
+            prop_assert!(a.contains(p));
+        }
+        // Points just outside the bounding box are not contained.
+        if let Some(first) = pts.first() {
+            let outside = vec![first[0] - 1_000, first[1]];
+            prop_assert!(!a.contains(&outside));
+        }
+    }
+
+    /// The generated scanning nest visits exactly the polyhedron's points,
+    /// in the same lexicographic order.
+    #[test]
+    fn scan_nest_is_exact(a in arb_polyhedron()) {
+        let nest = ScanNest::build(&a);
+        let mut scanned = Vec::new();
+        nest.execute(|p| scanned.push(p.to_vec()));
+        let mut enumerated = Vec::new();
+        a.enumerate(|p| enumerated.push(p.to_vec()));
+        prop_assert_eq!(scanned, enumerated);
+    }
+
+    /// ScanProgram over a union visits each distinct point exactly once.
+    #[test]
+    fn scan_program_deduplicates(s in arb_set()) {
+        let prog = ScanProgram::build(&s);
+        let mut scanned = Vec::new();
+        prog.execute(|p| scanned.push(p.to_vec()));
+        scanned.sort();
+        let sorted = s.points_sorted();
+        prop_assert_eq!(scanned.len() as u64, s.count_points());
+        prop_assert_eq!(scanned, sorted);
+    }
+
+    /// Fourier–Motzkin projection is an over-approximation that is exact on
+    /// the projected coordinates of real points.
+    #[test]
+    fn projection_soundness(a in arb_polyhedron()) {
+        let proj = a.project_onto_prefix(1);
+        a.enumerate(|p| {
+            // Any witness for x1 keeps the projection satisfied.
+            assert!(proj.contains(&[p[0], 0]) || proj.contains(p),
+                    "projection lost point {p:?}");
+        });
+    }
+
+    /// Intersection is commutative on point sets.
+    #[test]
+    fn intersection_commutes(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(
+            a.intersect(&b).points_sorted(),
+            b.intersect(&a).points_sorted()
+        );
+    }
+
+    /// Integer tightening: emptiness agrees with brute-force scanning over
+    /// the bounding box.
+    #[test]
+    fn emptiness_is_exact(a in arb_polyhedron()) {
+        let empty = a.is_empty();
+        let mut found = false;
+        // Brute force over a safely larger box.
+        for x in -30i64..30 {
+            for y in -30i64..30 {
+                if a.contains(&[x, y]) {
+                    found = true;
+                }
+            }
+        }
+        prop_assert_eq!(empty, !found);
+    }
+}

@@ -1,0 +1,771 @@
+//! # dpm-trace — compiler-side I/O trace generation
+//!
+//! Executes a loop-nest `Program` (in original or
+//! compiler-restructured order, on one or several processors) and produces
+//! the disk I/O request trace that the paper's simulator consumes (§7.1).
+//!
+//! The model:
+//!
+//! * each processor has a virtual clock advanced by per-statement compute
+//!   cycles (the stand-in for the paper's measured UltraSPARC-III cycle
+//!   estimates) and by the nominal service time of the I/O it issues
+//!   (applications block on disk I/O — the paper's codes spend 75–82 % of
+//!   their time in it);
+//! * a per-processor window of recently touched stripes models the on-disk
+//!   cache / OS page cache, so re-touching a just-used block issues no new
+//!   request;
+//! * consecutive accesses to adjacent volume bytes coalesce into larger
+//!   requests (up to a cap), the way readahead/collective I/O batches
+//!   requests in a real system.
+//!
+//! ```
+//! use dpm_trace::{TraceGenerator, TraceGenOptions, OriginalOrder};
+//! use dpm_layout::{LayoutMap, Striping};
+//!
+//! let p = dpm_ir::parse_program(
+//!     "program t; array A[512][64] : f64;
+//!      nest L { for i = 0 .. 511 { for j = 0 .. 63 { A[i][j] = A[i][j] + 1; } } }",
+//! ).unwrap();
+//! let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+//! let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+//! let (trace, stats) = gen.generate(&OriginalOrder::new(&p));
+//! assert!(trace.len() > 0);
+//! assert_eq!(stats.element_accesses, 2 * 512 * 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpm_disksim::{DiskParams, IoRequest, RequestKind, Trace};
+use dpm_ir::{AccessKind, NestId, Program};
+use dpm_layout::LayoutMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Options controlling trace generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceGenOptions {
+    /// Processor clock rate; default 750 MHz (the paper's SUN Blade1000,
+    /// UltraSPARC-III, §7.1).
+    pub cpu_hz: f64,
+    /// Page-block size: disk-resident data is accessed in whole blocks of
+    /// this many bytes (§7.1, "page block granularity").
+    pub block_bytes: u64,
+    /// Maximum size of one coalesced request.
+    pub max_request_bytes: u64,
+    /// Per-processor count of recently-touched blocks that hit in cache.
+    pub reuse_window_blocks: usize,
+    /// Concurrent request-assembly streams per processor (a loop body that
+    /// walks several arrays at once keeps one readahead stream per array,
+    /// as an OS per-file readahead would).
+    pub streams: usize,
+    /// Whether processors block for the nominal service time of each
+    /// request they issue (keeps the compute/I/O balance realistic).
+    pub block_on_io: bool,
+    /// Uniform random jitter (ms) added to each request's arrival time,
+    /// modeling OS scheduling noise. `0.0` (the default) keeps generation
+    /// fully deterministic; non-zero jitter uses a fixed seed, so traces
+    /// remain reproducible.
+    pub arrival_jitter_ms: f64,
+}
+
+impl Default for TraceGenOptions {
+    fn default() -> Self {
+        TraceGenOptions {
+            cpu_hz: 750.0e6,
+            block_bytes: 4096,
+            max_request_bytes: 1024 * 1024,
+            reuse_window_blocks: 128,
+            streams: 8,
+            block_on_io: true,
+            arrival_jitter_ms: 0.0,
+        }
+    }
+}
+
+/// Summary statistics of a generated trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Array-element accesses executed.
+    pub element_accesses: u64,
+    /// Accesses absorbed by the reuse window (no request issued).
+    pub cache_hits: u64,
+    /// I/O requests emitted.
+    pub requests: u64,
+    /// Bytes requested.
+    pub bytes: u64,
+    /// Pure compute time accumulated over all processors (ms).
+    pub compute_ms: f64,
+    /// Nominal I/O blocking time accumulated over all processors (ms).
+    pub io_block_ms: f64,
+}
+
+impl TraceStats {
+    /// Fraction of virtual execution time spent blocked on I/O.
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.compute_ms + self.io_block_ms;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.io_block_ms / total
+        }
+    }
+}
+
+/// An execution order: which iterations run on which processor, in what
+/// sequence. Implemented by the original program order here and by the
+/// restructurer's schedules in `dpm-core`.
+///
+/// Execution proceeds in *phases* separated by barriers: within a phase
+/// each processor runs its iteration stream independently; at a phase
+/// boundary all processors synchronize (their virtual clocks advance to
+/// the laggard's). Single-processor orders normally use one phase;
+/// multi-processor parallelizations use one phase per loop nest.
+pub trait ExecutionOrder {
+    /// Number of processors.
+    fn num_procs(&self) -> u32;
+    /// Number of barrier-separated phases (default 1).
+    fn num_phases(&self) -> usize {
+        1
+    }
+    /// Streams `(nest, iteration)` pairs of processor `proc` within
+    /// `phase`, in execution order.
+    fn for_each_in_phase(&self, phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64]));
+}
+
+/// The untransformed order: one processor, nests in program order,
+/// iterations lexicographic.
+#[derive(Debug)]
+pub struct OriginalOrder<'p> {
+    program: &'p Program,
+}
+
+impl<'p> OriginalOrder<'p> {
+    /// Wraps a program.
+    pub fn new(program: &'p Program) -> Self {
+        OriginalOrder { program }
+    }
+}
+
+impl ExecutionOrder for OriginalOrder<'_> {
+    fn num_procs(&self) -> u32 {
+        1
+    }
+
+    fn for_each_in_phase(&self, phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+        debug_assert_eq!(phase, 0);
+        debug_assert_eq!(proc, 0);
+        for (ni, nest) in self.program.nests.iter().enumerate() {
+            walk_nest(nest, &mut |pt| f(ni, pt));
+        }
+    }
+}
+
+/// Enumerates a nest's iterations lexicographically without materializing
+/// them.
+pub fn walk_nest(nest: &dpm_ir::LoopNest, f: &mut dyn FnMut(&[i64])) {
+    fn rec(nest: &dpm_ir::LoopNest, level: usize, point: &mut Vec<i64>, f: &mut dyn FnMut(&[i64])) {
+        if level == nest.depth() {
+            f(point);
+            return;
+        }
+        let lo = nest.loops[level].lo.eval_prefix(&point[..level]);
+        let hi = nest.loops[level].hi.eval_prefix(&point[..level]);
+        for x in lo..=hi {
+            point[level] = x;
+            rec(nest, level + 1, point, f);
+        }
+    }
+    let mut point = vec![0i64; nest.depth()];
+    rec(nest, 0, &mut point, f);
+}
+
+/// A request under assembly in one readahead stream.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    offset: u64,
+    len: u64,
+    kind: RequestKind,
+    first_ms: f64,
+}
+
+/// Per-processor execution state during generation.
+struct ProcState {
+    clock_ms: f64,
+    rng: StdRng,
+    /// Requests under assembly, one per active stream.
+    pending: Vec<Pending>,
+    /// Recently-touched blocks (FIFO eviction).
+    recent: VecDeque<u64>,
+    /// Per-disk recent sequential-stream end positions, mirroring the disk
+    /// firmware's detector, for the nominal blocking estimate.
+    disk_streams: Vec<VecDeque<u64>>,
+    requests: Vec<IoRequest>,
+}
+
+impl ProcState {
+    fn jitter(&mut self, max_ms: f64) -> f64 {
+        if max_ms <= 0.0 {
+            0.0
+        } else {
+            self.rng.gen_range(0.0..max_ms)
+        }
+    }
+}
+
+/// Generates traces for a program under a given layout.
+#[derive(Debug)]
+pub struct TraceGenerator<'p> {
+    program: &'p Program,
+    layout: &'p LayoutMap,
+    options: TraceGenOptions,
+    params: DiskParams,
+}
+
+impl<'p> TraceGenerator<'p> {
+    /// Creates a generator.
+    pub fn new(program: &'p Program, layout: &'p LayoutMap, options: TraceGenOptions) -> Self {
+        TraceGenerator {
+            program,
+            layout,
+            options,
+            params: DiskParams::default(),
+        }
+    }
+
+    /// Uses non-default disk parameters for the nominal-service estimate.
+    #[must_use]
+    pub fn with_disk_params(mut self, params: DiskParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Runs the program in the given order, returning the merged trace and
+    /// generation statistics. Phase boundaries act as barriers: every
+    /// processor's clock advances to the slowest one's before the next
+    /// phase starts, and pending requests are flushed.
+    pub fn generate(&self, order: &dyn ExecutionOrder) -> (Trace, TraceStats) {
+        let mut stats = TraceStats::default();
+        let mut all = Vec::new();
+        let nprocs = order.num_procs();
+        let mut states: Vec<ProcState> = (0..nprocs)
+            .map(|proc| ProcState {
+                clock_ms: 0.0,
+                rng: StdRng::seed_from_u64(0x5eed_0000 + proc as u64),
+                pending: Vec::new(),
+                recent: VecDeque::with_capacity(self.options.reuse_window_blocks),
+                disk_streams: vec![VecDeque::new(); self.layout.striping().num_disks()],
+                requests: Vec::new(),
+            })
+            .collect();
+        for phase in 0..order.num_phases() {
+            // Device-sharing estimate for this phase: a processor's I/O
+            // blocking scales with the number of processors whose disk
+            // footprints overlap its own (a disk time-shares its bandwidth
+            // among the processors driving it). A layout-aware partition
+            // with disjoint per-processor disk groups therefore pays no
+            // contention, while a naive parallelization in which every
+            // processor sweeps every disk pays the full factor.
+            let masks = self.phase_disk_masks(order, phase);
+            for (proc, st) in states.iter_mut().enumerate() {
+                let contention = contention_factor(&masks, proc);
+                order.for_each_in_phase(phase, proc as u32, &mut |nest, iter| {
+                    self.execute_iteration(nest, iter, proc as u32, contention, st, &mut stats);
+                });
+                self.flush_all(proc as u32, contention, st, &mut stats);
+            }
+            // Barrier: synchronize clocks.
+            let max_clock = states
+                .iter()
+                .map(|s| s.clock_ms)
+                .fold(0.0_f64, f64::max);
+            for st in &mut states {
+                st.clock_ms = max_clock;
+            }
+        }
+        for st in states {
+            all.extend(st.requests);
+        }
+        (Trace::from_requests(all), stats)
+    }
+
+    /// Disk footprint (bitmask) of each processor within one phase.
+    fn phase_disk_masks(&self, order: &dyn ExecutionOrder, phase: usize) -> Vec<u64> {
+        let nprocs = order.num_procs() as usize;
+        let mut masks = vec![0u64; nprocs];
+        if nprocs == 1 {
+            return masks;
+        }
+        for (proc, mask) in masks.iter_mut().enumerate() {
+            order.for_each_in_phase(phase, proc as u32, &mut |nest, iter| {
+                for stmt in &self.program.nests[nest].body {
+                    for r in &stmt.refs {
+                        let coords = r.element_at(iter);
+                        let d = self
+                            .layout
+                            .disk_of_element(self.program, r.array, &coords);
+                        *mask |= 1 << (d as u64 % 64);
+                    }
+                }
+            });
+        }
+        masks
+    }
+
+    fn execute_iteration(
+        &self,
+        nest: NestId,
+        iter: &[i64],
+        proc: u32,
+        contention: f64,
+        st: &mut ProcState,
+        stats: &mut TraceStats,
+    ) {
+        let n = &self.program.nests[nest];
+        for stmt in &n.body {
+            for r in &stmt.refs {
+                stats.element_accesses += 1;
+                let coords = r.element_at(iter);
+                let offset = self.layout.element_offset(self.program, r.array, &coords);
+                let len = u64::from(self.program.arrays[r.array].elem_bytes);
+                let kind = match r.kind {
+                    AccessKind::Read => RequestKind::Read,
+                    AccessKind::Write => RequestKind::Write,
+                };
+                self.access(proc, offset, len, kind, contention, st, stats);
+            }
+            let ms = self.cycles_ms(stmt.cost_cycles);
+            stats.compute_ms += ms;
+            st.clock_ms += ms;
+        }
+    }
+
+    fn cycles_ms(&self, cycles: u64) -> f64 {
+        (cycles as f64) / self.options.cpu_hz * 1000.0
+    }
+
+    /// One element access: disk data moves in whole page blocks, so the
+    /// access touches every block overlapping `[offset, offset+len)`. A
+    /// block in the reuse window (or already covered by the pending
+    /// request) costs nothing; a missing block is fetched whole, coalescing
+    /// with the pending request when adjacent.
+    #[allow(clippy::too_many_arguments)] // hot path; grouping would box per-access state
+    fn access(
+        &self,
+        proc: u32,
+        offset: u64,
+        len: u64,
+        kind: RequestKind,
+        contention: f64,
+        st: &mut ProcState,
+        stats: &mut TraceStats,
+    ) {
+        let bs = self.options.block_bytes;
+        let first_block = offset / bs;
+        let last_block = (offset + len - 1) / bs;
+        let mut any_miss = false;
+        for b in first_block..=last_block {
+            let bo = b * bs;
+            // The block at the tail of some stream's pending request is
+            // still "in hand" (write-then-read of the same element is
+            // free); older coverage must come from the reuse window, so a
+            // large pending request does not double as an unbounded cache.
+            if st
+                .pending
+                .iter()
+                .any(|p| p.len >= bs && bo == p.offset + p.len - bs)
+            {
+                continue;
+            }
+            // In the reuse window?
+            if self.options.reuse_window_blocks > 0 {
+                if st.recent.contains(&b) {
+                    continue;
+                }
+                if st.recent.len() == self.options.reuse_window_blocks {
+                    st.recent.pop_front();
+                }
+                st.recent.push_back(b);
+            }
+            any_miss = true;
+            // Extend a stream whose pending request ends exactly here.
+            if let Some(p) = st.pending.iter_mut().find(|p| {
+                p.kind == kind
+                    && p.offset + p.len == bo
+                    && p.len + bs <= self.options.max_request_bytes
+            }) {
+                p.len += bs;
+                continue;
+            }
+            // Open a new stream, evicting the oldest when full.
+            if st.pending.len() >= self.options.streams.max(1) {
+                let oldest = st
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.first_ms.total_cmp(&b.first_ms))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let p = st.pending.swap_remove(oldest);
+                self.emit(proc, p, contention, st, stats);
+            }
+            st.pending.push(Pending {
+                offset: bo,
+                len: bs,
+                kind,
+                first_ms: st.clock_ms,
+            });
+        }
+        if !any_miss {
+            stats.cache_hits += 1;
+        }
+    }
+
+    /// Flushes every stream (phase boundary / end of run), oldest first.
+    fn flush_all(&self, proc: u32, contention: f64, st: &mut ProcState, stats: &mut TraceStats) {
+        let mut drained: Vec<Pending> = st.pending.drain(..).collect();
+        drained.sort_by(|a, b| a.first_ms.total_cmp(&b.first_ms));
+        for p in drained {
+            self.emit(proc, p, contention, st, stats);
+        }
+    }
+
+    fn emit(&self, proc: u32, p: Pending, contention: f64, st: &mut ProcState, stats: &mut TraceStats) {
+        let arrival = p.first_ms + st.jitter(self.options.arrival_jitter_ms);
+        st.requests.push(IoRequest {
+            arrival_ms: arrival,
+            offset: p.offset,
+            len: p.len,
+            kind: p.kind,
+            proc_id: proc,
+        });
+        stats.requests += 1;
+        stats.bytes += p.len;
+        if self.options.block_on_io {
+            // Blocking estimate: the request's per-disk pieces are serviced
+            // in parallel, so the processor waits for the slowest piece;
+            // positioning is charged only when a piece does not continue a
+            // sequential stream on its disk. A device-sharing factor
+            // models p processors hammering the same disks.
+            let mut worst = 0.0_f64;
+            for (disk, local_byte, len) in self.layout.striping().split_range(p.offset, p.len) {
+                let streams = &mut st.disk_streams[disk];
+                let sequential = if let Some(slot) =
+                    streams.iter_mut().find(|e| **e == local_byte)
+                {
+                    *slot = local_byte + len;
+                    true
+                } else {
+                    if streams.len() == 32 {
+                        streams.pop_front();
+                    }
+                    streams.push_back(local_byte + len);
+                    false
+                };
+                let svc = self.params.service_ms(len, self.params.max_rpm, sequential);
+                worst = worst.max(svc);
+            }
+            let block = worst * contention;
+            st.clock_ms += block;
+            stats.io_block_ms += block;
+        }
+    }
+}
+
+/// Device-sharing factor for `proc`: the largest number of processors
+/// (including `proc`) that drive some disk in `proc`'s phase footprint.
+fn contention_factor(masks: &[u64], proc: usize) -> f64 {
+    let mine = masks[proc];
+    if mine == 0 || masks.len() == 1 {
+        return 1.0;
+    }
+    let mut worst = 1u32;
+    for d in 0..64u64 {
+        let bit = 1u64 << d;
+        if mine & bit == 0 {
+            continue;
+        }
+        let sharers = masks.iter().filter(|m| *m & bit != 0).count() as u32;
+        worst = worst.max(sharers);
+    }
+    f64::from(worst)
+}
+
+/// Number of times consecutive requests in the trace land on different
+/// disks — a simple clustering (disk-reuse) metric: lower is better.
+pub fn disk_switch_count(trace: &Trace, striping: &dpm_layout::Striping) -> u64 {
+    let mut switches = 0;
+    let mut last: Option<usize> = None;
+    for r in trace.requests() {
+        let d = striping.disk_of_offset(r.offset);
+        if let Some(prev) = last {
+            if prev != d {
+                switches += 1;
+            }
+        }
+        last = Some(d);
+    }
+    switches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_layout::Striping;
+
+    fn program(src: &str) -> Program {
+        dpm_ir::parse_program(src).unwrap()
+    }
+
+    fn sequential_program() -> Program {
+        program(
+            "program t; array A[256][128] : f64;
+             nest L { for i = 0 .. 255 { for j = 0 .. 127 { A[i][j] = A[i][j] + 1 @ 750; } } }",
+        )
+    }
+
+    #[test]
+    fn sequential_sweep_coalesces() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, stats) = gen.generate(&OriginalOrder::new(&p));
+        // 256*128 elements * 8 B = 256 KiB of data; block-granularity
+        // fetches coalesce into a handful of large requests.
+        assert!(trace.len() < 8, "{} requests", trace.len());
+        assert_eq!(stats.bytes, 256 * 128 * 8);
+        // Writes after reads of the same stripe hit the reuse window.
+        assert!(stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_per_processor() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, _) = gen.generate(&OriginalOrder::new(&p));
+        let mut last = f64::NEG_INFINITY;
+        for r in trace.requests() {
+            assert!(r.arrival_ms >= last);
+            last = r.arrival_ms;
+        }
+    }
+
+    #[test]
+    fn io_fraction_reported() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (_, stats) = gen.generate(&OriginalOrder::new(&p));
+        let f = stats.io_fraction();
+        assert!(f > 0.05 && f < 0.98, "io fraction {f}");
+    }
+
+    #[test]
+    fn cache_window_absorbs_rereads() {
+        let p = program(
+            "program t; array A[64] : f64;
+             nest L1 { for i = 0 .. 63 { A[i] = A[i] + A[i] + A[i]; } }",
+        );
+        let layout = LayoutMap::new(&p, Striping::new(512, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (_, stats) = gen.generate(&OriginalOrder::new(&p));
+        assert_eq!(stats.element_accesses, 4 * 64);
+        assert!(stats.cache_hits >= 3 * 64 - 8, "hits {}", stats.cache_hits);
+    }
+
+    #[test]
+    fn zero_reuse_window_disables_cache() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let opts = TraceGenOptions {
+            reuse_window_blocks: 0,
+            ..TraceGenOptions::default()
+        };
+        let gen = TraceGenerator::new(&p, &layout, opts);
+        let (trace, _) = gen.generate(&OriginalOrder::new(&p));
+        // Without the reuse window every block fetch is visible, but the
+        // pending-request coverage check still absorbs same-block rereads,
+        // so the trace stays finite and block-aligned.
+        assert!(trace.requests().iter().all(|r| r.len % 4096 == 0));
+    }
+
+    #[test]
+    fn max_request_size_caps_coalescing() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let opts = TraceGenOptions {
+            max_request_bytes: 8192,
+            ..TraceGenOptions::default()
+        };
+        let gen = TraceGenerator::new(&p, &layout, opts);
+        let (trace, _) = gen.generate(&OriginalOrder::new(&p));
+        assert!(trace.requests().iter().all(|r| r.len <= 8192));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn transposed_access_refetches_blocks() {
+        // A column-major traversal of a row-major array revisits every
+        // block once per column; with a small reuse window it re-fetches
+        // the whole array over and over, while the row sweep reads each
+        // block exactly once.
+        let row = program(
+            "program t; array A[64][64] : f64;
+             nest L { for i = 0 .. 63 { for j = 0 .. 63 { A[i][j] = 1; } } }",
+        );
+        let col = program(
+            "program t; array A[64][64] : f64;
+             nest L { for i = 0 .. 63 { for j = 0 .. 63 { A[j][i] = 1; } } }",
+        );
+        let striping = Striping::new(512, 4, 0);
+        let opts = TraceGenOptions {
+            block_bytes: 512,
+            reuse_window_blocks: 4,
+            ..TraceGenOptions::default()
+        };
+        let lr = LayoutMap::new(&row, striping);
+        let lc = LayoutMap::new(&col, striping);
+        let (tr, sr) = TraceGenerator::new(&row, &lr, opts).generate(&OriginalOrder::new(&row));
+        let (tc, sc) = TraceGenerator::new(&col, &lc, opts).generate(&OriginalOrder::new(&col));
+        assert!(sc.bytes > 16 * sr.bytes, "row {} col {} bytes", sr.bytes, sc.bytes);
+        assert!(tc.len() >= tr.len(), "row {} col {} reqs", tr.len(), tc.len());
+    }
+
+    #[test]
+    fn phase_barriers_synchronize_clocks() {
+        // Two phases; proc 1 does nothing in phase 0. Its phase-1 requests
+        // must still start no earlier than proc 0's phase-0 finish.
+        struct TwoPhase<'p>(&'p Program);
+        impl ExecutionOrder for TwoPhase<'_> {
+            fn num_procs(&self) -> u32 {
+                2
+            }
+            fn num_phases(&self) -> usize {
+                2
+            }
+            fn for_each_in_phase(&self, phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+                // Phase 0: proc 0 runs the whole nest; phase 1: proc 1 does.
+                if (phase == 0 && proc == 0) || (phase == 1 && proc == 1) {
+                    walk_nest(&self.0.nests[0], &mut |pt| f(0, pt));
+                }
+            }
+        }
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let opts = TraceGenOptions {
+            reuse_window_blocks: 0,
+            ..TraceGenOptions::default()
+        };
+        let gen = TraceGenerator::new(&p, &layout, opts);
+        let (trace, _) = gen.generate(&TwoPhase(&p));
+        let p0_last = trace
+            .requests()
+            .iter()
+            .filter(|r| r.proc_id == 0)
+            .map(|r| r.arrival_ms)
+            .fold(0.0, f64::max);
+        let p1_first = trace
+            .requests()
+            .iter()
+            .filter(|r| r.proc_id == 1)
+            .map(|r| r.arrival_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            p1_first >= p0_last,
+            "phase barrier violated: proc1 at {p1_first} before proc0 done at {p0_last}"
+        );
+    }
+
+    #[test]
+    fn contention_scales_blocking_for_overlapping_footprints() {
+        // Two procs sweeping the SAME data: each must be paced ~2x slower
+        // than a single proc doing half the work.
+        struct Shared<'p>(&'p Program, u32);
+        impl ExecutionOrder for Shared<'_> {
+            fn num_procs(&self) -> u32 {
+                self.1
+            }
+            fn for_each_in_phase(&self, _phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+                walk_nest(&self.0.nests[0], &mut |pt| {
+                    if (pt[1].rem_euclid(self.1 as i64)) as u32 == proc {
+                        f(0, pt);
+                    }
+                });
+            }
+        }
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (_, one) = gen.generate(&Shared(&p, 1));
+        let (_, two) = gen.generate(&Shared(&p, 2));
+        // Same bytes moved, but the two-proc run blocks ~2x per request.
+        let per_req_1 = one.io_block_ms / one.requests.max(1) as f64;
+        let per_req_2 = two.io_block_ms / two.requests.max(1) as f64;
+        assert!(
+            per_req_2 > 1.5 * per_req_1,
+            "contention not applied: {per_req_2} vs {per_req_1}"
+        );
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_requests() {
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let plain = TraceGenerator::new(&p, &layout, TraceGenOptions::default())
+            .generate(&OriginalOrder::new(&p));
+        let jopts = TraceGenOptions {
+            arrival_jitter_ms: 2.0,
+            ..TraceGenOptions::default()
+        };
+        let jittered = TraceGenerator::new(&p, &layout, jopts).generate(&OriginalOrder::new(&p));
+        assert_eq!(plain.0.len(), jittered.0.len());
+        assert_eq!(plain.1.bytes, jittered.1.bytes);
+        // Deterministic seed: same run twice is identical.
+        let again = TraceGenerator::new(&p, &layout, jopts).generate(&OriginalOrder::new(&p));
+        assert_eq!(
+            jittered.0.requests()[0].arrival_ms,
+            again.0.requests()[0].arrival_ms
+        );
+        // And at least one arrival actually moved.
+        let moved = plain
+            .0
+            .requests()
+            .iter()
+            .zip(jittered.0.requests())
+            .any(|(a, b)| (a.arrival_ms - b.arrival_ms).abs() > 1e-9);
+        assert!(moved);
+    }
+
+    #[test]
+    fn multi_proc_order_merges_by_time() {
+        struct TwoProcs<'p>(&'p Program);
+        impl ExecutionOrder for TwoProcs<'_> {
+            fn num_procs(&self) -> u32 {
+                2
+            }
+            fn for_each_in_phase(&self, _phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+                // Processor p executes the half of nest 0 with i % 2 == p.
+                walk_nest(&self.0.nests[0], &mut |pt| {
+                    if (pt[0] % 2) as u32 == proc {
+                        f(0, pt);
+                    }
+                });
+            }
+        }
+        let p = sequential_program();
+        let layout = LayoutMap::new(&p, Striping::new(4096, 4, 0));
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, _) = gen.generate(&TwoProcs(&p));
+        let procs: std::collections::HashSet<u32> =
+            trace.requests().iter().map(|r| r.proc_id).collect();
+        assert_eq!(procs.len(), 2);
+        // Sorted by arrival despite two independent streams.
+        let mut last = f64::NEG_INFINITY;
+        for r in trace.requests() {
+            assert!(r.arrival_ms >= last);
+            last = r.arrival_ms;
+        }
+    }
+}

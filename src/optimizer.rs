@@ -1,0 +1,218 @@
+//! The *unified optimizer* the paper's conclusion sketches as future work:
+//! jointly choosing the disk layout (stripe unit, stripe factor, starting
+//! iodevice — the knobs of Son et al.'s companion work \[23\]) **and** the
+//! code restructuring, by evaluating candidate combinations through the
+//! trace generator and disk simulator.
+//!
+//! ```
+//! use disk_reuse::optimizer::{LayoutSearchSpace, unified_optimize};
+//! use disk_reuse::prelude::*;
+//!
+//! let p = parse_program(
+//!     "program t; array A[64][64] : bytes(4096);
+//!      nest L { for i = 0 .. 63 { for j = 0 .. 63 { A[i][j] = f(A[i][j]); } } }",
+//! ).unwrap();
+//! let space = LayoutSearchSpace {
+//!     stripe_units: vec![16 * 1024, 32 * 1024],
+//!     num_disks: vec![8],
+//!     start_disks: vec![0],
+//! };
+//! let best = unified_optimize(&p, &space, PowerPolicy::Tpm(TpmConfig::proactive()));
+//! assert!(!best.is_empty());
+//! assert!(best[0].energy_j <= best.last().unwrap().energy_j);
+//! ```
+
+use crate::prelude::*;
+
+/// The layout knobs to explore (the `pvfs_filestat` triple of §2).
+#[derive(Clone, Debug)]
+pub struct LayoutSearchSpace {
+    /// Candidate stripe units in bytes.
+    pub stripe_units: Vec<u64>,
+    /// Candidate stripe factors (number of I/O nodes).
+    pub num_disks: Vec<usize>,
+    /// Candidate starting iodevices.
+    pub start_disks: Vec<usize>,
+}
+
+impl Default for LayoutSearchSpace {
+    fn default() -> Self {
+        LayoutSearchSpace {
+            stripe_units: vec![8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10],
+            num_disks: vec![8],
+            start_disks: vec![0],
+        }
+    }
+}
+
+impl LayoutSearchSpace {
+    /// All striping candidates in the space.
+    pub fn candidates(&self) -> Vec<Striping> {
+        let mut out = Vec::new();
+        for &su in &self.stripe_units {
+            for &nd in &self.num_disks {
+                for &sd in &self.start_disks {
+                    if sd < nd {
+                        out.push(Striping::new(su, nd, sd));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated (layout, transform) combination.
+#[derive(Clone, Debug)]
+pub struct LayoutCandidate {
+    /// The striping evaluated.
+    pub striping: Striping,
+    /// The code transformation evaluated.
+    pub transform: Transform,
+    /// Total disk energy (J).
+    pub energy_j: f64,
+    /// Device-attributed disk I/O time (ms).
+    pub io_time_ms: f64,
+    /// Requests in the generated trace.
+    pub requests: u64,
+}
+
+/// Evaluates one (layout, transform, policy) combination end to end.
+pub fn evaluate(
+    program: &Program,
+    striping: Striping,
+    transform: Transform,
+    policy: PowerPolicy,
+) -> LayoutCandidate {
+    let layout = LayoutMap::new(program, striping);
+    let deps = analyze(program);
+    let schedule = apply_transform(program, &layout, &deps, transform);
+    let gen = TraceGenerator::new(
+        program,
+        &layout,
+        TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+    );
+    let (trace, _) = gen.generate(&schedule);
+    let sim = Simulator::new(DiskParams::default(), policy, striping);
+    let report = sim.run(&trace);
+    LayoutCandidate {
+        striping,
+        transform,
+        energy_j: report.total_energy_j(),
+        io_time_ms: report.total_io_time_ms,
+        requests: report.app_requests,
+    }
+}
+
+/// Exhaustively evaluates the search space for one fixed transform,
+/// returning candidates sorted by energy (best first).
+pub fn optimize_layout(
+    program: &Program,
+    space: &LayoutSearchSpace,
+    transform: Transform,
+    policy: PowerPolicy,
+) -> Vec<LayoutCandidate> {
+    let mut out: Vec<LayoutCandidate> = space
+        .candidates()
+        .into_iter()
+        .map(|s| evaluate(program, s, transform, policy))
+        .collect();
+    out.sort_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
+    out
+}
+
+/// The unified search: layouts × {original, disk-reuse restructured},
+/// sorted by energy (best first). The paper's observation that layout and
+/// restructuring interact (a layout that is good for the original order
+/// may differ from the one that maximizes clustered idle periods) shows up
+/// directly in the ranking.
+pub fn unified_optimize(
+    program: &Program,
+    space: &LayoutSearchSpace,
+    policy: PowerPolicy,
+) -> Vec<LayoutCandidate> {
+    let mut out = Vec::new();
+    for transform in [Transform::Original, Transform::DiskReuse] {
+        out.extend(optimize_layout(program, space, transform, policy));
+    }
+    out.sort_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        parse_program(
+            "program t; array A[128][32] : bytes(4096);
+             nest L1 { for i = 0 .. 127 { for j = 0 .. 31 { A[i][j] = f(A[i][j]) @ 40000; } } }
+             nest L2 { for i = 0 .. 127 { for j = 0 .. 31 { A[i][j] = g(A[i][j]) @ 40000; } } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_enumerate_the_space() {
+        let space = LayoutSearchSpace {
+            stripe_units: vec![4096, 8192],
+            num_disks: vec![4, 8],
+            start_disks: vec![0, 5],
+        };
+        // start_disk 5 is invalid for 4 disks → 2*2*2 − 2 = 6.
+        assert_eq!(space.candidates().len(), 6);
+    }
+
+    #[test]
+    fn optimizer_sorts_by_energy() {
+        let p = program();
+        let space = LayoutSearchSpace {
+            stripe_units: vec![8192, 32768],
+            num_disks: vec![4],
+            start_disks: vec![0],
+        };
+        let ranked = optimize_layout(
+            &p,
+            &space,
+            Transform::DiskReuse,
+            PowerPolicy::Tpm(TpmConfig::proactive()),
+        );
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].energy_j <= ranked[1].energy_j);
+    }
+
+    #[test]
+    fn unified_search_includes_both_transforms() {
+        let p = program();
+        let space = LayoutSearchSpace {
+            stripe_units: vec![16384],
+            num_disks: vec![4],
+            start_disks: vec![0],
+        };
+        let ranked = unified_optimize(&p, &space, PowerPolicy::None);
+        assert_eq!(ranked.len(), 2);
+        let transforms: Vec<Transform> = ranked.iter().map(|c| c.transform).collect();
+        assert!(transforms.contains(&Transform::Original));
+        assert!(transforms.contains(&Transform::DiskReuse));
+    }
+
+    #[test]
+    fn restructuring_wins_under_tpm_on_clusterable_program() {
+        let p = program();
+        let space = LayoutSearchSpace {
+            stripe_units: vec![32768],
+            num_disks: vec![8],
+            start_disks: vec![0],
+        };
+        let ranked = unified_optimize(&p, &space, PowerPolicy::Tpm(TpmConfig::proactive()));
+        // Best candidate must not be worse than the original-order one.
+        let orig = ranked
+            .iter()
+            .find(|c| c.transform == Transform::Original)
+            .unwrap();
+        assert!(ranked[0].energy_j <= orig.energy_j);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests: schedule legality, simulator
+//! conservation laws, and layout round trips under randomized inputs.
+
+use disk_reuse::prelude::*;
+use proptest::prelude::*;
+
+/// A random rectangular two-nest program over one or two arrays.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        2u64..12,
+        2u64..12,
+        prop::bool::ANY,
+        0i64..3,
+        prop::bool::ANY,
+    )
+        .prop_map(|(rows, cols, transposed, shift, two_arrays)| {
+            let second = if two_arrays {
+                "array B[R][C] : f64;"
+            } else {
+                ""
+            };
+            let reads = if transposed {
+                format!("A[j][i-{shift}]")
+            } else {
+                format!("A[i-{shift}][j]")
+            };
+            let target = if two_arrays { "B" } else { "A" };
+            // A square array when transposed reads are used.
+            let (r, c) = if transposed {
+                let n = rows.max(cols);
+                (n, n)
+            } else {
+                (rows, cols)
+            };
+            let src = format!(
+                "program rnd;
+                 const R = {r}; const C = {c};
+                 array A[R][C] : f64; {second}
+                 nest L1 {{ for i = {shift} .. R-1 {{ for j = 0 .. C-1 {{
+                     {target}[i][j] = f({reads});
+                 }} }} }}
+                 nest L2 {{ for i = 0 .. R-1 {{ for j = 0 .. C-1 {{
+                     A[i][j] = g(A[i][j]);
+                 }} }} }}"
+            );
+            parse_program(&src).expect("generated program parses")
+        })
+}
+
+fn arb_striping() -> impl Strategy<Value = Striping> {
+    (64u64..512, 2usize..8).prop_map(|(unit, disks)| Striping::new(unit, disks, 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every transform covers each iteration exactly once.
+    #[test]
+    fn schedules_cover_exactly_once(p in arb_program(), s in arb_striping(), procs in 1u32..5) {
+        let layout = LayoutMap::new(&p, s);
+        let deps = analyze(&p);
+        for t in [
+            Transform::Original,
+            Transform::DiskReuse,
+            Transform::Parallel { procs, scheme: Assignment::Baseline, cluster: true },
+            Transform::Parallel { procs, scheme: Assignment::LayoutAware, cluster: true },
+        ] {
+            let sched = apply_transform(&p, &layout, &deps, t);
+            prop_assert!(sched.validate_coverage(&p).is_ok(), "{t:?}");
+        }
+    }
+
+    /// The restructured single-processor schedule never violates an exact
+    /// intra-nest dependence.
+    #[test]
+    fn restructuring_respects_dependences(p in arb_program(), s in arb_striping()) {
+        let layout = LayoutMap::new(&p, s);
+        let deps = analyze(&p);
+        let sched = apply_transform(&p, &layout, &deps, Transform::DiskReuse);
+        // Position of every iteration in the schedule.
+        let mut pos = std::collections::HashMap::new();
+        for (k, it) in sched.iters(0, 0).iter().enumerate() {
+            pos.insert((it.nest, it.coords()), k);
+        }
+        for ni in 0..p.nests.len() {
+            for d in deps.nest_exact_distances(ni) {
+                for it in sched.iters(0, 0).iter().filter(|it| it.nest as usize == ni) {
+                    let pt = it.coords();
+                    let pred: Vec<i64> = pt.iter().zip(&d).map(|(a, b)| a - b).collect();
+                    if let Some(&pp) = pos.get(&(it.nest, pred)) {
+                        prop_assert!(pp < pos[&(it.nest, pt)], "dependence violated");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-disk wall-clock conservation: busy + idle + standby + transition
+    /// equals the makespan (up to spin-up stalls charged past the gap).
+    #[test]
+    fn simulator_time_conservation(p in arb_program(), s in arb_striping()) {
+        let layout = LayoutMap::new(&p, s);
+        let deps = analyze(&p);
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, _) = gen.generate(&apply_transform(&p, &layout, &deps, Transform::Original));
+        prop_assume!(!trace.is_empty());
+        let sim = Simulator::new(DiskParams::default(), PowerPolicy::None, s);
+        let r = sim.run(&trace);
+        for d in &r.per_disk {
+            let wall = d.busy_ms + d.idle_ms + d.standby_ms + d.transition_ms;
+            prop_assert!((wall - r.makespan_ms).abs() < 1e-6,
+                "wall {wall} vs makespan {}", r.makespan_ms);
+        }
+    }
+
+    /// Energy bounds: total energy lies between standby-power-forever and
+    /// active-power-forever.
+    #[test]
+    fn simulator_energy_bounds(p in arb_program(), s in arb_striping(),
+                               policy_kind in 0usize..3) {
+        let layout = LayoutMap::new(&p, s);
+        let deps = analyze(&p);
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, _) = gen.generate(&apply_transform(&p, &layout, &deps, Transform::Original));
+        prop_assume!(!trace.is_empty());
+        let params = DiskParams::default();
+        let policy = match policy_kind {
+            0 => PowerPolicy::None,
+            1 => PowerPolicy::Tpm(TpmConfig::default()),
+            _ => PowerPolicy::Drpm(DrpmConfig::default()),
+        };
+        let sim = Simulator::new(params, policy, s);
+        let r = sim.run(&trace);
+        let secs = r.makespan_ms / 1000.0;
+        let disks = s.num_disks() as f64;
+        let lo = params.standby_power_w * secs * disks * 0.999;
+        // Transitions can exceed active power briefly via the spin-up
+        // energy lump; allow it.
+        let hi = params.active_power_w * secs * disks
+            + (params.spin_up_energy_j + params.spin_down_energy_j)
+              * r.total_spin_downs().max(1) as f64;
+        prop_assert!(r.total_energy_j() >= lo, "energy {} < lo {lo}", r.total_energy_j());
+        prop_assert!(r.total_energy_j() <= hi, "energy {} > hi {hi}", r.total_energy_j());
+    }
+
+    /// Splitting any request covers its byte range exactly, with every
+    /// piece on the disk that striping assigns.
+    #[test]
+    fn split_range_partitions_bytes(s in arb_striping(), offset in 0u64..100_000, len in 1u64..50_000) {
+        let pieces = s.split_range(offset, len);
+        let total: u64 = pieces.iter().map(|&(_, _, l)| l).sum();
+        prop_assert_eq!(total, len);
+        for (d, local, plen) in pieces {
+            prop_assert!(d < s.num_disks());
+            prop_assert!(plen > 0);
+            let _ = local;
+        }
+    }
+
+    /// The trace serialization round-trips.
+    #[test]
+    fn trace_text_round_trip(p in arb_program(), s in arb_striping()) {
+        let layout = LayoutMap::new(&p, s);
+        let deps = analyze(&p);
+        let gen = TraceGenerator::new(&p, &layout, TraceGenOptions::default());
+        let (trace, _) = gen.generate(&apply_transform(&p, &layout, &deps, Transform::Original));
+        let back = Trace::from_text(&trace.to_text()).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        prop_assert_eq!(back.total_bytes(), trace.total_bytes());
+    }
+}
