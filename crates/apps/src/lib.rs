@@ -421,9 +421,7 @@ mod tests {
     fn cholesky_carries_a_dependence() {
         let p = by_name("Cholesky", Scale::Tiny).unwrap().program();
         let deps = dpm_ir::analyze(&p);
-        assert!(deps
-            .nest_exact_distances(0)
-            .contains(&vec![1, 0]));
+        assert!(deps.nest_exact_distances(0).contains(&vec![1, 0]));
     }
 
     #[test]

@@ -1,71 +1,49 @@
-//! Criterion benchmarks for the compiler passes: parsing, dependence
+//! Micro-benchmarks for the compiler passes: parsing, dependence
 //! analysis, single-processor restructuring (Figure 3), and the two
 //! parallelization schemes (§6), measured on the benchmark applications.
+//!
+//! Manual harness (`dpm_bench::microbench`); run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpm_apps::Scale;
-use dpm_core::{
-    parallelize_baseline, parallelize_layout_aware, restructure_single,
-};
+use dpm_bench::microbench::{bench, group};
+use dpm_core::{parallelize_baseline, parallelize_layout_aware, restructure_single};
 use dpm_layout::LayoutMap;
-use std::hint::black_box;
 
-fn bench_parse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parse");
+fn main() {
+    group("parse");
     for app in dpm_apps::suite(Scale::Tiny) {
-        g.bench_with_input(BenchmarkId::from_parameter(app.name), &app, |b, app| {
-            b.iter(|| black_box(dpm_ir::parse_program(&app.source).unwrap()));
+        bench(&format!("parse/{}", app.name), || {
+            dpm_ir::parse_program(&app.source).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_dependence_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dependence_analysis");
+    group("dependence_analysis");
     for app in dpm_apps::suite(Scale::Tiny) {
         let p = app.program();
-        g.bench_with_input(BenchmarkId::from_parameter(app.name), &p, |b, p| {
-            b.iter(|| black_box(dpm_ir::analyze(p)));
+        bench(&format!("dependence_analysis/{}", app.name), || {
+            dpm_ir::analyze(&p)
         });
     }
-    g.finish();
-}
 
-fn bench_restructure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("restructure_single");
-    g.sample_size(10);
+    group("restructure_single");
     for app in dpm_apps::suite(Scale::Small) {
         let p = app.program();
         let layout = LayoutMap::new(&p, dpm_apps::paper_striping());
         let deps = dpm_ir::analyze(&p);
-        g.bench_with_input(BenchmarkId::from_parameter(app.name), &(), |b, _| {
-            b.iter(|| black_box(restructure_single(&p, &layout, &deps)));
+        bench(&format!("restructure_single/{}", app.name), || {
+            restructure_single(&p, &layout, &deps)
         });
     }
-    g.finish();
-}
 
-fn bench_parallelize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parallelize");
-    g.sample_size(10);
+    group("parallelize");
     let app = dpm_apps::by_name("AST", Scale::Small).unwrap();
     let p = app.program();
     let layout = LayoutMap::new(&p, dpm_apps::paper_striping());
     let deps = dpm_ir::analyze(&p);
-    g.bench_function("baseline_4p", |b| {
-        b.iter(|| black_box(parallelize_baseline(&p, &layout, &deps, 4, true)));
+    bench("parallelize/baseline_4p", || {
+        parallelize_baseline(&p, &layout, &deps, 4, true)
     });
-    g.bench_function("layout_aware_4p", |b| {
-        b.iter(|| black_box(parallelize_layout_aware(&p, &layout, &deps, 4, true)));
+    bench("parallelize/layout_aware_4p", || {
+        parallelize_layout_aware(&p, &layout, &deps, 4, true)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_parse,
-    bench_dependence_analysis,
-    bench_restructure,
-    bench_parallelize
-);
-criterion_main!(benches);

@@ -1,10 +1,11 @@
-//! Criterion benchmarks for the polyhedral engine (the Omega substitute):
+//! Micro-benchmarks for the polyhedral engine (the Omega substitute):
 //! Fourier–Motzkin projection, set difference, emptiness, and scanning-loop
 //! generation — the machinery the restructurer leans on.
+//!
+//! Manual harness (`dpm_bench::microbench`); run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::microbench::{bench, group};
 use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest, Set};
-use std::hint::black_box;
 
 /// `{ (i, j) | 0 <= i < n, 0 <= j <= i }`.
 fn triangle(n: i64) -> Polyhedron {
@@ -30,79 +31,55 @@ fn stripe_poly(n: i64, su: i64, disks: i64, d: i64) -> Polyhedron {
         .with_range(1, 0, n - 1)
         .with_range(2, 0, n - 1)
         .with(Constraint::leq(&stripe.scaled(su), &offset))
-        .with(Constraint::leq(&offset, &stripe.scaled(su).plus_const(su - 1)))
+        .with(Constraint::leq(
+            &offset,
+            &stripe.scaled(su).plus_const(su - 1),
+        ))
 }
 
-fn bench_projection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fm_projection");
+fn main() {
+    group("fm_projection");
     for n in [32i64, 128, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let p = triangle(n);
-            b.iter(|| black_box(p.project_onto_prefix(1)));
-        });
+        let p = triangle(n);
+        bench(&format!("fm_projection/{n}"), || p.project_onto_prefix(1));
     }
-    g.finish();
-}
 
-fn bench_set_difference(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_difference");
+    group("set_difference");
     for n in [16i64, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let a = Set::from(triangle(n));
-            let hole = Set::from(
-                Polyhedron::universe(2)
-                    .with_range(0, n / 4, n / 2)
-                    .with_range(1, n / 4, n / 2),
-            );
-            b.iter(|| black_box(a.subtract(&hole)));
-        });
+        let a = Set::from(triangle(n));
+        let hole = Set::from(
+            Polyhedron::universe(2)
+                .with_range(0, n / 4, n / 2)
+                .with_range(1, n / 4, n / 2),
+        );
+        bench(&format!("set_difference/{n}"), || a.subtract(&hole));
     }
-    g.finish();
-}
 
-fn bench_emptiness(c: &mut Criterion) {
-    c.bench_function("emptiness_nontrivial", |b| {
-        // Feasible only at a single point — the search must dig for it.
-        let p = Polyhedron::universe(3)
-            .with_range(0, 0, 100)
-            .with_range(1, 0, 100)
-            .with_range(2, 0, 100)
-            .with(Constraint::eq(
-                &LinExpr::var(3, 0).plus(&LinExpr::var(3, 1)),
-                &LinExpr::constant(3, 150),
-            ))
-            .with(Constraint::eq(
-                &LinExpr::var(3, 1).plus(&LinExpr::var(3, 2)),
-                &LinExpr::constant(3, 150),
-            ));
-        b.iter(|| black_box(p.is_empty()));
-    });
-}
+    group("emptiness");
+    // Feasible only at a single point — the search must dig for it.
+    let p = Polyhedron::universe(3)
+        .with_range(0, 0, 100)
+        .with_range(1, 0, 100)
+        .with_range(2, 0, 100)
+        .with(Constraint::eq(
+            &LinExpr::var(3, 0).plus(&LinExpr::var(3, 1)),
+            &LinExpr::constant(3, 150),
+        ))
+        .with(Constraint::eq(
+            &LinExpr::var(3, 1).plus(&LinExpr::var(3, 2)),
+            &LinExpr::constant(3, 150),
+        ));
+    bench("emptiness_nontrivial", || p.is_empty());
 
-fn bench_codegen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scan_codegen");
+    group("scan_codegen");
     for n in [64i64, 256] {
-        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
-            let p = stripe_poly(n, 64, 4, 1);
-            b.iter(|| black_box(ScanNest::build(&p)));
-        });
-        g.bench_with_input(BenchmarkId::new("execute", n), &n, |b, &n| {
-            let nest = ScanNest::build(&stripe_poly(n, 64, 4, 1));
-            b.iter(|| {
-                let mut count = 0u64;
-                nest.execute(|_| count += 1);
-                black_box(count)
-            });
+        let p = stripe_poly(n, 64, 4, 1);
+        bench(&format!("scan_codegen/build/{n}"), || ScanNest::build(&p));
+        let nest = ScanNest::build(&stripe_poly(n, 64, 4, 1));
+        bench(&format!("scan_codegen/execute/{n}"), || {
+            let mut count = 0u64;
+            nest.execute(|_| count += 1);
+            count
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_projection,
-    bench_set_difference,
-    bench_emptiness,
-    bench_codegen
-);
-criterion_main!(benches);

@@ -1,14 +1,18 @@
-//! Criterion benchmarks for the trace generator and the disk simulator:
-//! requests-per-second throughput under each power policy.
+//! Micro-benchmarks for the trace generator and the disk simulator, plus
+//! an instrumentation-overhead check: the same trace+sim hot path with
+//! `dpm-obs` disabled (the default) and enabled with an in-memory sink.
+//! The disabled figure should be indistinguishable from the baseline —
+//! each instrumentation point is a single relaxed atomic load.
+//!
+//! Manual harness (`dpm_bench::microbench`); run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpm_apps::Scale;
+use dpm_bench::microbench::{bench, group};
 use dpm_bench::ExperimentConfig;
 use dpm_core::{apply_transform, Transform};
 use dpm_disksim::{DrpmConfig, PowerPolicy, Simulator, TpmConfig, Trace};
 use dpm_layout::LayoutMap;
 use dpm_trace::TraceGenerator;
-use std::hint::black_box;
 
 fn prepared_trace(clustered: bool) -> (ExperimentConfig, Trace) {
     let config = ExperimentConfig::default();
@@ -27,61 +31,66 @@ fn prepared_trace(clustered: bool) -> (ExperimentConfig, Trace) {
     (config, trace)
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn main() {
+    group("trace_generation");
     let config = ExperimentConfig::default();
     let app = dpm_apps::by_name("AST", Scale::Small).unwrap();
     let p = app.program();
     let layout = LayoutMap::new(&p, config.striping);
     let deps = dpm_ir::analyze(&p);
     let schedule = apply_transform(&p, &layout, &deps, Transform::Original);
-    let mut g = c.benchmark_group("trace_generation");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(p.total_iterations()));
-    g.bench_function("ast_small", |b| {
-        let gen = TraceGenerator::new(&p, &layout, config.trace);
-        b.iter(|| black_box(gen.generate(&schedule)));
-    });
-    g.finish();
-}
+    let gen = TraceGenerator::new(&p, &layout, config.trace);
+    let r = bench("trace_generation/ast_small", || gen.generate(&schedule));
+    println!(
+        "    ({:.1} ns per loop iteration)",
+        r.ns_per_element(p.total_iterations())
+    );
 
-fn bench_simulation_policies(c: &mut Criterion) {
+    group("simulate");
     let (config, trace) = prepared_trace(false);
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(trace.len() as u64));
     for (name, policy) in [
         ("base", PowerPolicy::None),
         ("tpm", PowerPolicy::Tpm(TpmConfig::default())),
         ("drpm", PowerPolicy::Drpm(DrpmConfig::default())),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
-            let sim = Simulator::new(config.disk, policy, config.striping);
-            b.iter(|| black_box(sim.run(&trace)));
-        });
-    }
-    g.finish();
-}
-
-fn bench_simulation_clustered(c: &mut Criterion) {
-    let (config, trace) = prepared_trace(true);
-    let mut g = c.benchmark_group("simulate_clustered");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("tpm_proactive", |b| {
-        let sim = Simulator::new(
-            config.disk,
-            PowerPolicy::Tpm(TpmConfig::proactive()),
-            config.striping,
+        let sim = Simulator::new(config.disk, policy, config.striping);
+        let r = bench(&format!("simulate/{name}"), || sim.run(&trace));
+        println!(
+            "    ({:.1} ns per request)",
+            r.ns_per_element(trace.len() as u64)
         );
-        b.iter(|| black_box(sim.run(&trace)));
-    });
-    g.finish();
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_trace_generation,
-    bench_simulation_policies,
-    bench_simulation_clustered
-);
-criterion_main!(benches);
+    group("simulate_clustered");
+    let (config, ctrace) = prepared_trace(true);
+    let sim = Simulator::new(
+        config.disk,
+        PowerPolicy::Tpm(TpmConfig::proactive()),
+        config.striping,
+    );
+    bench("simulate_clustered/tpm_proactive", || sim.run(&ctrace));
+
+    group("obs_overhead (trace + simulate hot path)");
+    let sim = Simulator::new(
+        config.disk,
+        PowerPolicy::Tpm(TpmConfig::default()),
+        config.striping,
+    );
+    let hot = || {
+        let (t, _) = gen.generate(&schedule);
+        sim.run(&t)
+    };
+    let off = bench("obs disabled (default)", hot);
+    let collector = dpm_obs::install_collector();
+    dpm_obs::enable();
+    let on = bench("obs enabled (memory sink)", hot);
+    dpm_obs::disable();
+    dpm_obs::clear_sinks();
+    println!(
+        "    disabled {:.3} ms vs enabled {:.3} ms per run \
+         ({} events collected while enabled)",
+        off.ns_per_iter / 1e6,
+        on.ns_per_iter / 1e6,
+        collector.len()
+    );
+}

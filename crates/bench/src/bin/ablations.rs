@@ -63,7 +63,10 @@ fn simulate_with_layout(
 }
 
 fn saving(base: &SimReport, v: &SimReport) -> String {
-    format!("{:+.2}%", 100.0 * (1.0 - v.total_energy_j() / base.total_energy_j()))
+    format!(
+        "{:+.2}%",
+        100.0 * (1.0 - v.total_energy_j() / base.total_energy_j())
+    )
 }
 
 fn main() {
@@ -106,7 +109,13 @@ fn main() {
             spin_down_timeout_ms: 15_200.0 * mult,
             proactive: true,
         };
-        let t = simulate(&program, s, Transform::DiskReuse, PowerPolicy::Tpm(cfg), single);
+        let t = simulate(
+            &program,
+            s,
+            Transform::DiskReuse,
+            PowerPolicy::Tpm(cfg),
+            single,
+        );
         println!(
             "   {:>4.1}x break-even ({:>5.1} s): {} (degr {:+.2}%)",
             mult,
@@ -124,7 +133,13 @@ fn main() {
             proactive: true,
             ..DrpmConfig::default()
         };
-        let t = simulate(&program, s, Transform::DiskReuse, PowerPolicy::Drpm(cfg), single);
+        let t = simulate(
+            &program,
+            s,
+            Transform::DiskReuse,
+            PowerPolicy::Drpm(cfg),
+            single,
+        );
         println!("   min {min_rpm:>6} rpm: {}", saving(&base, &t));
     }
 
@@ -151,8 +166,14 @@ fn main() {
     let groups: Vec<Vec<usize>> = vec![(0..program.arrays.len()).collect()];
     for (label, mapping) in [
         ("one-to-one (default)", FileMapping::one_to_one(&program)),
-        ("all arrays in one file", FileMapping::shared(&program, &groups)),
-        ("first array split x4", FileMapping::split_rows(&program, 0, 4)),
+        (
+            "all arrays in one file",
+            FileMapping::shared(&program, &groups),
+        ),
+        (
+            "first array split x4",
+            FileMapping::split_rows(&program, 0, 4),
+        ),
     ] {
         let b = simulate_with_layout(
             &program,

@@ -2,12 +2,17 @@
 //! Base version — part (a) single processor, part (b) four processors.
 //!
 //! Usage: `figure10 [scale] [csv-path]` (scale: paper | small | tiny).
+//! Always writes the full result set as JSON to `results/figure10.json`;
+//! with `DPM_OBS` set, the JSON additionally carries per-pass timings.
 
 use dpm_apps::Scale;
-use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, Version};
+use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, RunReport, Version};
+use dpm_obs::Json;
 use std::fmt::Write as _;
 
 fn main() {
+    let obs = dpm_obs::init_from_env();
+    let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
@@ -16,6 +21,9 @@ fn main() {
     let csv_path = std::env::args().nth(2);
     let config = ExperimentConfig::default();
     let mut csv = String::from("figure,app,version,degradation\n");
+    let mut report = RunReport::new("figure10")
+        .with_config(&config)
+        .with_field("scale", Json::Str(format!("{scale:?}")));
 
     for (part, procs, versions) in [
         ("10(a)", 1u32, Version::single_cpu().to_vec()),
@@ -39,6 +47,7 @@ fn main() {
                 let _ = writeln!(csv, "{part},{},{},{d:.4}", res.app, v.label());
             }
             println!();
+            report.push_app(&res);
             all.push(res);
         }
         print!("{:<12}", "average");
@@ -63,4 +72,12 @@ fn main() {
         std::fs::write(&path, csv).expect("write csv");
         println!("\nCSV written to {path}");
     }
+    if let Some(c) = &collector {
+        report.add_pass_timings(&c.snapshot());
+    }
+    report
+        .write("results/figure10.json")
+        .expect("write json report");
+    println!("\nJSON report written to results/figure10.json");
+    dpm_obs::flush();
 }

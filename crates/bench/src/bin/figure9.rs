@@ -3,13 +3,18 @@
 //!
 //! Usage: `figure9 [scale] [csv-path]` (scale: paper | small | tiny).
 //! Prints the paper's reported averages next to the measured ones and
-//! optionally writes a CSV with every bar.
+//! optionally writes a CSV with every bar. Always writes the full result
+//! set as JSON to `results/figure9.json`; with `DPM_OBS` set, the JSON
+//! additionally carries per-pass compiler/simulator timings.
 
 use dpm_apps::Scale;
-use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, Version};
+use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, RunReport, Version};
+use dpm_obs::Json;
 use std::fmt::Write as _;
 
 fn main() {
+    let obs = dpm_obs::init_from_env();
+    let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
@@ -18,6 +23,9 @@ fn main() {
     let csv_path = std::env::args().nth(2);
     let config = ExperimentConfig::default();
     let mut csv = String::from("figure,app,version,normalized_energy\n");
+    let mut report = RunReport::new("figure9")
+        .with_config(&config)
+        .with_field("scale", Json::Str(format!("{scale:?}")));
 
     for (part, procs, versions) in [
         ("9(a)", 1u32, Version::single_cpu().to_vec()),
@@ -39,6 +47,7 @@ fn main() {
                 let _ = writeln!(csv, "{part},{},{},{e:.4}", res.app, v.label());
             }
             println!();
+            report.push_app(&res);
             all.push(res);
         }
         print!("{:<12}", "average");
@@ -62,9 +71,7 @@ fn main() {
         }
         println!();
         if procs == 1 {
-            println!(
-                "paper avgs:  TPM ~0%, DRPM 9.95%, T-TPM-s 8.30%, T-DRPM-s 18.30% savings"
-            );
+            println!("paper avgs:  TPM ~0%, DRPM 9.95%, T-TPM-s 8.30%, T-DRPM-s 18.30% savings");
         } else {
             println!(
                 "paper avgs:  T-TPM-s 3.84%, T-DRPM-s 10.66%, T-TPM-m 11.04%, T-DRPM-m 18.04% savings"
@@ -75,4 +82,12 @@ fn main() {
         std::fs::write(&path, csv).expect("write csv");
         println!("\nCSV written to {path}");
     }
+    if let Some(c) = &collector {
+        report.add_pass_timings(&c.snapshot());
+    }
+    report
+        .write("results/figure9.json")
+        .expect("write json report");
+    println!("\nJSON report written to results/figure9.json");
+    dpm_obs::flush();
 }

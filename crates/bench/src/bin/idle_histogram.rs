@@ -3,13 +3,49 @@
 //! periods"). Prints per-version idle-period histograms so the shift from
 //! sub-second gaps to spin-down-worthy windows is directly visible.
 //!
+//! The histograms are built from the instrumentation stream, not from
+//! simulator internals: per-disk timelines are rebuilt from `disk_state`
+//! events ([`dpm_disksim::timelines_from_events`]) and the non-busy gaps
+//! between service periods are bucketed with the generalized
+//! [`dpm_obs::Histogram`] (paper edges by default). Gap lengths measured
+//! this way include any spin-up/speed-change stall inside the gap, so
+//! counts can differ slightly from the simulator's arrival-gap histogram
+//! near bucket edges.
+//!
 //! Usage: `idle_histogram [scale] [app]`.
 
 use dpm_apps::Scale;
 use dpm_bench::{run_app, ExperimentConfig, Version};
-use dpm_disksim::IdleHistogram;
+use dpm_disksim::{timelines_from_events, Span, SpanState};
+use dpm_obs::Histogram;
+
+/// Records every maximal non-busy interval of a timeline (leading and
+/// trailing gaps included, matching the simulator's accounting).
+fn record_gaps(spans: &[Span], h: &mut Histogram) {
+    let mut gap: Option<(f64, f64)> = None;
+    for s in spans {
+        if s.state == SpanState::Busy {
+            if let Some((a, b)) = gap.take() {
+                h.record(b - a);
+            }
+        } else {
+            match &mut gap {
+                Some((_, b)) => *b = s.end_ms,
+                None => gap = Some((s.start_ms, s.end_ms)),
+            }
+        }
+    }
+    if let Some((a, b)) = gap {
+        h.record(b - a);
+    }
+}
 
 fn main() {
+    // This binary consumes the event stream itself, so instrumentation is
+    // always on here; DPM_OBS additionally tees the events to a file.
+    dpm_obs::init_from_env();
+    dpm_obs::enable();
+    let collector = dpm_obs::install_collector();
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
         Some("tiny") => Scale::Tiny,
@@ -20,6 +56,8 @@ fn main() {
         None => dpm_apps::suite(scale),
     };
     let config = ExperimentConfig::default();
+    let num_disks = config.striping.num_disks();
+    let template = Histogram::idle_period_ms();
     for app in &apps {
         for procs in [1u32, 4] {
             let versions = if procs == 1 {
@@ -28,37 +66,41 @@ fn main() {
                 vec![Version::Base, Version::TTpmS, Version::TTpmM]
             };
             let res = run_app(app, &versions, procs, &config);
-            println!("\n{} ({} proc): idle-period histogram per version", app.name, procs);
+            let events = collector.snapshot();
             println!(
-                "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>10}",
-                "version",
-                IdleHistogram::LABELS[0],
-                IdleHistogram::LABELS[1],
-                IdleHistogram::LABELS[2],
-                IdleHistogram::LABELS[3],
-                IdleHistogram::LABELS[4],
-                IdleHistogram::LABELS[5],
-                "spin-worthy",
+                "\n{} ({} proc): idle-period histogram per version (ms buckets)",
+                app.name, procs
             );
-            for r in &res.results {
-                let h = r.report.merged_idle_histogram();
-                let c = h.counts();
-                println!(
-                    "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>10}",
-                    r.version.label(),
-                    c[0],
-                    c[1],
-                    c[2],
-                    c[3],
-                    c[4],
-                    c[5],
-                    h.spin_down_candidates(),
-                );
+            print!("{:<10}", "version");
+            for i in 0..template.counts().len() {
+                print!(" {:>9}", template.label(i));
             }
+            println!("  {:>11}", "spin-worthy");
+            for r in &res.results {
+                let mut h = Histogram::idle_period_ms();
+                let timelines = timelines_from_events(
+                    &events,
+                    r.report.obs_run,
+                    num_disks,
+                    r.report.makespan_ms,
+                );
+                for tl in &timelines {
+                    record_gaps(tl, &mut h);
+                }
+                print!("{:<10}", r.version.label());
+                for c in h.counts() {
+                    print!(" {c:>9}");
+                }
+                // Spin-worthy = at or above the TPM break-even edge (15.2 s).
+                let spin_worthy: u64 = h.counts()[4..].iter().sum();
+                println!("  {spin_worthy:>11}");
+            }
+            collector.clear();
         }
     }
     println!(
         "\nreading guide: restructuring (T-…) moves idle mass from the sub-second\n\
          buckets into the ≥15.2 s buckets that TPM/DRPM can exploit."
     );
+    dpm_obs::flush();
 }

@@ -40,11 +40,7 @@ fn main() {
             for v in &versions {
                 let e = res.normalized_energy(*v).unwrap();
                 let d = res.degradation(*v).unwrap();
-                let r = res
-                    .results
-                    .iter()
-                    .find(|r| r.version == *v)
-                    .unwrap();
+                let r = res.results.iter().find(|r| r.version == *v).unwrap();
                 println!(
                     "  {:<9} energy {:>6.3}  (saving {:>7})  degr {:>9}  downs {:>3} ups {:>3} spd {:>5}  reqs {:>6} GB {:>5.2} mkspan {:>7.1}s seq% {:>3.0}",
                     v.label(),

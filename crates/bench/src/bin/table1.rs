@@ -15,17 +15,41 @@ fn main() {
         "  Average rotation latency     {:>10.1} ms",
         d.rotational_latency_ms(d.max_rpm)
     );
-    println!("  Internal transfer rate       {:>10.1} MB/s", d.transfer_mb_s);
+    println!(
+        "  Internal transfer rate       {:>10.1} MB/s",
+        d.transfer_mb_s
+    );
     println!("  Maximum RPM                  {:>10}", d.max_rpm);
-    println!("  Disk cache size              {:>10} MB", d.cache_bytes / (1 << 20));
+    println!(
+        "  Disk cache size              {:>10} MB",
+        d.cache_bytes / (1 << 20)
+    );
     println!("Disk energy model:");
-    println!("  Power (active)               {:>10.1} W", d.active_power_w);
+    println!(
+        "  Power (active)               {:>10.1} W",
+        d.active_power_w
+    );
     println!("  Power (idle)                 {:>10.1} W", d.idle_power_w);
-    println!("  Power (standby)              {:>10.1} W", d.standby_power_w);
-    println!("  Energy spin down             {:>10.1} J", d.spin_down_energy_j);
-    println!("  Time   spin down             {:>10.1} s", d.spin_down_ms / 1000.0);
-    println!("  Energy spin up               {:>10.1} J", d.spin_up_energy_j);
-    println!("  Time   spin up               {:>10.1} s", d.spin_up_ms / 1000.0);
+    println!(
+        "  Power (standby)              {:>10.1} W",
+        d.standby_power_w
+    );
+    println!(
+        "  Energy spin down             {:>10.1} J",
+        d.spin_down_energy_j
+    );
+    println!(
+        "  Time   spin down             {:>10.1} s",
+        d.spin_down_ms / 1000.0
+    );
+    println!(
+        "  Energy spin up               {:>10.1} J",
+        d.spin_up_energy_j
+    );
+    println!(
+        "  Time   spin up               {:>10.1} s",
+        d.spin_up_ms / 1000.0
+    );
     println!(
         "  TPM break-even threshold     {:>10.1} s (closed form {:.1} s)",
         15.2,
@@ -36,18 +60,39 @@ fn main() {
     println!("  Maximum RPM level            {:>10}", d.max_rpm);
     println!("  Minimum RPM level            {:>10}", dr.min_rpm);
     println!("  RPM step size                {:>10}", dr.rpm_step);
-    println!("  Window size                  {:>10} requests", dr.window_size);
+    println!(
+        "  Window size                  {:>10} requests",
+        dr.window_size
+    );
     println!("  RPM levels: {:?}", dr.levels(d.max_rpm));
     println!("Striping information:");
     println!(
         "  Stripe unit                  {:>10} KB",
         c.striping.stripe_unit() / 1024
     );
-    println!("  Stripe factor (disks)        {:>10}", c.striping.num_disks());
-    println!("  Starting iodevice            {:>10}", c.striping.start_disk());
+    println!(
+        "  Stripe factor (disks)        {:>10}",
+        c.striping.num_disks()
+    );
+    println!(
+        "  Starting iodevice            {:>10}",
+        c.striping.start_disk()
+    );
     println!("Trace generation:");
-    println!("  Page block                  {:>10} B", c.trace.block_bytes);
-    println!("  Max coalesced request       {:>10} B", c.trace.max_request_bytes);
-    println!("  Reuse window                {:>10} blocks", c.trace.reuse_window_blocks);
-    println!("  CPU clock                   {:>10.0} MHz", c.trace.cpu_hz / 1e6);
+    println!(
+        "  Page block                  {:>10} B",
+        c.trace.block_bytes
+    );
+    println!(
+        "  Max coalesced request       {:>10} B",
+        c.trace.max_request_bytes
+    );
+    println!(
+        "  Reuse window                {:>10} blocks",
+        c.trace.reuse_window_blocks
+    );
+    println!(
+        "  CPU clock                   {:>10.0} MHz",
+        c.trace.cpu_hz / 1e6
+    );
 }

@@ -3,10 +3,14 @@
 //! management, single processor).
 //!
 //! Usage: `table2 [scale]` (paper | small | tiny; default paper). Prints
-//! the paper's values alongside for comparison.
+//! the paper's values alongside for comparison and writes the measured
+//! rows as JSON to `results/table2.json`. With `DPM_OBS` set, the whole
+//! run additionally streams instrumentation events (spans, per-disk state
+//! changes) to a JSON-Lines file.
 
 use dpm_apps::Scale;
-use dpm_bench::{run_app, ExperimentConfig, Version};
+use dpm_bench::{run_app, ExperimentConfig, RunReport, Version};
+use dpm_obs::Json;
 
 /// The paper's Table 2 rows: (name, data GB, requests, energy J, io ms).
 const PAPER: [(&str, f64, u64, f64, f64); 6] = [
@@ -19,16 +23,30 @@ const PAPER: [(&str, f64, u64, f64, f64); 6] = [
 ];
 
 fn main() {
+    let obs = dpm_obs::init_from_env();
+    let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Paper,
     };
     let config = ExperimentConfig::default();
+    let mut report = RunReport::new("table2")
+        .with_config(&config)
+        .with_field("scale", Json::Str(format!("{scale:?}")));
     println!("Table 2: application characteristics ({scale:?} scale)");
     println!(
         "{:<12} {:>9} {:>10} {:>12} {:>12} {:>8} | paper: {:>8} {:>9} {:>10} {:>11}",
-        "Name", "Data(GB)", "Requests", "BaseEnergy(J)", "IOTime(ms)", "io-frac", "GB", "Reqs", "Energy(J)", "IOTime(ms)"
+        "Name",
+        "Data(GB)",
+        "Requests",
+        "BaseEnergy(J)",
+        "IOTime(ms)",
+        "io-frac",
+        "GB",
+        "Reqs",
+        "Energy(J)",
+        "IOTime(ms)"
     );
     for app in dpm_apps::suite(scale) {
         let program = app.program();
@@ -49,10 +67,19 @@ fn main() {
             paper.3,
             paper.4,
         );
+        report.push_app(&res);
     }
     println!();
     println!(
         "note: data sizes are scaled down from the paper's testbed; request\n\
          counts scale with data size at matched average request size."
     );
+    if let Some(c) = &collector {
+        report.add_pass_timings(&c.snapshot());
+    }
+    report
+        .write("results/table2.json")
+        .expect("write json report");
+    println!("JSON report written to results/table2.json");
+    dpm_obs::flush();
 }

@@ -3,16 +3,29 @@
 //! strips (`#` busy, `.` idle full-speed, `o` idle reduced-speed,
 //! `_` standby, `~` transition).
 //!
+//! The timelines are not recorded by the simulator: they are rebuilt from
+//! the `disk_state` events of the instrumentation stream
+//! ([`dpm_disksim::timelines_from_events`]), exercising the same path an
+//! external consumer of the JSONL output would use. Each simulation's
+//! events are selected by the `obs_run` id stamped on its report.
+//!
 //! Usage: `timeline [scale] [app]` (default small AST).
 
 use dpm_apps::Scale;
 use dpm_bench::ExperimentConfig;
 use dpm_core::{apply_transform, Transform};
-use dpm_disksim::{ascii_timelines, DrpmConfig, PowerPolicy, Simulator, TpmConfig};
+use dpm_disksim::{
+    ascii_timelines, timelines_from_events, DrpmConfig, PowerPolicy, Simulator, TpmConfig,
+};
 use dpm_layout::LayoutMap;
 use dpm_trace::TraceGenerator;
 
 fn main() {
+    // This binary *is* a consumer of the event stream, so instrumentation
+    // is always on here; DPM_OBS additionally tees the events to a file.
+    dpm_obs::init_from_env();
+    dpm_obs::enable();
+    let collector = dpm_obs::install_collector();
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
         Some("tiny") => Scale::Tiny,
@@ -47,16 +60,21 @@ fn main() {
     for (label, transform, policy) in runs {
         let schedule = apply_transform(&program, &layout, &deps, transform);
         let (trace, _) = gen.generate(&schedule);
-        let sim = Simulator::new(config.disk, policy, config.striping).with_timelines();
+        let sim = Simulator::new(config.disk, policy, config.striping);
         let report = sim.run(&trace);
         println!(
-            "\n{label} — {:.0} J over {:.0} s",
+            "\n{label} — {:.0} J over {:.0} s (rebuilt from run {} of the event stream)",
             report.total_energy_j(),
-            report.makespan_ms / 1000.0
+            report.makespan_ms / 1000.0,
+            report.obs_run,
         );
-        if let Some(tl) = &report.timelines {
-            print!("{}", ascii_timelines(tl, report.makespan_ms, 72));
-        }
+        let timelines = timelines_from_events(
+            &collector.snapshot(),
+            report.obs_run,
+            config.striping.num_disks(),
+            report.makespan_ms,
+        );
+        print!("{}", ascii_timelines(&timelines, report.makespan_ms, 72));
     }
     println!(
         "\nlegend: # busy   . idle (full rpm)   o idle (reduced rpm)   _ standby   ~ transition\n\
@@ -64,4 +82,5 @@ fn main() {
          short request bursts paint solid strips; the per-disk busy fractions in\n\
          the reports are the quantitative view."
     );
+    dpm_obs::flush();
 }

@@ -8,19 +8,25 @@
 //! * `--bin figure9` — normalized disk energy for all code versions, single
 //!   and 4-processor;
 //! * `--bin figure10` — percentage I/O-time degradation for the same runs;
-//! * Criterion benches (`cargo bench`) for the compiler machinery itself.
+//! * dependency-free microbenches (`cargo bench`) for the compiler
+//!   machinery itself, including the instrumentation-overhead check.
 //!
 //! The library part holds the shared experiment pipeline: application →
-//! transform → trace → simulation → normalized metrics.
+//! transform → trace → simulation → normalized metrics. [`RunReport`]
+//! exports the same numbers as machine-readable JSON next to the printed
+//! tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+pub mod report;
+
+pub use report::RunReport;
+
 use dpm_apps::BenchApp;
 use dpm_core::{apply_transform, Assignment, Schedule, Transform};
-use dpm_disksim::{
-    DiskParams, DrpmConfig, PowerPolicy, SimReport, Simulator, TpmConfig, Trace,
-};
+use dpm_disksim::{DiskParams, DrpmConfig, PowerPolicy, SimReport, Simulator, TpmConfig, Trace};
 use dpm_ir::Program;
 use dpm_layout::{LayoutMap, Striping};
 use dpm_trace::{TraceGenOptions, TraceGenerator, TraceStats};

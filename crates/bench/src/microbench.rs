@@ -1,0 +1,130 @@
+//! A small self-contained micro-benchmark harness (the `cargo bench`
+//! targets use it instead of an external framework, so benches build
+//! offline like everything else).
+//!
+//! Method: one warm-up call, then iteration count calibrated so a sample
+//! takes ~[`SAMPLE_MS`] ms, then [`SAMPLES`] timed samples; the reported
+//! figure is the median sample's per-iteration time. That is enough to
+//! compare policies and spot regressions, which is all the targets need.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples taken per benchmark.
+pub const SAMPLES: usize = 7;
+/// Target wall-clock duration of one sample, in milliseconds.
+pub const SAMPLE_MS: f64 = 20.0;
+
+/// Result of one micro-benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Median per-iteration time in nanoseconds.
+    pub ns_per_iter: f64,
+}
+
+impl BenchResult {
+    /// `ns_per_iter` scaled to per-element cost.
+    pub fn ns_per_element(&self, elements: u64) -> f64 {
+        if elements == 0 {
+            0.0
+        } else {
+            self.ns_per_iter / elements as f64
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times `f`, prints one aligned line, and returns the measurement. The
+/// closure's return value is passed through [`black_box`] so the work is
+/// not optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warm-up + calibration: double the count until a sample is long
+    // enough to time reliably.
+    black_box(f());
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms >= SAMPLE_MS || iters >= 1 << 20 {
+            break;
+        }
+        // Jump straight to the target when we already know the rate.
+        let factor = if ms > 0.1 {
+            (SAMPLE_MS / ms).ceil() as u64
+        } else {
+            8
+        };
+        iters = (iters * factor.clamp(2, 64)).min(1 << 20);
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let ns_per_iter = samples[SAMPLES / 2];
+    println!(
+        "{name:<40} {:>12}/iter   ({iters} iters/sample)",
+        human(ns_per_iter)
+    );
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        ns_per_iter,
+    }
+}
+
+/// Prints a section header.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let r = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 1);
+        assert_eq!(r.ns_per_element(0), 0.0);
+        assert!(r.ns_per_element(100) <= r.ns_per_iter);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(12.0), "12.0 ns");
+        assert_eq!(human(1500.0), "1.500 µs");
+        assert_eq!(human(2.5e6), "2.500 ms");
+        assert_eq!(human(3.0e9), "3.000 s");
+    }
+}

@@ -1,0 +1,193 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment binary can export what it printed as one JSON document
+//! written next to its `results/*.txt` output, so downstream tooling
+//! (plotting scripts, regression checks) never has to scrape the tables.
+//! The document is built on `dpm_obs::Json` and carries:
+//!
+//! * the experiment configuration actually in effect,
+//! * per-application, per-version metrics (energy, I/O time, normalized
+//!   energy, degradation, power-management activity),
+//! * when instrumentation is enabled, the per-pass compiler timings
+//!   aggregated from `span_end` events and the `obs_run` id linking each
+//!   simulation to its `disk_state` events in the JSONL stream.
+
+use crate::{AppResults, ExperimentConfig};
+use dpm_obs::{span_durations, Event, Json};
+use std::io;
+use std::path::Path;
+
+/// A run report under construction.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    title: String,
+    config: Option<Json>,
+    apps: Vec<Json>,
+    pass_timings_us: Vec<(String, u64)>,
+    extra: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// Starts a report titled `title` (conventionally the binary name).
+    pub fn new(title: &str) -> RunReport {
+        RunReport {
+            title: title.to_string(),
+            config: None,
+            apps: Vec::new(),
+            pass_timings_us: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Records the experiment configuration in effect.
+    #[must_use]
+    pub fn with_config(mut self, config: &ExperimentConfig) -> RunReport {
+        self.config = Some(Json::obj(vec![
+            ("num_disks", Json::U64(config.striping.num_disks() as u64)),
+            (
+                "stripe_unit_bytes",
+                Json::U64(config.striping.stripe_unit()),
+            ),
+            ("max_rpm", Json::U64(u64::from(config.disk.max_rpm))),
+            ("block_bytes", Json::U64(config.trace.block_bytes)),
+            (
+                "max_request_bytes",
+                Json::U64(config.trace.max_request_bytes),
+            ),
+        ]));
+        self
+    }
+
+    /// Attaches an arbitrary top-level field.
+    #[must_use]
+    pub fn with_field(mut self, key: &str, value: Json) -> RunReport {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds one application's results (all simulated versions).
+    pub fn push_app(&mut self, results: &AppResults) {
+        let versions: Vec<Json> = results
+            .results
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("version", Json::Str(r.version.label().to_string())),
+                    ("energy_j", Json::F64(r.report.total_energy_j())),
+                    ("io_time_ms", Json::F64(r.report.total_io_time_ms)),
+                    ("makespan_ms", Json::F64(r.report.makespan_ms)),
+                    (
+                        "normalized_energy",
+                        Json::F64(results.normalized_energy(r.version).unwrap_or(f64::NAN)),
+                    ),
+                    (
+                        "degradation",
+                        Json::F64(results.degradation(r.version).unwrap_or(f64::NAN)),
+                    ),
+                    ("app_requests", Json::U64(r.report.app_requests)),
+                    ("trace_requests", Json::U64(r.trace_stats.requests)),
+                    ("cache_hits", Json::U64(r.trace_stats.cache_hits)),
+                    ("spin_downs", Json::U64(r.report.total_spin_downs())),
+                    ("speed_changes", Json::U64(r.report.total_speed_changes())),
+                    ("obs_run", Json::U64(r.report.obs_run)),
+                ])
+            })
+            .collect();
+        self.apps.push(Json::obj(vec![
+            ("app", Json::Str(results.app.to_string())),
+            ("procs", Json::U64(u64::from(results.procs))),
+            ("versions", Json::Arr(versions)),
+        ]));
+    }
+
+    /// Aggregates per-pass compiler/simulator timings from an event
+    /// stream (sums of `span_end` durations per span name).
+    pub fn add_pass_timings(&mut self, events: &[Event]) {
+        for (name, us) in span_durations(events) {
+            match self.pass_timings_us.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += us,
+                None => self.pass_timings_us.push((name, us)),
+            }
+        }
+    }
+
+    /// The finished document.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("title", Json::Str(self.title.clone()))];
+        if let Some(config) = &self.config {
+            fields.push(("config", config.clone()));
+        }
+        fields.push(("apps", Json::Arr(self.apps.clone())));
+        if !self.pass_timings_us.is_empty() {
+            fields.push((
+                "pass_timings_us",
+                Json::Obj(
+                    self.pass_timings_us
+                        .iter()
+                        .map(|(n, us)| (n.clone(), Json::U64(*us)))
+                        .collect(),
+                ),
+            ));
+        }
+        let mut json = Json::obj(fields);
+        if let Json::Obj(pairs) = &mut json {
+            for (k, v) in &self.extra {
+                pairs.push((k.clone(), v.clone()));
+            }
+        }
+        json
+    }
+
+    /// Writes the document to `path` (creating parent directories).
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().to_string() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_app, Version};
+    use dpm_apps::Scale;
+    use dpm_obs::kind;
+
+    #[test]
+    fn report_round_trips_and_carries_metrics() {
+        let config = ExperimentConfig::default();
+        let app = dpm_apps::by_name("AST", Scale::Tiny).unwrap();
+        let res = run_app(&app, &[Version::Base, Version::Tpm], 1, &config);
+        let mut rep = RunReport::new("unit").with_config(&config);
+        rep.push_app(&res);
+        rep.add_pass_timings(&[
+            Event::new(0, kind::SPAN_END, "simulate").field("dur_us", 10u64),
+            Event::new(1, kind::SPAN_END, "simulate").field("dur_us", 5u64),
+        ]);
+        let json = rep.to_json();
+        let back = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(back, json);
+        assert_eq!(back.get("title").and_then(Json::as_str), Some("unit"));
+        let apps = back.get("apps").and_then(Json::as_arr).unwrap();
+        assert_eq!(apps.len(), 1);
+        let versions = apps[0].get("versions").and_then(Json::as_arr).unwrap();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(
+            versions[0].get("version").and_then(Json::as_str),
+            Some("Base")
+        );
+        let base_norm = versions[0]
+            .get("normalized_energy")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((base_norm - 1.0).abs() < 1e-12);
+        assert_eq!(
+            back.get("pass_timings_us")
+                .and_then(|t| t.get("simulate"))
+                .and_then(Json::as_u64),
+            Some(15)
+        );
+    }
+}

@@ -88,12 +88,7 @@ pub fn can_interchange(distances: &[&Distance], a: usize, b: usize) -> bool {
 ///
 /// Returns a message when the interchange is illegal (dependence or
 /// non-rectangular bounds).
-pub fn interchange(
-    program: &Program,
-    nest: NestId,
-    a: usize,
-    b: usize,
-) -> Result<Program, String> {
+pub fn interchange(program: &Program, nest: NestId, a: usize, b: usize) -> Result<Program, String> {
     let n = &program.nests[nest];
     if a >= n.depth() || b >= n.depth() || a == b {
         return Err(format!("invalid loop indices {a}, {b}"));
@@ -129,9 +124,7 @@ pub fn interchange(
     let depth = nref.depth();
     let mut perm: Vec<usize> = (0..depth).collect();
     perm.swap(a, b);
-    let remap = |e: &dpm_poly::LinExpr| -> dpm_poly::LinExpr {
-        e.remap(depth, &perm)
-    };
+    let remap = |e: &dpm_poly::LinExpr| -> dpm_poly::LinExpr { e.remap(depth, &perm) };
     for l in &mut nref.loops {
         l.lo = remap(&l.lo);
         l.hi = remap(&l.hi);
@@ -143,7 +136,8 @@ pub fn interchange(
             }
         }
     }
-    out.validate().map_err(|e| format!("interchange broke the program: {e}"))?;
+    out.validate()
+        .map_err(|e| format!("interchange broke the program: {e}"))?;
     Ok(out)
 }
 
@@ -156,12 +150,7 @@ pub fn interchange(
 ///
 /// Returns a message for non-constant bounds, non-divisible trip counts,
 /// or a bad factor.
-pub fn tile(
-    program: &Program,
-    nest: NestId,
-    k: usize,
-    factor: i64,
-) -> Result<Program, String> {
+pub fn tile(program: &Program, nest: NestId, k: usize, factor: i64) -> Result<Program, String> {
     if factor < 2 {
         return Err("tile factor must be at least 2".into());
     }
@@ -185,7 +174,9 @@ pub fn tile(
     let new_depth = old_depth + 1;
     // Old variable v maps to position v (+1 if v >= k): the tile loop sits
     // at position k, the element loop moves to k + 1.
-    let var_map: Vec<usize> = (0..old_depth).map(|v| if v >= k { v + 1 } else { v }).collect();
+    let var_map: Vec<usize> = (0..old_depth)
+        .map(|v| if v >= k { v + 1 } else { v })
+        .collect();
     let remap = |e: &dpm_poly::LinExpr| e.remap(new_depth, &var_map);
 
     let mut out = program.clone();
@@ -225,7 +216,8 @@ pub fn tile(
             }
         }
     }
-    out.validate().map_err(|e| format!("tiling broke the program: {e}"))?;
+    out.validate()
+        .map_err(|e| format!("tiling broke the program: {e}"))?;
     Ok(out)
 }
 

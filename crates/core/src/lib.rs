@@ -133,7 +133,8 @@ mod tests {
             },
         ] {
             let s = apply_transform(&p, &layout, &deps, t);
-            s.validate_coverage(&p).unwrap_or_else(|e| panic!("{t:?}: {e}"));
+            s.validate_coverage(&p)
+                .unwrap_or_else(|e| panic!("{t:?}: {e}"));
         }
     }
 }

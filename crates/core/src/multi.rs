@@ -43,13 +43,23 @@ pub fn parallelize_baseline(
     num_procs: u32,
     cluster: bool,
 ) -> Schedule {
+    let mut sp = dpm_obs::span!("parallelize_baseline");
+    sp.add("procs", u64::from(num_procs));
+    sp.add("phases", program.nests.len() as u64);
     let mut schedule = Schedule::new(num_procs, program.nests.len());
     for ni in 0..program.nests.len() {
         let chunks = baseline_chunks(program, deps, ni, num_procs);
         // Each processor's chunk is restructured independently (§5 applied
         // per processor), so the per-processor disk sweeps interleave.
         finish_phase(
-            program, layout, deps, ni, chunks, cluster, true, &mut schedule,
+            program,
+            layout,
+            deps,
+            ni,
+            chunks,
+            cluster,
+            true,
+            &mut schedule,
         );
     }
     schedule
@@ -70,24 +80,37 @@ pub fn parallelize_layout_aware(
     num_procs: u32,
     cluster: bool,
 ) -> Schedule {
+    let mut sp = dpm_obs::span!("parallelize_layout_aware");
+    sp.add("procs", u64::from(num_procs));
+    sp.add("phases", program.nests.len() as u64);
     let mut schedule = Schedule::new(num_procs, program.nests.len());
     for ni in 0..program.nests.len() {
         let nest = &program.nests[ni];
         let parallel = outermost_parallel_loop(&deps.nest_distances(ni), nest.depth());
-        let has_intra_deps = !deps.nest_exact_distances(ni).is_empty()
-            || deps.nest_requires_original_order(ni);
+        let has_intra_deps =
+            !deps.nest_exact_distances(ni).is_empty() || deps.nest_requires_original_order(ni);
         let chunks = if parallel.is_none() {
             // Fully serial nest: everything on processor 0.
+            sp.incr("serial_phases");
             serial_chunks(program, ni, num_procs)
         } else if has_intra_deps {
             // A data-driven split could break the dependence structure the
             // baseline partition is known to respect; stay conservative.
+            sp.incr("baseline_fallbacks");
             baseline_chunks(program, deps, ni, num_procs)
         } else {
+            sp.incr("region_phases");
             region_chunks(program, layout, ni, num_procs)
         };
         finish_phase(
-            program, layout, deps, ni, chunks, cluster, false, &mut schedule,
+            program,
+            layout,
+            deps,
+            ni,
+            chunks,
+            cluster,
+            false,
+            &mut schedule,
         );
     }
     schedule
@@ -99,6 +122,8 @@ pub fn parallelize_layout_aware(
 /// the dimension with the most votes wins (ties break toward the outer
 /// dimension, the row-block layout of the paper's example).
 pub fn distribution_dims(program: &Program, deps: &DependenceInfo) -> Vec<usize> {
+    let mut sp = dpm_obs::span!("unification");
+    sp.add("arrays", program.arrays.len() as u64);
     let mut votes: Vec<Vec<u32>> = program
         .arrays
         .iter()
@@ -112,6 +137,7 @@ pub fn distribution_dims(program: &Program, deps: &DependenceInfo) -> Vec<usize>
             for (dim, ix) in r.indices.iter().enumerate() {
                 if ix.coeff(par) != 0 {
                     votes[r.array][dim] += 1;
+                    sp.incr("votes");
                 }
             }
         }
@@ -196,6 +222,7 @@ fn serial_chunks(program: &Program, ni: NestId, num_procs: u32) -> Vec<Vec<Compa
 /// disk reuse. Computed as connected components of the "co-referenced in
 /// one statement" relation.
 pub fn affinity_classes(program: &Program) -> Vec<Vec<ArrayId>> {
+    let mut sp = dpm_obs::span!("affinity_classes");
     let n = program.arrays.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
@@ -224,7 +251,10 @@ pub fn affinity_classes(program: &Program) -> Vec<Vec<ArrayId>> {
         let root = find(&mut parent, a);
         classes.entry(root).or_default().push(a);
     }
-    classes.into_values().collect()
+    let out: Vec<Vec<ArrayId>> = classes.into_values().collect();
+    sp.add("arrays", n as u64);
+    sp.add("classes", out.len() as u64);
+    out
 }
 
 /// The processor owning disk `disk` when the disks are divided into
@@ -281,8 +311,7 @@ fn finish_phase(
     rotate: bool,
     schedule: &mut Schedule,
 ) {
-    let serial = deps.nest_requires_original_order(ni)
-        || !deps.nest_exact_distances(ni).is_empty();
+    let serial = deps.nest_requires_original_order(ni) || !deps.nest_exact_distances(ni).is_empty();
     let num_disks = layout.striping().num_disks();
     let num_procs = chunks.len().max(1);
     for (proc, chunk) in chunks.iter_mut().enumerate() {
@@ -494,7 +523,12 @@ mod tests {
             for proc in 0..2u32 {
                 let mut last = 0u32;
                 for it in s.iters(phase, proc) {
-                    let m = iteration_disk_mask(&p, &layout, it.nest as usize, it.coords_into(&mut buf));
+                    let m = iteration_disk_mask(
+                        &p,
+                        &layout,
+                        it.nest as usize,
+                        it.coords_into(&mut buf),
+                    );
                     if m == 0 {
                         continue;
                     }

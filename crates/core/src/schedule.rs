@@ -315,10 +315,7 @@ mod tests {
 
     #[test]
     fn execution_order_streams_in_schedule_order() {
-        let its = vec![
-            CompactIter::new(0, &[5, 0]),
-            CompactIter::new(0, &[1, 1]),
-        ];
+        let its = vec![CompactIter::new(0, &[5, 0]), CompactIter::new(0, &[1, 1])];
         let s = Schedule::single(its);
         let mut seen = Vec::new();
         s.for_each_in_phase(0, 0, &mut |n, pt| seen.push((n, pt.to_vec())));

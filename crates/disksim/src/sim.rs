@@ -90,10 +90,15 @@ impl Simulator {
     ///
     /// Panics if the trace's arrivals are not non-decreasing.
     pub fn run(&self, trace: &Trace) -> SimReport {
+        let obs_run = dpm_obs::next_run_id();
+        let mut sp = dpm_obs::span!("simulate");
+        sp.add("run", obs_run);
+        sp.add("app_requests", trace.len() as u64);
         let n = self.striping.num_disks();
         let mut disks: Vec<DiskSim> = (0..n)
-            .map(|_| {
+            .map(|disk| {
                 let mut d = DiskSim::with_raid(self.params, self.policy, self.raid);
+                d.set_obs_identity(obs_run, disk);
                 if self.timelines {
                     d.record_timeline();
                 }
@@ -128,6 +133,10 @@ impl Simulator {
         for d in &mut disks {
             d.finish(makespan);
         }
+        sp.add(
+            "sub_requests",
+            disks.iter().map(|d| d.stats().requests).sum(),
+        );
         SimReport {
             makespan_ms: makespan,
             total_io_time_ms,
@@ -145,6 +154,7 @@ impl Simulator {
             },
             per_disk: disks.into_iter().map(|d| d.stats().clone()).collect(),
             app_requests: trace.len() as u64,
+            obs_run,
         }
     }
 }
@@ -251,8 +261,8 @@ mod tests {
     fn tpm_beats_base_when_idle_is_long() {
         let reqs = vec![read(0.0, 0, 1024), read(120_000.0, 0, 1024)];
         let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
-        let tpm = simulator(PowerPolicy::Tpm(TpmConfig::default()))
-            .run(&Trace::from_requests(reqs));
+        let tpm =
+            simulator(PowerPolicy::Tpm(TpmConfig::default())).run(&Trace::from_requests(reqs));
         assert!(tpm.total_energy_j() < base.total_energy_j());
         assert!(tpm.total_spin_downs() == 4); // every disk idles long
     }
@@ -260,12 +270,14 @@ mod tests {
     #[test]
     fn drpm_beats_base_on_medium_idle() {
         // 20-second gaps: below TPM's spin-down timeout, ripe for DRPM.
-        let reqs: Vec<IoRequest> = (0..10).map(|k| read(20_000.0 * k as f64, 0, 4096)).collect();
+        let reqs: Vec<IoRequest> = (0..10)
+            .map(|k| read(20_000.0 * k as f64, 0, 4096))
+            .collect();
         let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
         let tpm = simulator(PowerPolicy::Tpm(TpmConfig::default()))
             .run(&Trace::from_requests(reqs.clone()));
-        let drpm = simulator(PowerPolicy::Drpm(DrpmConfig::default()))
-            .run(&Trace::from_requests(reqs));
+        let drpm =
+            simulator(PowerPolicy::Drpm(DrpmConfig::default())).run(&Trace::from_requests(reqs));
         assert!((tpm.total_energy_j() - base.total_energy_j()).abs() < 1e-6);
         assert!(drpm.total_energy_j() < 0.8 * base.total_energy_j());
     }
@@ -274,8 +286,8 @@ mod tests {
     fn report_normalization_helpers() {
         let reqs = vec![read(0.0, 0, 1024), read(60_000.0, 0, 1024)];
         let base = simulator(PowerPolicy::None).run(&Trace::from_requests(reqs.clone()));
-        let drpm = simulator(PowerPolicy::Drpm(DrpmConfig::default()))
-            .run(&Trace::from_requests(reqs));
+        let drpm =
+            simulator(PowerPolicy::Drpm(DrpmConfig::default())).run(&Trace::from_requests(reqs));
         let saving = drpm.energy_saving_vs(&base);
         assert!(saving > 0.0 && saving < 1.0);
         assert!(drpm.degradation_vs(&base) >= 0.0);

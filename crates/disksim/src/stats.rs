@@ -44,9 +44,8 @@ impl IdleHistogram {
     pub const EDGES_MS: [f64; 5] = [10.0, 100.0, 1_000.0, 15_200.0, 60_000.0];
 
     /// Human-readable bucket labels.
-    pub const LABELS: [&'static str; 6] = [
-        "<10ms", "10-100ms", "0.1-1s", "1-15.2s", "15.2-60s", ">60s",
-    ];
+    pub const LABELS: [&'static str; 6] =
+        ["<10ms", "10-100ms", "0.1-1s", "1-15.2s", "15.2-60s", ">60s"];
 
     /// Records one idle period.
     pub fn record(&mut self, ms: f64) {
@@ -115,6 +114,73 @@ pub enum SpanState {
     Transition,
 }
 
+/// Merges adjacent spans that share a state (the form in which a timeline
+/// is reconstructible from `disk_state` events, which mark changes only).
+pub fn coalesce_spans(spans: &[Span]) -> Vec<Span> {
+    let mut out: Vec<Span> = Vec::new();
+    for &s in spans {
+        match out.last_mut() {
+            Some(prev) if prev.state == s.state && (prev.end_ms - s.start_ms).abs() < 1e-9 => {
+                prev.end_ms = s.end_ms;
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Rebuilds per-disk power-state timelines from an instrumentation event
+/// stream: the `disk_state` events of run `run` each open a state at
+/// `at_ms`; the state lasts until the disk's next event (or `end_ms`).
+/// The result is coalesced — equal to [`coalesce_spans`] of the
+/// simulator-recorded timeline of the same run.
+pub fn timelines_from_events(
+    events: &[dpm_obs::Event],
+    run: u64,
+    num_disks: usize,
+    end_ms: f64,
+) -> Vec<Vec<Span>> {
+    let mut changes: Vec<Vec<(f64, SpanState)>> = vec![Vec::new(); num_disks];
+    for ev in events {
+        if ev.kind != dpm_obs::kind::DISK_STATE || ev.num("run") != Some(run as f64) {
+            continue;
+        }
+        let (Some(disk), Some(at_ms)) = (ev.num("disk"), ev.num("at_ms")) else {
+            continue;
+        };
+        let disk = disk as usize;
+        if disk >= num_disks {
+            continue;
+        }
+        let state = match ev.name.as_str() {
+            "busy" => SpanState::Busy,
+            "idle" => SpanState::Idle(ev.num("rpm").unwrap_or(0.0) as u32),
+            "standby" => SpanState::Standby,
+            "transition" => SpanState::Transition,
+            _ => continue,
+        };
+        changes[disk].push((at_ms, state));
+    }
+    changes
+        .into_iter()
+        .map(|mut ch| {
+            ch.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut spans = Vec::with_capacity(ch.len());
+            for (i, &(at_ms, state)) in ch.iter().enumerate() {
+                let end = ch.get(i + 1).map_or_else(|| end_ms.max(at_ms), |n| n.0);
+                if end > at_ms {
+                    spans.push(Span {
+                        start_ms: at_ms,
+                        end_ms: end,
+                        state,
+                    });
+                }
+            }
+            spans
+        })
+        .collect()
+}
+
 /// Renders per-disk timelines as fixed-width ASCII strips:
 /// `#` busy, `.` idle at full speed, `o` idle at reduced speed,
 /// `_` standby, `~` transition.
@@ -141,8 +207,11 @@ pub fn ascii_timelines(timelines: &[Vec<Span>], makespan_ms: f64, width: usize) 
                 }
             }
         }
-        out.push_str(&format!("disk{d}: {}
-", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "disk{d}: {}
+",
+            row.iter().collect::<String>()
+        ));
     }
     out
 }
@@ -171,6 +240,10 @@ pub struct SimReport {
     /// Per-disk power-state timelines, when recording was enabled via
     /// [`Simulator::with_timelines`](crate::Simulator::with_timelines).
     pub timelines: Option<Vec<Vec<Span>>>,
+    /// The instrumentation run id stamped on this run's `disk_state`
+    /// events (see [`timelines_from_events`]). Zero for hand-built
+    /// reports.
+    pub obs_run: u64,
 }
 
 impl SimReport {
@@ -290,6 +363,35 @@ mod tests {
         assert_eq!(h.spin_down_candidates(), 2);
     }
 
+    /// Exact bucket-boundary semantics: a period equal to an edge belongs
+    /// to the bucket *above* that edge (consistent with
+    /// `dpm_obs::Histogram::idle_period_ms`, which uses the same edges).
+    #[test]
+    fn histogram_exact_edges_go_to_the_upper_bucket() {
+        let mut h = IdleHistogram::default();
+        for edge in [10.0, 100.0, 1_000.0, 15_200.0, 60_000.0] {
+            h.record(edge);
+        }
+        assert_eq!(h.counts(), &[0, 1, 1, 1, 1, 1]);
+        // Infinitesimally below each edge lands one bucket lower.
+        let mut low = IdleHistogram::default();
+        for edge in IdleHistogram::EDGES_MS {
+            low.record(edge - 1e-9);
+        }
+        assert_eq!(low.counts(), &[1, 1, 1, 1, 1, 0]);
+        // The break-even edge itself (15.2 s) counts as a candidate.
+        assert_eq!(h.spin_down_candidates(), 2);
+        assert_eq!(low.spin_down_candidates(), 1);
+    }
+
+    #[test]
+    fn histogram_edges_agree_with_obs_preset() {
+        assert_eq!(
+            dpm_obs::Histogram::idle_period_ms().edges(),
+            &IdleHistogram::EDGES_MS
+        );
+    }
+
     #[test]
     fn histogram_merge() {
         let mut a = IdleHistogram::default();
@@ -305,16 +407,130 @@ mod tests {
     #[test]
     fn ascii_timeline_renders_states() {
         let spans = vec![vec![
-            Span { start_ms: 0.0, end_ms: 25.0, state: SpanState::Busy },
-            Span { start_ms: 25.0, end_ms: 50.0, state: SpanState::Idle(15_000) },
-            Span { start_ms: 50.0, end_ms: 75.0, state: SpanState::Standby },
-            Span { start_ms: 75.0, end_ms: 100.0, state: SpanState::Idle(3_000) },
+            Span {
+                start_ms: 0.0,
+                end_ms: 25.0,
+                state: SpanState::Busy,
+            },
+            Span {
+                start_ms: 25.0,
+                end_ms: 50.0,
+                state: SpanState::Idle(15_000),
+            },
+            Span {
+                start_ms: 50.0,
+                end_ms: 75.0,
+                state: SpanState::Standby,
+            },
+            Span {
+                start_ms: 75.0,
+                end_ms: 100.0,
+                state: SpanState::Idle(3_000),
+            },
         ]];
         let art = ascii_timelines(&spans, 100.0, 40);
         assert!(art.starts_with("disk0: "));
         for ch in ['#', '.', '_', 'o'] {
             assert!(art.contains(ch), "missing {ch} in {art}");
         }
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_equal_states() {
+        let spans = [
+            Span {
+                start_ms: 0.0,
+                end_ms: 1.0,
+                state: SpanState::Busy,
+            },
+            Span {
+                start_ms: 1.0,
+                end_ms: 2.0,
+                state: SpanState::Busy,
+            },
+            Span {
+                start_ms: 2.0,
+                end_ms: 3.0,
+                state: SpanState::Idle(15_000),
+            },
+            Span {
+                start_ms: 3.0,
+                end_ms: 4.0,
+                state: SpanState::Idle(3_000),
+            },
+            Span {
+                start_ms: 4.0,
+                end_ms: 5.0,
+                state: SpanState::Busy,
+            },
+        ];
+        let merged = coalesce_spans(&spans);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(
+            merged[0],
+            Span {
+                start_ms: 0.0,
+                end_ms: 2.0,
+                state: SpanState::Busy
+            }
+        );
+        // Different RPM levels are different states.
+        assert_eq!(merged[1].state, SpanState::Idle(15_000));
+        assert_eq!(merged[2].state, SpanState::Idle(3_000));
+    }
+
+    #[test]
+    fn timelines_rebuild_from_events() {
+        use dpm_obs::{kind, Event};
+        let mk = |at_ms: f64, disk: usize, name: &str, rpm: u32| {
+            Event::new(0, kind::DISK_STATE, name)
+                .field("run", 7u64)
+                .field("disk", disk)
+                .field("at_ms", at_ms)
+                .field("rpm", rpm)
+        };
+        let events = vec![
+            mk(0.0, 0, "idle", 15_000),
+            mk(10.0, 0, "busy", 15_000),
+            mk(12.0, 0, "standby", 0),
+            mk(0.0, 1, "idle", 15_000),
+            // Wrong run: must be ignored.
+            Event::new(0, kind::DISK_STATE, "busy")
+                .field("run", 8u64)
+                .field("disk", 1usize)
+                .field("at_ms", 5.0)
+                .field("rpm", 15_000u32),
+        ];
+        let tl = timelines_from_events(&events, 7, 2, 20.0);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(
+            tl[0],
+            vec![
+                Span {
+                    start_ms: 0.0,
+                    end_ms: 10.0,
+                    state: SpanState::Idle(15_000)
+                },
+                Span {
+                    start_ms: 10.0,
+                    end_ms: 12.0,
+                    state: SpanState::Busy
+                },
+                Span {
+                    start_ms: 12.0,
+                    end_ms: 20.0,
+                    state: SpanState::Standby
+                },
+            ]
+        );
+        assert_eq!(
+            tl[1],
+            vec![Span {
+                start_ms: 0.0,
+                end_ms: 20.0,
+                state: SpanState::Idle(15_000)
+            }]
+        );
     }
 
     #[test]
@@ -334,6 +550,7 @@ mod tests {
             per_disk: vec![d],
             idle_histograms: vec![IdleHistogram::default()],
             app_requests: 0,
+            obs_run: 0,
         };
         let oracle = r.oracle_energy_j(&params);
         let expect = 13.5 * 10.0 + 2.5 * 90.0;
@@ -357,6 +574,7 @@ mod tests {
             per_disk: vec![d.clone(), d],
             idle_histograms: vec![IdleHistogram::default(); 2],
             app_requests: 4,
+            obs_run: 0,
         };
         assert_eq!(r.total_energy_j(), 20.0);
         assert_eq!(r.total_sub_requests(), 6);

@@ -2,9 +2,7 @@
 //! transitions at and around each threshold, where off-by-one accounting
 //! errors would silently skew every energy number.
 
-use dpm_disksim::{
-    DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig,
-};
+use dpm_disksim::{DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig};
 
 fn params() -> DiskParams {
     DiskParams::ultrastar_36z15()
@@ -75,7 +73,11 @@ fn tpm_gap_with_standby_charges_reduced_stall_only_when_proactive() {
     assert_eq!(s3.spin_downs, 1);
     assert!(stall3 < 1e-9, "stall {stall3}");
     // Standby shows only the part of the tail the spin-up did not consume.
-    assert!((s3.standby_ms - 3_000.0).abs() < 1e-9, "standby {}", s3.standby_ms);
+    assert!(
+        (s3.standby_ms - 3_000.0).abs() < 1e-9,
+        "standby {}",
+        s3.standby_ms
+    );
 }
 
 #[test]
@@ -112,7 +114,7 @@ fn tpm_energy_accounting_closed_form() {
         + 10.2 * cfg.spin_down_timeout_ms / 1000.0          // idle until timeout
         + 13.0                                              // spin-down energy
         + 2.5 * standby / 1000.0                            // standby
-        + 135.0;                                            // spin-up energy
+        + 135.0; // spin-up energy
     assert!(
         (s.energy_j - expect).abs() < 0.5,
         "energy {} vs hand computation {expect}",
@@ -178,7 +180,11 @@ fn reactive_drpm_services_slowly_after_long_gap() {
     let c1 = d.service(&sub(0.0, 0)).completion_ms;
     let out = d.service(&sub(c1 + 120_000.0, 1 << 30));
     let slow = p.service_ms(4096, cfg.min_rpm, false);
-    assert!((out.service_ms - slow).abs() < 1e-9, "service {}", out.service_ms);
+    assert!(
+        (out.service_ms - slow).abs() < 1e-9,
+        "service {}",
+        out.service_ms
+    );
     d.finish(out.completion_ms);
 }
 

@@ -1,10 +1,13 @@
 //! Property-based tests for the disk power-management state machines:
 //! energy/time conservation, policy dominance relations, and monotonicity
 //! over randomized request streams.
+//!
+//! Off by default: needs the external `proptest` crate, which this tree
+//! does not depend on so that it builds fully offline. To run, re-add a
+//! `proptest` dev-dependency and pass `--features proptests`.
+#![cfg(feature = "proptests")]
 
-use dpm_disksim::{
-    DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig,
-};
+use dpm_disksim::{DiskParams, DiskSim, DrpmConfig, PowerPolicy, SubRequest, TpmConfig};
 use proptest::prelude::*;
 
 /// A stream of sub-requests with randomized gaps (log-scaled from sub-ms to

@@ -52,7 +52,10 @@ impl ArrayDecl {
     /// Panics if `dims` is empty, any extent is zero, or `elem_bytes == 0`.
     pub fn new(name: impl Into<String>, dims: Vec<u64>, elem_bytes: u32) -> Self {
         assert!(!dims.is_empty(), "array must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "array extents must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array extents must be positive"
+        );
         assert!(elem_bytes > 0, "element size must be positive");
         ArrayDecl {
             name: name.into(),
@@ -584,7 +587,10 @@ mod tests {
         // The second nest's reference points at the renamed array.
         assert_eq!(c.nests[1].body[0].refs[0].array, 1);
         assert!(c.validate().is_ok());
-        assert_eq!(c.total_iterations(), a.total_iterations() + b.total_iterations());
+        assert_eq!(
+            c.total_iterations(),
+            a.total_iterations() + b.total_iterations()
+        );
     }
 
     #[test]

@@ -447,9 +447,9 @@ fn pair_distance(
         let range = linear_form_range(
             (0..depth)
                 .map(|v| (a.coeff(v), bbox.get(v).copied().unwrap_or((None, None))))
-                .chain((0..depth).map(|v| {
-                    (-b.coeff(v), bbox.get(v).copied().unwrap_or((None, None)))
-                })),
+                .chain(
+                    (0..depth).map(|v| (-b.coeff(v), bbox.get(v).copied().unwrap_or((None, None)))),
+                ),
         );
         if let Some((min, max)) = range {
             if rhs < min || rhs > max {
@@ -662,7 +662,11 @@ mod tests {
         let info = analyze(&p);
         assert_eq!(info.cross.len(), 1);
         match &info.cross[0] {
-            CrossDep::Exact { src_nest, dst_nest, map } => {
+            CrossDep::Exact {
+                src_nest,
+                dst_nest,
+                map,
+            } => {
                 assert_eq!((*src_nest, *dst_nest), (0, 1));
                 // Sink (i, j) reads A[j][i], written by source (j, i).
                 assert_eq!(map.apply(&[2, 5]), vec![5, 2]);
@@ -755,11 +759,15 @@ mod tests {
         let info = analyze(&q);
         // B write is non-injective (real self output dependence); but no
         // A-to-B dependence exists, and the A reads are read-read.
-        assert!(info.intra.iter().all(|d| {
-            let nest = &q.nests[d.nest];
-            let refs: Vec<_> = nest.body[d.src_stmt].refs.iter().collect();
-            refs.iter().any(|r| q.arrays[r.array].name == "B")
-        }), "{:?}", info.intra);
+        assert!(
+            info.intra.iter().all(|d| {
+                let nest = &q.nests[d.nest];
+                let refs: Vec<_> = nest.body[d.src_stmt].refs.iter().collect();
+                refs.iter().any(|r| q.arrays[r.array].name == "B")
+            }),
+            "{:?}",
+            info.intra
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -368,9 +372,7 @@ impl Parser {
                     while self.try_punct("[") {
                         let e = self.affine(&[])?;
                         if !e.is_constant() || e.constant <= 0 {
-                            return Err(
-                                self.err_here("array extent must be a positive constant")
-                            );
+                            return Err(self.err_here("array extent must be a positive constant"));
                         }
                         dims.push(e.constant as u64);
                         self.eat_punct("]")?;
@@ -555,7 +557,9 @@ impl Parser {
         self.expr_term(arrays, vars, refs)?;
         while matches!(
             self.peek(),
-            Some(Tok::Punct("+")) | Some(Tok::Punct("-")) | Some(Tok::Punct("*"))
+            Some(Tok::Punct("+"))
+                | Some(Tok::Punct("-"))
+                | Some(Tok::Punct("*"))
                 | Some(Tok::Punct("/"))
         ) {
             self.pos += 1;
@@ -691,7 +695,9 @@ impl Parser {
                     Err(self.err_here(format!("unknown identifier `{id}` in affine expression")))
                 }
             }
-            other => Err(self.err_here(format!("unexpected token in affine expression: {other:?}"))),
+            other => {
+                Err(self.err_here(format!("unexpected token in affine expression: {other:?}")))
+            }
         }
     }
 }
@@ -703,10 +709,9 @@ mod tests {
 
     #[test]
     fn parse_minimal() {
-        let p = parse_program(
-            "program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }")
+                .unwrap();
         assert_eq!(p.name, "t");
         assert_eq!(p.arrays.len(), 1);
         assert_eq!(p.nests[0].depth(), 1);

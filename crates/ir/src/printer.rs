@@ -107,8 +107,8 @@ pub fn print_expr(e: &LinExpr, names: &[&str]) -> String {
 
 #[cfg(test)]
 mod tests {
-    use crate::parser::parse_program;
     use super::*;
+    use crate::parser::parse_program;
 
     const SRC: &str = "program rt;
 const N = 8;
@@ -133,9 +133,8 @@ nest L2 {
     fn round_trip_preserves_ir() {
         let p1 = parse_program(SRC).unwrap();
         let printed = print_program(&p1);
-        let p2 = parse_program(&printed).unwrap_or_else(|e| {
-            panic!("reparse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
         assert_eq!(p1.arrays, p2.arrays);
         assert_eq!(p1.nests.len(), p2.nests.len());
         for (n1, n2) in p1.nests.iter().zip(&p2.nests) {

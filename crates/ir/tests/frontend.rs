@@ -102,7 +102,11 @@ fn multiple_writes_in_one_body() {
     assert_eq!(body[0].refs.len(), 1);
     assert_eq!(body[1].refs.len(), 2);
     assert_eq!(
-        body[1].refs.iter().filter(|r| r.kind == AccessKind::Write).count(),
+        body[1]
+            .refs
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .count(),
         1
     );
 }
@@ -141,10 +145,8 @@ fn error_messages_are_actionable() {
 
 #[test]
 fn display_program_via_fmt() {
-    let p = parse_program(
-        "program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }",
-    )
-    .unwrap();
+    let p = parse_program("program t; array A[4] : f64; nest L { for i = 0 .. 3 { A[i] = 1; } }")
+        .unwrap();
     let shown = format!("{p}");
     assert!(shown.contains("program t;"));
     assert!(shown.contains("for i = 0 .. 3"));

@@ -157,8 +157,7 @@ impl LayoutMap {
         let decl = &program.arrays[array];
         let lin = decl.linearize(coords);
         let segs = &self.segments[array];
-        let ix = segs
-            .partition_point(|s| s.lin_hi < lin);
+        let ix = segs.partition_point(|s| s.lin_hi < lin);
         let seg = &segs[ix];
         debug_assert!(seg.lin_lo <= lin && lin <= seg.lin_hi);
         seg.base + (lin - seg.lin_lo) * u64::from(decl.elem_bytes)
@@ -284,11 +283,8 @@ mod tests {
         let p = prog();
         let striping = Striping::new(512, 4, 0);
         let separate = LayoutMap::new(&p, striping);
-        let shared = LayoutMap::with_mapping(
-            &p,
-            striping,
-            &crate::FileMapping::shared(&p, &[vec![0, 1]]),
-        );
+        let shared =
+            LayoutMap::with_mapping(&p, striping, &crate::FileMapping::shared(&p, &[vec![0, 1]]));
         assert!(!shared.is_one_to_one());
         // Separately-filed B starts on disk 0; packed behind A (2048 B =
         // exactly one stripe row here) it also lands on disk 0 — so pad A
@@ -312,11 +308,8 @@ mod tests {
     fn split_rows_places_pieces_on_fresh_stripe_rows() {
         let p = prog();
         let striping = Striping::new(512, 4, 0);
-        let split = LayoutMap::with_mapping(
-            &p,
-            striping,
-            &crate::FileMapping::split_rows(&p, 0, 2),
-        );
+        let split =
+            LayoutMap::with_mapping(&p, striping, &crate::FileMapping::split_rows(&p, 0, 2));
         assert!(!split.is_one_to_one());
         // Rows 0..7 in file 0, rows 8..15 in file 1: both files start at a
         // stripe-row boundary, i.e. on disk 0 — whereas under one-to-one
@@ -326,9 +319,7 @@ mod tests {
         let plain = LayoutMap::new(&p, striping);
         assert_eq!(plain.disk_of_element(&p, 0, &[8, 0]), 2);
         // Element offsets stay monotone within each piece.
-        assert!(
-            split.element_offset(&p, 0, &[7, 15]) < split.element_offset(&p, 0, &[8, 0])
-        );
+        assert!(split.element_offset(&p, 0, &[7, 15]) < split.element_offset(&p, 0, &[8, 0]));
     }
 
     #[test]

@@ -122,8 +122,7 @@ impl FileMapping {
     /// Bytes a slice occupies.
     pub fn slice_bytes(&self, program: &Program, s: &ArraySlice) -> u64 {
         let decl = &program.arrays[s.array];
-        let row_bytes: u64 =
-            decl.dims[1..].iter().product::<u64>() * u64::from(decl.elem_bytes);
+        let row_bytes: u64 = decl.dims[1..].iter().product::<u64>() * u64::from(decl.elem_bytes);
         (s.row_hi - s.row_lo + 1) * row_bytes
     }
 }
@@ -156,10 +155,7 @@ mod tests {
         let m = FileMapping::shared(&p, &[vec![0, 1]]);
         assert_eq!(m.files().len(), 1);
         assert_eq!(m.files()[0].len(), 2);
-        let bytes: u64 = m.files()[0]
-            .iter()
-            .map(|s| m.slice_bytes(&p, s))
-            .sum();
+        let bytes: u64 = m.files()[0].iter().map(|s| m.slice_bytes(&p, s)).sum();
         assert_eq!(bytes, (8 * 4 + 6 * 4) * 8);
     }
 

@@ -1,0 +1,120 @@
+//! A tiny deterministic PRNG (xorshift64\*), replacing the external `rand`
+//! crate for the workspace's few randomness needs (trace arrival jitter,
+//! test-input sampling) so the whole tree builds with no registry access.
+//!
+//! Not cryptographic; statistically fine for jitter and sampling
+//! (Marsaglia's xorshift with the Vigna multiplier, period 2^64 − 1).
+
+/// xorshift64\* generator state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Seeds the generator. A zero seed (the one fixed point of the
+    /// xorshift step) is remapped to an arbitrary odd constant.
+    pub fn new(seed: u64) -> XorShift64Star {
+        XorShift64Star {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[0, max)`; returns `0.0` when `max <= 0`.
+    pub fn uniform(&mut self, max: f64) -> f64 {
+        if max <= 0.0 {
+            0.0
+        } else {
+            self.next_f64() * max
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        // Multiply-shift mapping; bias is < 2^-53 of the span, irrelevant
+        // for test sampling.
+        lo + (self.next_u64() % span) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64Star::new(42);
+        let mut b = XorShift64Star::new(42);
+        let mut c = XorShift64Star::new(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn floats_stay_in_range() {
+        let mut r = XorShift64Star::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let u = r.uniform(2.5);
+            assert!((0.0..2.5).contains(&u), "{u}");
+        }
+        assert_eq!(r.uniform(0.0), 0.0);
+        assert_eq!(r.uniform(-1.0), 0.0);
+    }
+
+    #[test]
+    fn int_range_is_inclusive_and_covers() {
+        let mut r = XorShift64Star::new(99);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = XorShift64Star::new(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

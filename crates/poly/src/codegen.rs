@@ -217,8 +217,16 @@ impl ScanNest {
         let mut out = String::new();
         for (depth, l) in self.loops.iter().enumerate() {
             let indent = "  ".repeat(depth);
-            let lo: Vec<String> = l.lowers.iter().map(|b| b.display_with(names, true)).collect();
-            let hi: Vec<String> = l.uppers.iter().map(|b| b.display_with(names, false)).collect();
+            let lo: Vec<String> = l
+                .lowers
+                .iter()
+                .map(|b| b.display_with(names, true))
+                .collect();
+            let hi: Vec<String> = l
+                .uppers
+                .iter()
+                .map(|b| b.display_with(names, false))
+                .collect();
             let lo = if lo.len() == 1 {
                 lo.into_iter().next().unwrap()
             } else {
@@ -229,7 +237,10 @@ impl ScanNest {
             } else {
                 format!("min({})", hi.join(", "))
             };
-            out.push_str(&format!("{indent}for {} = {} .. {} {{\n", names[l.var], lo, hi));
+            out.push_str(&format!(
+                "{indent}for {} = {} .. {} {{\n",
+                names[l.var], lo, hi
+            ));
         }
         let indent = "  ".repeat(self.loops.len());
         out.push_str(&format!("{indent}{body}\n"));
@@ -301,7 +312,9 @@ mod tests {
 
     #[test]
     fn scan_matches_enumeration_rectangle() {
-        let p = Polyhedron::universe(2).with_range(0, 0, 4).with_range(1, -2, 2);
+        let p = Polyhedron::universe(2)
+            .with_range(0, 0, 4)
+            .with_range(1, -2, 2);
         let nest = ScanNest::build(&p);
         let mut scanned = Vec::new();
         nest.execute(|pt| scanned.push(pt.to_vec()));
@@ -343,7 +356,9 @@ mod tests {
 
     #[test]
     fn display_contains_loops() {
-        let p = Polyhedron::universe(2).with_range(0, 0, 3).with_range(1, 0, 3);
+        let p = Polyhedron::universe(2)
+            .with_range(0, 0, 3)
+            .with_range(1, 0, 3);
         let nest = ScanNest::build(&p);
         let text = nest.display_with(&["i", "j"], "body(i, j);");
         assert!(text.contains("for i = 0 .. 3 {"));

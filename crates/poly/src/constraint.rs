@@ -299,7 +299,10 @@ mod tests {
     #[test]
     fn display_names() {
         let c = Constraint::geq_zero(
-            LinExpr::var(2, 0).scaled(3).minus(&LinExpr::var(2, 1)).plus_const(1),
+            LinExpr::var(2, 0)
+                .scaled(3)
+                .minus(&LinExpr::var(2, 1))
+                .plus_const(1),
         );
         assert_eq!(c.display_with(&["i", "j"]), "3*i - j + 1 >= 0");
     }

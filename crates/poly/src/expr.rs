@@ -107,7 +107,10 @@ impl LinExpr {
     ///
     /// Panics if `index >= dim`.
     pub fn var(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "variable index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "variable index {index} out of range for dim {dim}"
+        );
         let mut coeffs = vec![0; dim];
         coeffs[index] = 1;
         LinExpr {
@@ -178,7 +181,11 @@ impl LinExpr {
     /// Panics if the dimensions differ or on coefficient overflow.
     #[must_use]
     pub fn plus(&self, other: &LinExpr) -> Self {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in LinExpr::plus");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dimension mismatch in LinExpr::plus"
+        );
         let coeffs = self
             .coeffs
             .iter()
@@ -246,7 +253,10 @@ impl LinExpr {
     /// Panics if a coefficient beyond `point.len()` is non-zero.
     pub fn eval_prefix(&self, point: &[i64]) -> i64 {
         for (i, &c) in self.coeffs.iter().enumerate().skip(point.len()) {
-            assert!(c == 0, "eval_prefix: variable {i} is unbound but has coefficient {c}");
+            assert!(
+                c == 0,
+                "eval_prefix: variable {i} is unbound but has coefficient {c}"
+            );
         }
         let mut acc: i128 = self.constant as i128;
         for (c, x) in self.coeffs.iter().zip(point) {
@@ -265,7 +275,11 @@ impl LinExpr {
     /// overflow.
     #[must_use]
     pub fn substitute(&self, index: usize, replacement: &LinExpr) -> Self {
-        assert_eq!(self.dim(), replacement.dim(), "dimension mismatch in substitute");
+        assert_eq!(
+            self.dim(),
+            replacement.dim(),
+            "dimension mismatch in substitute"
+        );
         assert_eq!(
             replacement.coeff(index),
             0,
@@ -424,7 +438,9 @@ mod tests {
 
     #[test]
     fn remap_into_larger_space() {
-        let e = LinExpr::var(2, 0).plus(&LinExpr::var(2, 1).scaled(5)).plus_const(-2);
+        let e = LinExpr::var(2, 0)
+            .plus(&LinExpr::var(2, 1).scaled(5))
+            .plus_const(-2);
         let m = e.remap(4, &[3, 1]);
         assert_eq!(m.dim(), 4);
         assert_eq!(m.coeff(3), 1);
@@ -447,7 +463,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LinExpr::var(2, 0).scaled(2).minus(&LinExpr::var(2, 1)).plus_const(-3);
+        let e = LinExpr::var(2, 0)
+            .scaled(2)
+            .minus(&LinExpr::var(2, 1))
+            .plus_const(-3);
         assert_eq!(e.display_with(&["i", "j"]), "2*i - j - 3");
         assert_eq!(LinExpr::zero(1).display_with(&["i"]), "0");
     }

@@ -44,7 +44,7 @@ mod set;
 
 pub use codegen::{BoundTerm, ScanLoop, ScanNest, ScanProgram};
 pub use constraint::{Constraint, Relation};
-pub use map::AffineMap;
 pub use expr::{ceil_div, floor_div, gcd, LinExpr};
+pub use map::AffineMap;
 pub use polyhedron::Polyhedron;
 pub use set::Set;

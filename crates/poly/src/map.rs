@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn graph_contains_exactly_the_pairs() {
         let m = transpose_shift();
-        let dom = Polyhedron::universe(2).with_range(0, 0, 3).with_range(1, 0, 3);
+        let dom = Polyhedron::universe(2)
+            .with_range(0, 0, 3)
+            .with_range(1, 0, 3);
         let g = m.graph(&dom);
         assert_eq!(g.dim(), 4);
         assert!(g.contains(&[1, 2, 2, 2]));
@@ -231,18 +233,21 @@ mod tests {
     #[test]
     fn image_of_box() {
         let m = transpose_shift();
-        let s = Set::from(Polyhedron::universe(2).with_range(0, 0, 1).with_range(1, 5, 6));
-        let img = m.image(&s);
-        assert_eq!(
-            img,
-            vec![vec![5, 1], vec![5, 2], vec![6, 1], vec![6, 2]]
+        let s = Set::from(
+            Polyhedron::universe(2)
+                .with_range(0, 0, 1)
+                .with_range(1, 5, 6),
         );
+        let img = m.image(&s);
+        assert_eq!(img, vec![vec![5, 1], vec![5, 2], vec![6, 1], vec![6, 2]]);
     }
 
     #[test]
     fn preimage_inverts_image() {
         let m = transpose_shift();
-        let dom = Polyhedron::universe(2).with_range(0, 0, 9).with_range(1, 0, 9);
+        let dom = Polyhedron::universe(2)
+            .with_range(0, 0, 9)
+            .with_range(1, 0, 9);
         // Target: first output coordinate == 4 (i.e. j == 4).
         let target = Polyhedron::universe(2).with(Constraint::eq(
             &LinExpr::var(2, 0),

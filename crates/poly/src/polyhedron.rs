@@ -144,9 +144,11 @@ impl Polyhedron {
             return Polyhedron::empty(self.dim);
         }
         // Fast path: an equality with a ±1 coefficient lets us substitute.
-        if let Some(pos) = self.constraints.iter().position(|c| {
-            c.relation() == Relation::EqZero && c.expr().coeff(var).abs() == 1
-        }) {
+        if let Some(pos) = self
+            .constraints
+            .iter()
+            .position(|c| c.relation() == Relation::EqZero && c.expr().coeff(var).abs() == 1)
+        {
             let eqc = self.constraints[pos].clone();
             let a = eqc.expr().coeff(var);
             // a*x + e == 0  =>  x == -e/a; for a = ±1, x = -a*e.
@@ -394,9 +396,10 @@ impl Polyhedron {
                     rest.add(c.clone());
                 }
             }
-            let implied = candidate.negations().iter().all(|neg| {
-                rest.clone().with(neg.clone()).is_rationally_empty()
-            });
+            let implied = candidate
+                .negations()
+                .iter()
+                .all(|neg| rest.clone().with(neg.clone()).is_rationally_empty());
             if implied {
                 kept.remove(i);
             } else {
@@ -484,7 +487,11 @@ impl Polyhedron {
         if self.constraints.is_empty() {
             return "{ true }".to_string();
         }
-        let parts: Vec<String> = self.constraints.iter().map(|c| c.display_with(names)).collect();
+        let parts: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|c| c.display_with(names))
+            .collect();
         format!("{{ {} }}", parts.join(" and "))
     }
 }
@@ -529,9 +536,7 @@ mod tests {
 
     #[test]
     fn empty_by_contradiction() {
-        let p = rect(1, &[(0, 5)]).with(Constraint::geq_zero(
-            LinExpr::var(1, 0).plus_const(-10),
-        ));
+        let p = rect(1, &[(0, 5)]).with(Constraint::geq_zero(LinExpr::var(1, 0).plus_const(-10)));
         assert!(p.is_empty());
         assert_eq!(p.count_points(), 0);
     }

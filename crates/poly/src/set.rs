@@ -212,7 +212,11 @@ impl Set {
     pub fn constrained(&self, c: &Constraint) -> Set {
         Set {
             dim: self.dim,
-            parts: self.parts.iter().map(|p| p.clone().with(c.clone())).collect(),
+            parts: self
+                .parts
+                .iter()
+                .map(|p| p.clone().with(c.clone()))
+                .collect(),
         }
     }
 
@@ -309,12 +313,13 @@ mod tests {
     #[test]
     fn two_dimensional_difference() {
         let square = Set::from(
-            Polyhedron::universe(2).with_range(0, 0, 3).with_range(1, 0, 3),
+            Polyhedron::universe(2)
+                .with_range(0, 0, 3)
+                .with_range(1, 0, 3),
         );
-        let diag = Set::from(Polyhedron::universe(2).with(Constraint::eq(
-            &LinExpr::var(2, 0),
-            &LinExpr::var(2, 1),
-        )));
+        let diag = Set::from(
+            Polyhedron::universe(2).with(Constraint::eq(&LinExpr::var(2, 0), &LinExpr::var(2, 1))),
+        );
         let off = square.subtract(&diag);
         assert_eq!(off.count_points(), 16 - 4);
         assert!(!off.contains(&[2, 2]));
@@ -326,7 +331,11 @@ mod tests {
         let e = Set::empty(2);
         assert!(e.is_empty());
         assert_eq!(e.count_points(), 0);
-        let a = Set::from(Polyhedron::universe(2).with_range(0, 0, 1).with_range(1, 0, 1));
+        let a = Set::from(
+            Polyhedron::universe(2)
+                .with_range(0, 0, 1)
+                .with_range(1, 0, 1),
+        );
         assert_eq!(a.subtract(&e).count_points(), 4);
         assert_eq!(a.intersect(&e).count_points(), 0);
         assert_eq!(a.union(&e).count_points(), 4);

@@ -1,6 +1,11 @@
 //! Property-based tests for the set algebra and the loop generator: the
 //! algebraic laws the restructurer depends on, checked over random boxes,
 //! halfspaces, and congruence-style constraints.
+//!
+//! Off by default: needs the external `proptest` crate, which this tree
+//! does not depend on so that it builds fully offline. To run, re-add a
+//! `proptest` dev-dependency and pass `--features proptests`.
+#![cfg(feature = "proptests")]
 
 use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest, ScanProgram, Set};
 use proptest::prelude::*;

@@ -39,8 +39,7 @@
 use dpm_disksim::{DiskParams, IoRequest, RequestKind, Trace};
 use dpm_ir::{AccessKind, NestId, Program};
 use dpm_layout::LayoutMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dpm_obs::XorShift64Star;
 use std::collections::VecDeque;
 
 /// Options controlling trace generation.
@@ -193,7 +192,7 @@ struct Pending {
 /// Per-processor execution state during generation.
 struct ProcState {
     clock_ms: f64,
-    rng: StdRng,
+    rng: XorShift64Star,
     /// Requests under assembly, one per active stream.
     pending: Vec<Pending>,
     /// Recently-touched blocks (FIFO eviction).
@@ -206,11 +205,7 @@ struct ProcState {
 
 impl ProcState {
     fn jitter(&mut self, max_ms: f64) -> f64 {
-        if max_ms <= 0.0 {
-            0.0
-        } else {
-            self.rng.gen_range(0.0..max_ms)
-        }
+        self.rng.uniform(max_ms)
     }
 }
 
@@ -246,13 +241,16 @@ impl<'p> TraceGenerator<'p> {
     /// processor's clock advances to the slowest one's before the next
     /// phase starts, and pending requests are flushed.
     pub fn generate(&self, order: &dyn ExecutionOrder) -> (Trace, TraceStats) {
+        let mut sp = dpm_obs::span!("trace_generate");
         let mut stats = TraceStats::default();
         let mut all = Vec::new();
         let nprocs = order.num_procs();
+        sp.add("procs", u64::from(nprocs));
+        sp.add("phases", order.num_phases() as u64);
         let mut states: Vec<ProcState> = (0..nprocs)
             .map(|proc| ProcState {
                 clock_ms: 0.0,
-                rng: StdRng::seed_from_u64(0x5eed_0000 + proc as u64),
+                rng: XorShift64Star::new(0x5eed_0000 + proc as u64),
                 pending: Vec::new(),
                 recent: VecDeque::with_capacity(self.options.reuse_window_blocks),
                 disk_streams: vec![VecDeque::new(); self.layout.striping().num_disks()],
@@ -276,10 +274,7 @@ impl<'p> TraceGenerator<'p> {
                 self.flush_all(proc as u32, contention, st, &mut stats);
             }
             // Barrier: synchronize clocks.
-            let max_clock = states
-                .iter()
-                .map(|s| s.clock_ms)
-                .fold(0.0_f64, f64::max);
+            let max_clock = states.iter().map(|s| s.clock_ms).fold(0.0_f64, f64::max);
             for st in &mut states {
                 st.clock_ms = max_clock;
             }
@@ -287,6 +282,9 @@ impl<'p> TraceGenerator<'p> {
         for st in states {
             all.extend(st.requests);
         }
+        sp.add("requests", stats.requests);
+        sp.add("cache_hits", stats.cache_hits);
+        sp.add("element_accesses", stats.element_accesses);
         (Trace::from_requests(all), stats)
     }
 
@@ -302,9 +300,7 @@ impl<'p> TraceGenerator<'p> {
                 for stmt in &self.program.nests[nest].body {
                     for r in &stmt.refs {
                         let coords = r.element_at(iter);
-                        let d = self
-                            .layout
-                            .disk_of_element(self.program, r.array, &coords);
+                        let d = self.layout.disk_of_element(self.program, r.array, &coords);
                         *mask |= 1 << (d as u64 % 64);
                     }
                 }
@@ -419,6 +415,16 @@ impl<'p> TraceGenerator<'p> {
         }
         if !any_miss {
             stats.cache_hits += 1;
+            // Per-element events are voluminous; they are only emitted in
+            // verbose mode, and otherwise summarized by the
+            // `trace_generate` span's cache_hits counter.
+            if dpm_obs::verbose() {
+                dpm_obs::emit(
+                    dpm_obs::kind::CACHE_HIT,
+                    "reuse_window",
+                    &[("proc", proc.into()), ("block", first_block.into())],
+                );
+            }
         }
     }
 
@@ -431,8 +437,35 @@ impl<'p> TraceGenerator<'p> {
         }
     }
 
-    fn emit(&self, proc: u32, p: Pending, contention: f64, st: &mut ProcState, stats: &mut TraceStats) {
+    fn emit(
+        &self,
+        proc: u32,
+        p: Pending,
+        contention: f64,
+        st: &mut ProcState,
+        stats: &mut TraceStats,
+    ) {
         let arrival = p.first_ms + st.jitter(self.options.arrival_jitter_ms);
+        if dpm_obs::enabled() {
+            dpm_obs::emit(
+                dpm_obs::kind::REQUEST,
+                "io_request",
+                &[
+                    ("proc", proc.into()),
+                    ("at_ms", arrival.into()),
+                    ("offset", p.offset.into()),
+                    ("len", p.len.into()),
+                    (
+                        "op",
+                        match p.kind {
+                            RequestKind::Read => "read",
+                            RequestKind::Write => "write",
+                        }
+                        .into(),
+                    ),
+                ],
+            );
+        }
         st.requests.push(IoRequest {
             arrival_ms: arrival,
             offset: p.offset,
@@ -451,8 +484,7 @@ impl<'p> TraceGenerator<'p> {
             let mut worst = 0.0_f64;
             for (disk, local_byte, len) in self.layout.striping().split_range(p.offset, p.len) {
                 let streams = &mut st.disk_streams[disk];
-                let sequential = if let Some(slot) =
-                    streams.iter_mut().find(|e| **e == local_byte)
+                let sequential = if let Some(slot) = streams.iter_mut().find(|e| **e == local_byte)
                 {
                     *slot = local_byte + len;
                     true
@@ -629,8 +661,18 @@ mod tests {
         let lc = LayoutMap::new(&col, striping);
         let (tr, sr) = TraceGenerator::new(&row, &lr, opts).generate(&OriginalOrder::new(&row));
         let (tc, sc) = TraceGenerator::new(&col, &lc, opts).generate(&OriginalOrder::new(&col));
-        assert!(sc.bytes > 16 * sr.bytes, "row {} col {} bytes", sr.bytes, sc.bytes);
-        assert!(tc.len() >= tr.len(), "row {} col {} reqs", tr.len(), tc.len());
+        assert!(
+            sc.bytes > 16 * sr.bytes,
+            "row {} col {} bytes",
+            sr.bytes,
+            sc.bytes
+        );
+        assert!(
+            tc.len() >= tr.len(),
+            "row {} col {} reqs",
+            tr.len(),
+            tc.len()
+        );
     }
 
     #[test]
@@ -645,7 +687,12 @@ mod tests {
             fn num_phases(&self) -> usize {
                 2
             }
-            fn for_each_in_phase(&self, phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+            fn for_each_in_phase(
+                &self,
+                phase: usize,
+                proc: u32,
+                f: &mut dyn FnMut(NestId, &[i64]),
+            ) {
                 // Phase 0: proc 0 runs the whole nest; phase 1: proc 1 does.
                 if (phase == 0 && proc == 0) || (phase == 1 && proc == 1) {
                     walk_nest(&self.0.nests[0], &mut |pt| f(0, pt));
@@ -687,7 +734,12 @@ mod tests {
             fn num_procs(&self) -> u32 {
                 self.1
             }
-            fn for_each_in_phase(&self, _phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+            fn for_each_in_phase(
+                &self,
+                _phase: usize,
+                proc: u32,
+                f: &mut dyn FnMut(NestId, &[i64]),
+            ) {
                 walk_nest(&self.0.nests[0], &mut |pt| {
                     if (pt[1].rem_euclid(self.1 as i64)) as u32 == proc {
                         f(0, pt);
@@ -745,7 +797,12 @@ mod tests {
             fn num_procs(&self) -> u32 {
                 2
             }
-            fn for_each_in_phase(&self, _phase: usize, proc: u32, f: &mut dyn FnMut(NestId, &[i64])) {
+            fn for_each_in_phase(
+                &self,
+                _phase: usize,
+                proc: u32,
+                f: &mut dyn FnMut(NestId, &[i64]),
+            ) {
                 // Processor p executes the half of nest 0 with i % 2 == p.
                 walk_nest(&self.0.nests[0], &mut |pt| {
                     if (pt[0] % 2) as u32 == proc {

@@ -27,7 +27,10 @@ nest L {
     let striping = Striping::new(32, 4, 0);
     let layout = LayoutMap::new(&program, striping);
     let deps = analyze(&program);
-    println!("dependence distances of nest L: {:?}", deps.nest_exact_distances(0));
+    println!(
+        "dependence distances of nest L: {:?}",
+        deps.nest_exact_distances(0)
+    );
 
     let schedule = restructure_single(&program, &layout, &deps);
     schedule.validate_coverage(&program)?;
@@ -55,10 +58,19 @@ nest L {
     flush(last_disk, &mut run);
 
     // Verify legality explicitly: every predecessor runs first.
-    let order: Vec<i64> = schedule.iters(0, 0).iter().map(|it| it.coords()[0]).collect();
+    let order: Vec<i64> = schedule
+        .iters(0, 0)
+        .iter()
+        .map(|it| it.coords()[0])
+        .collect();
     let pos = |v: i64| order.iter().position(|&x| x == v).unwrap();
     for i in 6..64 {
-        assert!(pos(i - 3) < pos(i), "dependence {} -> {} violated", i - 3, i);
+        assert!(
+            pos(i - 3) < pos(i),
+            "dependence {} -> {} violated",
+            i - 3,
+            i
+        );
     }
     println!("\nall {} dependences respected ✓", 64 - 6);
 

@@ -9,23 +9,15 @@
 use disk_reuse::core::iteration_disk_mask;
 use disk_reuse::prelude::*;
 
-fn footprints(
-    program: &Program,
-    layout: &LayoutMap,
-    schedule: &Schedule,
-) -> Vec<Vec<u64>> {
+fn footprints(program: &Program, layout: &LayoutMap, schedule: &Schedule) -> Vec<Vec<u64>> {
     (0..schedule.num_phases())
         .map(|phase| {
             (0..schedule.num_procs())
                 .map(|proc| {
                     let mut mask = 0u64;
                     for it in schedule.iters(phase, proc) {
-                        mask |= iteration_disk_mask(
-                            program,
-                            layout,
-                            it.nest as usize,
-                            &it.coords(),
-                        );
+                        mask |=
+                            iteration_disk_mask(program, layout, it.nest as usize, &it.coords());
                     }
                     mask
                 })
@@ -83,10 +75,14 @@ nest L3 { for i = 0 .. N-1 { for j = 0 .. N-1 { B[i][j] = h(A[i][j]); } } }
     );
 
     // Simulate both under proactive TPM.
-    let gen = TraceGenerator::new(&program, &layout, TraceGenOptions {
-        max_request_bytes: striping.stripe_unit(),
-        ..TraceGenOptions::default()
-    });
+    let gen = TraceGenerator::new(
+        &program,
+        &layout,
+        TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+    );
     let (tb, _) = gen.generate(&baseline);
     let (ta, _) = gen.generate(&aware);
     let base_sim = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);

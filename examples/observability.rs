@@ -1,0 +1,71 @@
+//! Observability tour: instrument the whole pipeline with `dpm-obs`,
+//! stream events to a JSON-Lines file, and reconstruct per-disk
+//! power-state timelines and per-pass timings from that file alone —
+//! exactly what an external analysis script would do.
+//!
+//! Run with: `cargo run --example observability`
+//! (set `DPM_OBS_PATH` to choose where the event stream goes).
+
+use disk_reuse::obs::{self, read_json_lines, span_durations, JsonLinesSink};
+use disk_reuse::prelude::*;
+use dpm_disksim::{ascii_timelines, timelines_from_events};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::var("DPM_OBS_PATH").unwrap_or_else(|_| "dpm-obs.jsonl".into());
+    obs::install_sink(Box::new(JsonLinesSink::create(&path)?));
+    obs::enable();
+
+    // An ordinary pipeline run — no observability-specific code in it.
+    let app = by_name("AST", Scale::Tiny).expect("AST exists");
+    let program = app.program();
+    let striping = Striping::paper_default();
+    let layout = LayoutMap::new(&program, striping);
+    let deps = analyze(&program);
+    let schedule = apply_transform(&program, &layout, &deps, Transform::DiskReuse);
+    let gen = TraceGenerator::new(
+        &program,
+        &layout,
+        TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+    );
+    let (trace, _) = gen.generate(&schedule);
+    let sim = Simulator::new(
+        DiskParams::default(),
+        PowerPolicy::Tpm(TpmConfig::proactive()),
+        striping,
+    );
+    let report = sim.run(&trace);
+
+    // Flush the stream, then work from the file only.
+    obs::disable();
+    obs::clear_sinks();
+    let events = read_json_lines(&path)??;
+    println!("{} events in {path}", events.len());
+
+    println!("\nper-pass timings (µs):");
+    for (name, us) in span_durations(&events) {
+        println!("  {name:<22} {us:>10}");
+    }
+
+    println!("\nper-disk power-state timelines, rebuilt from the stream:");
+    let timelines = timelines_from_events(
+        &events,
+        report.obs_run,
+        striping.num_disks(),
+        report.makespan_ms,
+    );
+    print!("{}", ascii_timelines(&timelines, report.makespan_ms, 72));
+    println!(
+        "legend: # busy   . idle (full rpm)   o idle (reduced rpm)   _ standby   ~ transition"
+    );
+    println!(
+        "\nsimulated: {:.0} J, {} spin-downs over {:.0} s (run id {})",
+        report.total_energy_j(),
+        report.total_spin_downs(),
+        report.makespan_ms / 1000.0,
+        report.obs_run,
+    );
+    Ok(())
+}

@@ -47,10 +47,14 @@ nest L2 {
 
     // Generate traces for the original and the disk-reuse-restructured
     // order.
-    let gen = TraceGenerator::new(&program, &layout, TraceGenOptions {
-        max_request_bytes: striping.stripe_unit(),
-        ..TraceGenOptions::default()
-    });
+    let gen = TraceGenerator::new(
+        &program,
+        &layout,
+        TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+    );
     let original = apply_transform(&program, &layout, &deps, Transform::Original);
     let restructured = apply_transform(&program, &layout, &deps, Transform::DiskReuse);
     let (trace_orig, _) = gen.generate(&original);

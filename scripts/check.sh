@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full offline quality gate: build, tests, formatting, lints.
+#
+# Everything runs with --offline: the tree has no registry dependencies by
+# design (see README "Building offline"), so this must pass on a machine
+# with no network access at all.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -81,13 +81,25 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--transform" => o.transform = val("--transform")?,
             "--policy" => o.policy = val("--policy")?,
-            "--procs" => o.procs = val("--procs")?.parse().map_err(|e| format!("--procs: {e}"))?,
-            "--stripe" => {
-                o.stripe_unit = val("--stripe")?.parse().map_err(|e| format!("--stripe: {e}"))?
+            "--procs" => {
+                o.procs = val("--procs")?
+                    .parse()
+                    .map_err(|e| format!("--procs: {e}"))?
             }
-            "--disks" => o.disks = val("--disks")?.parse().map_err(|e| format!("--disks: {e}"))?,
+            "--stripe" => {
+                o.stripe_unit = val("--stripe")?
+                    .parse()
+                    .map_err(|e| format!("--stripe: {e}"))?
+            }
+            "--disks" => {
+                o.disks = val("--disks")?
+                    .parse()
+                    .map_err(|e| format!("--disks: {e}"))?
+            }
             "--start" => {
-                o.start_disk = val("--start")?.parse().map_err(|e| format!("--start: {e}"))?
+                o.start_disk = val("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
             }
             "--out" => o.out = Some(val("--out")?),
             "--symbolic" => o.symbolic = true,
@@ -175,10 +187,8 @@ fn run() -> Result<(), String> {
             for ni in 0..program.nests.len() {
                 let nest = &program.nests[ni];
                 let ds = deps.nest_exact_distances(ni);
-                let par = disk_reuse::ir::outermost_parallel_loop(
-                    &deps.nest_distances(ni),
-                    nest.depth(),
-                );
+                let par =
+                    disk_reuse::ir::outermost_parallel_loop(&deps.nest_distances(ni), nest.depth());
                 text.push_str(&format!(
                     "  nest {:<12} depth {} trips {:>10} distances {:?} parallel-loop {:?}{}\n",
                     nest.name,

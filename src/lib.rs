@@ -14,7 +14,9 @@
 //!   and disk-layout-aware parallelization (§6);
 //! * [`trace`] — program execution → I/O request traces (§7.1);
 //! * [`disksim`] — the TPM/DRPM disk energy simulator (§4, §7.1);
-//! * [`apps`] — the six Table 2 benchmark applications.
+//! * [`apps`] — the six Table 2 benchmark applications;
+//! * [`obs`] — zero-dependency instrumentation: spans, counters, typed
+//!   events, JSON-Lines sinks (enable with the `DPM_OBS` env var).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use dpm_core as core;
 pub use dpm_disksim as disksim;
 pub use dpm_ir as ir;
 pub use dpm_layout as layout;
+pub use dpm_obs as obs;
 pub use dpm_poly as poly;
 pub use dpm_trace as trace;
 

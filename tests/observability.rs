@@ -1,0 +1,128 @@
+//! End-to-end test of the instrumentation layer: a Table-2-style
+//! experiment run with a collector installed must yield an event stream
+//! from which per-disk power-state timelines and per-pass timings can be
+//! reconstructed, and the stream must survive a JSON-Lines round trip.
+//!
+//! The obs registry is process-global, so everything lives in one `#[test]`
+//! (integration test binaries run their tests in one process).
+
+use disk_reuse::obs::{self, kind, read_json_lines, span_durations, EventSink, JsonLinesSink};
+use disk_reuse::prelude::*;
+use dpm_bench::{run_app, ExperimentConfig, RunReport, Version};
+use dpm_disksim::{coalesce_spans, timelines_from_events};
+
+#[test]
+fn event_stream_reconstructs_timelines_and_pass_timings() {
+    let collector = obs::install_collector();
+    obs::enable();
+
+    // --- A Table-2-style run: two versions of one application. ---------
+    let config = ExperimentConfig::default();
+    let app = by_name("AST", Scale::Tiny).unwrap();
+    let res = run_app(&app, &[Version::Base, Version::TTpmS], 1, &config);
+
+    // --- A directly-driven simulation with timeline recording on, so the
+    // event-reconstructed timelines can be compared span for span. ------
+    let program = app.program();
+    let layout = LayoutMap::new(&program, config.striping);
+    let deps = analyze(&program);
+    let schedule = apply_transform(&program, &layout, &deps, Transform::DiskReuse);
+    let gen = TraceGenerator::new(&program, &layout, config.trace);
+    let (trace, _) = gen.generate(&schedule);
+    let sim = Simulator::new(
+        config.disk,
+        PowerPolicy::Tpm(TpmConfig::proactive()),
+        config.striping,
+    )
+    .with_timelines();
+    let report = sim.run(&trace);
+
+    obs::disable();
+    let events = collector.snapshot();
+    assert!(!events.is_empty(), "no events collected");
+
+    // 1. Per-pass timings: every pipeline stage left span_end events.
+    let timings = span_durations(&events);
+    for name in [
+        "trace_generate",
+        "single_cpu_schedule",
+        "q_d_compute",
+        "simulate",
+    ] {
+        assert!(
+            timings.iter().any(|(n, _)| n == name),
+            "missing pass timing for {name} in {timings:?}"
+        );
+    }
+
+    // 2. Request events were streamed during trace generation.
+    assert!(events.iter().any(|e| e.kind == kind::REQUEST));
+
+    // 3. Per-disk timelines rebuilt from `disk_state` events match the
+    // simulator-recorded ones (coalesced: events mark changes only).
+    let recorded = report.timelines.as_ref().expect("timelines recorded");
+    let end_ms = recorded
+        .iter()
+        .filter_map(|tl| tl.last().map(|s| s.end_ms))
+        .fold(0.0_f64, f64::max);
+    let rebuilt =
+        timelines_from_events(&events, report.obs_run, config.striping.num_disks(), end_ms);
+    assert_eq!(rebuilt.len(), recorded.len());
+    for (disk, (rb, rec)) in rebuilt.iter().zip(recorded).enumerate() {
+        let rec = coalesce_spans(rec);
+        assert_eq!(rb.len(), rec.len(), "disk {disk}: span count differs");
+        for (i, (a, b)) in rb.iter().zip(&rec).enumerate() {
+            assert_eq!(a.state, b.state, "disk {disk} span {i}");
+            assert!(
+                (a.start_ms - b.start_ms).abs() < 1e-6,
+                "disk {disk} span {i} start"
+            );
+            // The final span's end is capped by the global end_ms, which
+            // can exceed this disk's recorded end; interior spans match.
+            if i + 1 < rec.len() {
+                assert!(
+                    (a.end_ms - b.end_ms).abs() < 1e-6,
+                    "disk {disk} span {i} end"
+                );
+            }
+        }
+    }
+
+    // 4. Each simulation got a distinct run id, stamped on its report.
+    let mut runs: Vec<u64> = res.results.iter().map(|r| r.report.obs_run).collect();
+    runs.push(report.obs_run);
+    runs.sort_unstable();
+    runs.dedup();
+    assert_eq!(runs.len(), 3, "run ids not distinct: {runs:?}");
+
+    // 5. JSON-Lines round trip: the full stream survives write + parse.
+    let path = std::env::temp_dir().join("dpm-obs-integration-test.jsonl");
+    {
+        let mut sink = JsonLinesSink::create(&path).unwrap();
+        for e in &events {
+            sink.record(e);
+        }
+    }
+    let back = read_json_lines(&path).unwrap().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, events);
+
+    // 6. A RunReport built from the same run carries the timings.
+    let mut rep = RunReport::new("observability-test").with_config(&config);
+    rep.push_app(&res);
+    rep.add_pass_timings(&events);
+    let json = rep.to_json().to_string();
+    let parsed = obs::Json::parse(&json).unwrap();
+    assert!(parsed
+        .get("pass_timings_us")
+        .and_then(|t| t.get("simulate"))
+        .and_then(obs::Json::as_u64)
+        .is_some());
+
+    // 7. With instrumentation disabled, nothing is emitted.
+    collector.clear();
+    let (trace2, _) = gen.generate(&schedule);
+    let report2 = Simulator::new(config.disk, PowerPolicy::None, config.striping).run(&trace2);
+    assert!(report2.total_energy_j() > 0.0);
+    assert!(collector.is_empty(), "events emitted while disabled");
+}

@@ -67,10 +67,16 @@ fn restructured_traces_move_the_same_bytes() {
         let deps = analyze(&program);
         let gen = TraceGenerator::new(&program, &layout, opts);
         let (orig, so) = gen.generate(&apply_transform(
-            &program, &layout, &deps, Transform::Original,
+            &program,
+            &layout,
+            &deps,
+            Transform::Original,
         ));
         let (rest, sr) = gen.generate(&apply_transform(
-            &program, &layout, &deps, Transform::DiskReuse,
+            &program,
+            &layout,
+            &deps,
+            Transform::DiskReuse,
         ));
         assert_eq!(
             so.element_accesses, sr.element_accesses,
@@ -151,19 +157,37 @@ fn energy_ordering_matches_paper_shape_on_small_scale() {
     let layout = LayoutMap::new(&program, striping);
     let deps = analyze(&program);
     let (base, _) = run(
-        &program, &layout, &deps,
-        Transform::Original, PowerPolicy::None, opts,
+        &program,
+        &layout,
+        &deps,
+        Transform::Original,
+        PowerPolicy::None,
+        opts,
     );
     let (tpm, _) = run(
-        &program, &layout, &deps,
-        Transform::Original, PowerPolicy::Tpm(TpmConfig::default()), opts,
+        &program,
+        &layout,
+        &deps,
+        Transform::Original,
+        PowerPolicy::Tpm(TpmConfig::default()),
+        opts,
     );
     let (t_drpm, _) = run(
-        &program, &layout, &deps,
-        Transform::DiskReuse, PowerPolicy::Drpm(DrpmConfig::proactive()), opts,
+        &program,
+        &layout,
+        &deps,
+        Transform::DiskReuse,
+        PowerPolicy::Drpm(DrpmConfig::proactive()),
+        opts,
     );
-    assert!((tpm - base).abs() < base * 0.01, "plain TPM should be ~Base");
-    assert!(t_drpm < base * 0.95, "T-DRPM-s should save: {t_drpm} vs {base}");
+    assert!(
+        (tpm - base).abs() < base * 0.01,
+        "plain TPM should be ~Base"
+    );
+    assert!(
+        t_drpm < base * 0.95,
+        "T-DRPM-s should save: {t_drpm} vs {base}"
+    );
 }
 
 #[test]
@@ -175,7 +199,10 @@ fn trace_round_trips_through_text_format() {
     let deps = analyze(&program);
     let gen = TraceGenerator::new(&program, &layout, opts);
     let (trace, _) = gen.generate(&apply_transform(
-        &program, &layout, &deps, Transform::Original,
+        &program,
+        &layout,
+        &deps,
+        Transform::Original,
     ));
     let text = trace.to_text();
     let back = Trace::from_text(&text).expect("parse");

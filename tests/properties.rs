@@ -1,5 +1,10 @@
 //! Cross-crate property-based tests: schedule legality, simulator
 //! conservation laws, and layout round trips under randomized inputs.
+//!
+//! Off by default: needs the external `proptest` crate, which this tree
+//! does not depend on so that it builds fully offline. To run, re-add a
+//! `proptest` dev-dependency and pass `--features proptests`.
+#![cfg(feature = "proptests")]
 
 use disk_reuse::prelude::*;
 use proptest::prelude::*;
