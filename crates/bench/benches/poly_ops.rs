@@ -53,6 +53,30 @@ fn main() {
                 .with_range(1, n / 4, n / 2),
         );
         bench(&format!("set_difference/{n}"), || a.subtract(&hole));
+        // The restructurer's Q = Q − Q_d chain: Q is owned, so each update
+        // moves its disjuncts through `into_subtract` instead of cloning
+        // the whole set per subtracted polyhedron.
+        let holes: Vec<Set> = (0..4)
+            .map(|k| {
+                Set::from(
+                    Polyhedron::universe(2)
+                        .with_range(0, k * n / 8, k * n / 8 + n / 8)
+                        .with_range(1, 0, n - 1),
+                )
+            })
+            .collect();
+        bench(&format!("set_difference/chain_owned/{n}"), || {
+            let mut q = a.clone();
+            for h in &holes {
+                q = q.into_subtract(h);
+            }
+            q
+        });
+        bench(&format!("set_constrained_owned/{n}"), || {
+            a.clone().into_constrained(&Constraint::geq_zero(
+                LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+            ))
+        });
     }
 
     group("emptiness");

@@ -82,89 +82,127 @@ fn main() {
     let single = RaidConfig::single();
     let tpm = PowerPolicy::Tpm(TpmConfig::proactive());
 
+    // Sweep points are independent (app, layout, policy) cells, so each
+    // sweep fans out on the `DPM_THREADS` pool and prints its rows in the
+    // original parameter order.
+
     // 1. Stripe-unit sweep.
     println!("1) stripe-unit sweep (T-TPM-s saving vs same-layout Base):");
-    for su in [8u64 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10] {
+    let sus = [8u64 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+    for (su, row) in dpm_exec::par_map_indexed(&sus, |_, &su| {
         let s = Striping::new(su, 8, 0);
         let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
         let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
-        println!("   {:>4} KB: {}", su >> 10, saving(&base, &t));
+        saving(&base, &t)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, row)| (sus[i], row))
+    {
+        println!("   {:>4} KB: {row}", su >> 10);
     }
 
     // 2. Stripe-factor sweep.
     println!("2) stripe-factor sweep (32 KB stripes):");
-    for disks in [2usize, 4, 8, 16] {
-        let s = Striping::new(32 << 10, disks, 0);
-        let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
-        let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
-        println!("   {disks:>2} disks: {}", saving(&base, &t));
+    let factors = [2usize, 4, 8, 16];
+    for (disks, row) in factors
+        .iter()
+        .zip(dpm_exec::par_map_indexed(&factors, |_, &disks| {
+            let s = Striping::new(32 << 10, disks, 0);
+            let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
+            let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+            saving(&base, &t)
+        }))
+    {
+        println!("   {disks:>2} disks: {row}");
     }
 
     // 3. TPM timeout sweep.
     println!("3) TPM spin-down timeout sweep (Table 1 break-even = 15.2 s):");
     let s = Striping::paper_default();
     let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
-    for mult in [1.0, 2.0, 4.0] {
-        let cfg = TpmConfig {
-            spin_down_timeout_ms: 15_200.0 * mult,
-            proactive: true,
-        };
-        let t = simulate(
-            &program,
-            s,
-            Transform::DiskReuse,
-            PowerPolicy::Tpm(cfg),
-            single,
-        );
+    let mults = [1.0, 2.0, 4.0];
+    for (mult, row) in mults
+        .iter()
+        .zip(dpm_exec::par_map_indexed(&mults, |_, &mult| {
+            let cfg = TpmConfig {
+                spin_down_timeout_ms: 15_200.0 * mult,
+                proactive: true,
+            };
+            let t = simulate(
+                &program,
+                s,
+                Transform::DiskReuse,
+                PowerPolicy::Tpm(cfg),
+                single,
+            );
+            format!(
+                "{} (degr {:+.2}%)",
+                saving(&base, &t),
+                100.0 * (t.total_io_time_ms / base.total_io_time_ms - 1.0),
+            )
+        }))
+    {
         println!(
-            "   {:>4.1}x break-even ({:>5.1} s): {} (degr {:+.2}%)",
+            "   {:>4.1}x break-even ({:>5.1} s): {row}",
             mult,
-            15.2 * mult,
-            saving(&base, &t),
-            100.0 * (t.total_io_time_ms / base.total_io_time_ms - 1.0),
+            15.2 * mult
         );
     }
 
     // 4. DRPM minimum-level sweep.
     println!("4) DRPM minimum RPM sweep (T-DRPM-s):");
-    for min_rpm in [3_000u32, 6_000, 9_000, 12_000] {
-        let cfg = DrpmConfig {
-            min_rpm,
-            proactive: true,
-            ..DrpmConfig::default()
-        };
-        let t = simulate(
-            &program,
-            s,
-            Transform::DiskReuse,
-            PowerPolicy::Drpm(cfg),
-            single,
-        );
-        println!("   min {min_rpm:>6} rpm: {}", saving(&base, &t));
+    let rpms = [3_000u32, 6_000, 9_000, 12_000];
+    for (min_rpm, row) in rpms
+        .iter()
+        .zip(dpm_exec::par_map_indexed(&rpms, |_, &min_rpm| {
+            let cfg = DrpmConfig {
+                min_rpm,
+                proactive: true,
+                ..DrpmConfig::default()
+            };
+            let t = simulate(
+                &program,
+                s,
+                Transform::DiskReuse,
+                PowerPolicy::Drpm(cfg),
+                single,
+            );
+            saving(&base, &t)
+        }))
+    {
+        println!("   min {min_rpm:>6} rpm: {row}");
     }
 
     // 5. RAID-level sub-striping: savings should be similar (§7.1).
     println!("5) RAID-0 sub-striping inside each I/O node (normalized savings):");
-    for members in [1u32, 2, 4] {
-        let raid = if members == 1 {
-            RaidConfig::single()
-        } else {
-            RaidConfig::raid0(members, 8 << 10)
-        };
-        let b = simulate(&program, s, Transform::Original, PowerPolicy::None, raid);
-        let t = simulate(&program, s, Transform::DiskReuse, tpm, raid);
-        println!(
-            "   {members} disk(s)/node: saving {}  (base energy {:.0} J)",
-            saving(&b, &t),
-            b.total_energy_j()
-        );
+    let member_counts = [1u32, 2, 4];
+    for (members, row) in
+        member_counts
+            .iter()
+            .zip(dpm_exec::par_map_indexed(&member_counts, |_, &members| {
+                let raid = if members == 1 {
+                    RaidConfig::single()
+                } else {
+                    RaidConfig::raid0(members, 8 << 10)
+                };
+                let b = simulate(&program, s, Transform::Original, PowerPolicy::None, raid);
+                let t = simulate(&program, s, Transform::DiskReuse, tpm, raid);
+                format!(
+                    "saving {}  (base energy {:.0} J)",
+                    saving(&b, &t),
+                    b.total_energy_j()
+                )
+            }))
+    {
+        println!("   {members} disk(s)/node: {row}");
     }
 
     // 7. Relaxed array↔file mappings (§2's unevaluated options). The
     // compiler reads whatever layout is exposed, so clustering adapts.
     println!("7) relaxed array-file mappings (T-TPM-s saving vs matching Base):");
     let groups: Vec<Vec<usize>> = vec![(0..program.arrays.len()).collect()];
-    for (label, mapping) in [
+    let mappings = vec![
         ("one-to-one (default)", FileMapping::one_to_one(&program)),
         (
             "all arrays in one file",
@@ -174,7 +212,8 @@ fn main() {
             "first array split x4",
             FileMapping::split_rows(&program, 0, 4),
         ),
-    ] {
+    ];
+    for (label, row) in dpm_exec::par_map_vec(mappings, |_, (label, mapping)| {
         let b = simulate_with_layout(
             &program,
             LayoutMap::with_mapping(&program, s, &mapping),
@@ -189,7 +228,9 @@ fn main() {
             tpm,
             single,
         );
-        println!("   {label:<24}: {}", saving(&b, &t));
+        (label, saving(&b, &t))
+    }) {
+        println!("   {label:<24}: {row}");
     }
 
     // 6. Loop fusion baseline.

@@ -6,9 +6,20 @@
 //! with `DPM_OBS` set, the JSON additionally carries per-pass timings.
 
 use dpm_apps::Scale;
-use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, RunReport, Version};
+use dpm_bench::{
+    mean, pct, run_matrix, AppResults, ExperimentConfig, MatrixCell, RunReport, Version,
+};
 use dpm_obs::Json;
 use std::fmt::Write as _;
+
+/// Looks up a version's I/O-time degradation, exiting with a named
+/// diagnostic (instead of a panic) when the cell is missing from the sweep.
+fn degradation(res: &AppResults, v: Version) -> f64 {
+    res.try_degradation(v).unwrap_or_else(|e| {
+        eprintln!("figure10: {e}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let obs = dpm_obs::init_from_env();
@@ -37,26 +48,31 @@ fn main() {
             print!(" {:>9}", v.label());
         }
         println!();
-        let mut all: Vec<AppResults> = Vec::new();
-        for app in dpm_apps::suite(scale) {
-            let res = run_app(&app, &versions, procs, &config);
+        // All apps of this part run concurrently; `run_matrix` returns them
+        // in suite order, so the printed rows, CSV, and JSON are identical
+        // to a serial sweep.
+        let cells: Vec<MatrixCell> = dpm_apps::suite(scale)
+            .into_iter()
+            .map(|app| MatrixCell {
+                app,
+                versions: versions.clone(),
+                procs,
+            })
+            .collect();
+        let all: Vec<AppResults> = run_matrix(cells, &config);
+        for res in &all {
             print!("{:<12}", res.app);
             for v in &versions {
-                let d = res.degradation(*v).unwrap();
+                let d = degradation(res, *v);
                 print!(" {:>9}", pct(d));
                 let _ = writeln!(csv, "{part},{},{},{d:.4}", res.app, v.label());
             }
             println!();
-            report.push_app(&res);
-            all.push(res);
+            report.push_app(res);
         }
         print!("{:<12}", "average");
         for v in &versions {
-            let avg = mean(
-                &all.iter()
-                    .map(|r| r.degradation(*v).unwrap())
-                    .collect::<Vec<_>>(),
-            );
+            let avg = mean(&all.iter().map(|r| degradation(r, *v)).collect::<Vec<_>>());
             print!(" {:>9}", pct(avg));
         }
         println!();

@@ -8,9 +8,20 @@
 //! additionally carries per-pass compiler/simulator timings.
 
 use dpm_apps::Scale;
-use dpm_bench::{mean, pct, run_app, AppResults, ExperimentConfig, RunReport, Version};
+use dpm_bench::{
+    mean, pct, run_matrix, AppResults, ExperimentConfig, MatrixCell, RunReport, Version,
+};
 use dpm_obs::Json;
 use std::fmt::Write as _;
+
+/// Looks up a version's normalized energy, exiting with a named diagnostic
+/// (instead of a panic) when the cell is missing from the sweep.
+fn energy(res: &AppResults, v: Version) -> f64 {
+    res.try_normalized_energy(v).unwrap_or_else(|e| {
+        eprintln!("figure9: {e}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let obs = dpm_obs::init_from_env();
@@ -37,36 +48,37 @@ fn main() {
             print!(" {:>9}", v.label());
         }
         println!();
-        let mut all: Vec<AppResults> = Vec::new();
-        for app in dpm_apps::suite(scale) {
-            let res = run_app(&app, &versions, procs, &config);
+        // All apps of this part run concurrently; `run_matrix` returns them
+        // in suite order, so the printed rows, CSV, and JSON are identical
+        // to a serial sweep.
+        let cells: Vec<MatrixCell> = dpm_apps::suite(scale)
+            .into_iter()
+            .map(|app| MatrixCell {
+                app,
+                versions: versions.clone(),
+                procs,
+            })
+            .collect();
+        let all: Vec<AppResults> = run_matrix(cells, &config);
+        for res in &all {
             print!("{:<12}", res.app);
             for v in &versions {
-                let e = res.normalized_energy(*v).unwrap();
+                let e = energy(res, *v);
                 print!(" {:>9.3}", e);
                 let _ = writeln!(csv, "{part},{},{},{e:.4}", res.app, v.label());
             }
             println!();
-            report.push_app(&res);
-            all.push(res);
+            report.push_app(res);
         }
         print!("{:<12}", "average");
         for v in &versions {
-            let avg = mean(
-                &all.iter()
-                    .map(|r| r.normalized_energy(*v).unwrap())
-                    .collect::<Vec<_>>(),
-            );
+            let avg = mean(&all.iter().map(|r| energy(r, *v)).collect::<Vec<_>>());
             print!(" {:>9.3}", avg);
         }
         println!();
         print!("{:<12}", "avg saving");
         for v in &versions {
-            let avg = mean(
-                &all.iter()
-                    .map(|r| 1.0 - r.normalized_energy(*v).unwrap())
-                    .collect::<Vec<_>>(),
-            );
+            let avg = mean(&all.iter().map(|r| 1.0 - energy(r, *v)).collect::<Vec<_>>());
             print!(" {:>9}", pct(avg));
         }
         println!();

@@ -1,0 +1,189 @@
+//! Serial-vs-parallel wall-time harness for the `dpm-exec` execution layer.
+//!
+//! Runs the figure-9(a) experiment matrix twice — once pinned to the serial
+//! path, once on the `DPM_THREADS` pool — asserts the two result sets are
+//! byte-identical (modulo run ids and wall times), and records the timings
+//! plus the satellite micro-benchmarks in a machine-readable JSON file so
+//! the perf trajectory is tracked run over run.
+//!
+//! Usage: `parallel_bench [scale] [out-path]` (scale: tiny | small | paper;
+//! default tiny, output default `BENCH_parallel.json`). Thread count comes
+//! from `DPM_THREADS` (default 4). On a single-core host the speedup will
+//! hover around 1.0x — the determinism check still runs in full.
+
+use dpm_apps::Scale;
+use dpm_bench::microbench::bench;
+use dpm_bench::{run_matrix, AppResults, ExperimentConfig, MatrixCell, Version};
+use dpm_layout::Striping;
+use dpm_obs::Json;
+use dpm_poly::{Constraint, LinExpr, Polyhedron, Set};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn cells(scale: Scale) -> Vec<MatrixCell> {
+    dpm_apps::suite(scale)
+        .into_iter()
+        .map(|app| MatrixCell {
+            app,
+            versions: Version::single_cpu().to_vec(),
+            procs: 1,
+        })
+        .collect()
+}
+
+/// Canonical rendering of a sweep's results with run ids and wall times
+/// excluded: the byte string the "identical output" claim is made over.
+/// Floats are rendered from their bit patterns, so any divergence — even a
+/// last-ulp one — flips the comparison.
+fn canonical(all: &[AppResults]) -> String {
+    let mut out = String::new();
+    for res in all {
+        let _ = writeln!(out, "app={} procs={}", res.app, res.procs);
+        for r in &res.results {
+            let _ = writeln!(
+                out,
+                "  {} requests={} makespan={:016x} io={:016x} resp={:016x} \
+                 energy={:016x} stats={:?}",
+                r.version.label(),
+                r.report.app_requests,
+                r.report.makespan_ms.to_bits(),
+                r.report.total_io_time_ms.to_bits(),
+                r.report.total_response_ms.to_bits(),
+                r.report.total_energy_j().to_bits(),
+                r.trace_stats,
+            );
+        }
+    }
+    out
+}
+
+/// The poly hot path the restructurer drives: a `Q = Q − Q_d` subtraction
+/// chain, borrowed (per-step clone) vs owned (disjuncts moved through).
+fn poly_microbench() -> (f64, f64) {
+    let n = 64i64;
+    let a = Set::from(
+        Polyhedron::universe(2)
+            .with_range(0, 0, n - 1)
+            .with_range(1, 0, n - 1)
+            .with(Constraint::geq_zero(
+                LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+            )),
+    );
+    let holes: Vec<Set> = (0..4)
+        .map(|k| {
+            Set::from(
+                Polyhedron::universe(2)
+                    .with_range(0, k * n / 8, k * n / 8 + n / 8)
+                    .with_range(1, 0, n - 1),
+            )
+        })
+        .collect();
+    let borrowed = bench("poly/subtract_chain_borrowed", || {
+        let mut q = a.clone();
+        for h in &holes {
+            q = q.subtract(h);
+        }
+        q
+    });
+    let owned = bench("poly/subtract_chain_owned", || {
+        let mut q = a.clone();
+        for h in &holes {
+            q = q.into_subtract(h);
+        }
+        q
+    });
+    (borrowed.ns_per_iter, owned.ns_per_iter)
+}
+
+/// Request splitting in the simulator's inner loop: fresh allocation per
+/// request vs the reusable scratch buffer.
+fn split_microbench() -> (f64, f64) {
+    let s = Striping::new(8 << 10, 8, 0);
+    // A request long enough to span every disk several times over.
+    let (offset, len) = (3 << 10, 256u64 << 10);
+    let alloc = bench("striping/split_range_alloc", || s.split_range(offset, len));
+    let mut buf = Vec::new();
+    let scratch = bench("striping/split_range_into", || {
+        s.split_range_into(offset, len, &mut buf);
+        buf.len()
+    });
+    (alloc.ns_per_iter, scratch.ns_per_iter)
+}
+
+fn main() {
+    dpm_obs::init_from_env();
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Scale::Paper,
+        Some("small") => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let threads: usize = std::env::var("DPM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    // Pin the pool width for the parallel pass (and everything the matrix
+    // spawns beneath it) to the figure we are about to report.
+    std::env::set_var("DPM_THREADS", threads.to_string());
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let config = ExperimentConfig::default();
+    let num_cells = cells(scale).len();
+    println!(
+        "parallel_bench: figure-9(a) matrix at {scale:?} scale, {num_cells} cells, \
+         {threads} threads (host has {host} core(s))"
+    );
+
+    let t = Instant::now();
+    let serial = dpm_exec::serial_scope(|| run_matrix(cells(scale), &config));
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("  serial   pass: {serial_ms:>9.1} ms");
+
+    let t = Instant::now();
+    let parallel = run_matrix(cells(scale), &config);
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  parallel pass: {parallel_ms:>9.1} ms  ({:.2}x)",
+        serial_ms / parallel_ms
+    );
+
+    let identical = canonical(&serial) == canonical(&parallel);
+    if !identical {
+        eprintln!("parallel_bench: FAIL — parallel output diverged from serial");
+        eprintln!("--- serial ---\n{}", canonical(&serial));
+        eprintln!("--- parallel ---\n{}", canonical(&parallel));
+        std::process::exit(1);
+    }
+    println!("  outputs identical: yes");
+
+    let (poly_borrowed_ns, poly_owned_ns) = poly_microbench();
+    let (split_alloc_ns, split_scratch_ns) = split_microbench();
+
+    let json = Json::obj(vec![
+        ("name", Json::Str("parallel_bench".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("cells", Json::U64(num_cells as u64)),
+        ("threads", Json::U64(threads as u64)),
+        ("host_parallelism", Json::U64(host as u64)),
+        ("serial_ms", Json::F64(serial_ms)),
+        ("parallel_ms", Json::F64(parallel_ms)),
+        ("speedup", Json::F64(serial_ms / parallel_ms)),
+        ("identical_output", Json::Bool(identical)),
+        (
+            "microbench_ns_per_iter",
+            Json::obj(vec![
+                ("poly_subtract_chain_borrowed", Json::F64(poly_borrowed_ns)),
+                ("poly_subtract_chain_owned", Json::F64(poly_owned_ns)),
+                ("split_range_alloc", Json::F64(split_alloc_ns)),
+                ("split_range_into", Json::F64(split_scratch_ns)),
+            ]),
+        ),
+    ]);
+    let mut body = String::new();
+    json.write(&mut body);
+    body.push('\n');
+    std::fs::write(&out_path, body).expect("write BENCH_parallel.json");
+    println!("wrote {out_path}");
+}

@@ -9,7 +9,7 @@
 //! changes) to a JSON-Lines file.
 
 use dpm_apps::Scale;
-use dpm_bench::{run_app, ExperimentConfig, RunReport, Version};
+use dpm_bench::{run_matrix, ExperimentConfig, MatrixCell, RunReport, Version};
 use dpm_obs::Json;
 
 /// The paper's Table 2 rows: (name, data GB, requests, energy J, io ms).
@@ -48,12 +48,37 @@ fn main() {
         "Energy(J)",
         "IOTime(ms)"
     );
-    for app in dpm_apps::suite(scale) {
+    // One Base cell per app, all run concurrently; `run_matrix` preserves
+    // suite order so the printed table matches a serial sweep.
+    let apps = dpm_apps::suite(scale);
+    let cells: Vec<MatrixCell> = apps
+        .iter()
+        .map(|app| MatrixCell {
+            app: app.clone(),
+            versions: vec![Version::Base],
+            procs: 1,
+        })
+        .collect();
+    let all = run_matrix(cells, &config);
+    for (app, res) in apps.iter().zip(&all) {
         let program = app.program();
         let gb = program.total_data_bytes() as f64 / (1u64 << 30) as f64;
-        let res = run_app(&app, &[Version::Base], 1, &config);
-        let base = res.base();
-        let paper = PAPER.iter().find(|p| p.0 == app.name).unwrap();
+        let Some(base) = res.results.iter().find(|r| r.version == Version::Base) else {
+            eprintln!(
+                "table2: app {:?} (1 proc): no result for version Base; cannot tabulate",
+                res.app
+            );
+            std::process::exit(2);
+        };
+        let Some(paper) = PAPER.iter().find(|p| p.0 == app.name) else {
+            eprintln!(
+                "table2: app {:?} has no reference row in the paper's Table 2; \
+                 known apps: {:?}",
+                app.name,
+                PAPER.map(|p| p.0)
+            );
+            std::process::exit(2);
+        };
         println!(
             "{:<12} {:>9.1} {:>10} {:>13.1} {:>12.1} {:>8.2} | {:>14.1} {:>9} {:>10.1} {:>11.1}",
             app.name,
@@ -67,7 +92,7 @@ fn main() {
             paper.3,
             paper.4,
         );
-        report.push_app(&res);
+        report.push_app(res);
     }
     println!();
     println!(

@@ -208,6 +208,56 @@ impl AppResults {
             .find(|r| r.version == v)
             .map(|r| r.report.degradation_vs(&base.report))
     }
+
+    /// [`normalized_energy`](Self::normalized_energy) with a named
+    /// diagnostic: a missing version yields an error identifying the app,
+    /// processor count, and version instead of a bare `None` that binaries
+    /// would `unwrap` into an unhelpful panic mid-sweep.
+    pub fn try_normalized_energy(&self, v: Version) -> Result<f64, String> {
+        self.normalized_energy(v).ok_or_else(|| {
+            format!(
+                "app {:?} ({} proc(s)): no result for version {}; it was not part of this run",
+                self.app,
+                self.procs,
+                v.label()
+            )
+        })
+    }
+
+    /// [`degradation`](Self::degradation) with a named diagnostic (see
+    /// [`try_normalized_energy`](Self::try_normalized_energy)).
+    pub fn try_degradation(&self, v: Version) -> Result<f64, String> {
+        self.degradation(v).ok_or_else(|| {
+            format!(
+                "app {:?} ({} proc(s)): no result for version {}; it was not part of this run",
+                self.app,
+                self.procs,
+                v.label()
+            )
+        })
+    }
+}
+
+/// One cell of the experiment matrix: one application at one processor
+/// count, run through a set of code versions.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// The application to run.
+    pub app: BenchApp,
+    /// The code versions to evaluate.
+    pub versions: Vec<Version>,
+    /// Processor count.
+    pub procs: u32,
+}
+
+/// Runs the experiment-matrix cells concurrently on the `DPM_THREADS` pool
+/// (each cell's compile → trace → simulate pipeline is independent) and
+/// returns results in input order, so reports and CSV rows merge exactly as
+/// a serial sweep would produce them.
+pub fn run_matrix(cells: Vec<MatrixCell>, config: &ExperimentConfig) -> Vec<AppResults> {
+    let mut sp = dpm_obs::span!("experiment_matrix");
+    sp.add("cells", cells.len() as u64);
+    dpm_exec::par_map_vec(cells, |_, c| run_app(&c.app, &c.versions, c.procs, config))
 }
 
 /// Builds the schedule for a shape at a processor count.

@@ -58,18 +58,22 @@ pub fn restructure_single(
     sp.add("iterations", total as u64);
 
     // Disk mask per global iteration id (the per-disk sets Q_d of Figure 3,
-    // kept as bitmasks over the shared pool).
-    let mut masks = Vec::with_capacity(total);
+    // kept as bitmasks over the shared pool). Each nest's masks depend only
+    // on read-only program/layout state, so nests are computed in parallel
+    // and flattened back in nest order — bit-identical to the serial sweep.
+    let masks: Vec<u64> = {
+        let mut qd = dpm_obs::span!("q_d_compute");
+        qd.add("nests", tables.len() as u64);
+        let per_nest = dpm_exec::par_map_indexed(&tables, |ni, t| {
+            let mut buf = [0i64; CompactIter::MAX_DEPTH];
+            t.iters
+                .iter()
+                .map(|it| iteration_disk_mask(program, layout, ni, it.coords_into(&mut buf)))
+                .collect::<Vec<u64>>()
+        });
+        per_nest.into_iter().flatten().collect()
+    };
     let mut buf = [0i64; CompactIter::MAX_DEPTH];
-    {
-        let _qd = dpm_obs::span!("q_d_compute");
-        for (ni, t) in tables.iter().enumerate() {
-            for it in &t.iters {
-                let coords = it.coords_into(&mut buf);
-                masks.push(iteration_disk_mask(program, layout, ni, coords));
-            }
-        }
-    }
 
     let mut scheduled = vec![false; total];
     let mut nest_done = vec![0usize; tables.len()];

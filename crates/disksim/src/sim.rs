@@ -37,6 +37,7 @@ pub struct Simulator {
     striping: Striping,
     raid: RaidConfig,
     timelines: bool,
+    threads: Option<usize>,
 }
 
 impl Simulator {
@@ -49,6 +50,7 @@ impl Simulator {
             striping,
             raid: RaidConfig::single(),
             timelines: false,
+            threads: None,
         }
     }
 
@@ -56,6 +58,17 @@ impl Simulator {
     #[must_use]
     pub fn with_timelines(mut self) -> Self {
         self.timelines = true;
+        self
+    }
+
+    /// Overrides the worker-thread count for [`run`](Self::run). The default
+    /// (`None`) follows `DPM_THREADS` / the machine's core count; `1` forces
+    /// the serial reference path. Either way the report is bit-identical:
+    /// each disk's sub-request stream is serviced in the same order, and the
+    /// per-request join replays the serial accumulation order.
+    #[must_use]
+    pub fn with_exec_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -84,18 +97,15 @@ impl Simulator {
         self.striping.split_range(offset, len)
     }
 
-    /// Runs the simulation over a (time-sorted) trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace's arrivals are not non-decreasing.
-    pub fn run(&self, trace: &Trace) -> SimReport {
-        let obs_run = dpm_obs::next_run_id();
-        let mut sp = dpm_obs::span!("simulate");
-        sp.add("run", obs_run);
-        sp.add("app_requests", trace.len() as u64);
-        let n = self.striping.num_disks();
-        let mut disks: Vec<DiskSim> = (0..n)
+    /// Scratch-buffer variant of [`split_request`](Self::split_request):
+    /// clears `out` and fills it with the pieces. The simulation hot loops
+    /// use this to avoid one `Vec` allocation per application request.
+    pub fn split_request_into(&self, offset: u64, len: u64, out: &mut Vec<(usize, u64, u64)>) {
+        self.striping.split_range_into(offset, len, out);
+    }
+
+    fn make_disks(&self, obs_run: u64) -> Vec<DiskSim> {
+        (0..self.striping.num_disks())
             .map(|disk| {
                 let mut d = DiskSim::with_raid(self.params, self.policy, self.raid);
                 d.set_obs_identity(obs_run, disk);
@@ -104,43 +114,20 @@ impl Simulator {
                 }
                 d
             })
-            .collect();
-        let mut total_io_time_ms = 0.0;
-        let mut total_response_ms = 0.0;
-        let mut makespan: f64 = 0.0;
-        let mut prev_arrival = f64::NEG_INFINITY;
-        for r in trace.requests() {
-            assert!(
-                r.arrival_ms >= prev_arrival,
-                "trace must be sorted by arrival time"
-            );
-            prev_arrival = r.arrival_ms;
-            let mut completion = r.arrival_ms;
-            let mut device_ms = 0.0_f64;
-            for (disk, local_byte, len) in self.split_request(r.offset, r.len) {
-                let out = disks[disk].service(&SubRequest {
-                    arrival_ms: r.arrival_ms,
-                    local_byte,
-                    len,
-                });
-                completion = completion.max(out.completion_ms);
-                device_ms = device_ms.max(out.stall_ms + out.service_ms);
-            }
-            total_io_time_ms += device_ms;
-            total_response_ms += completion - r.arrival_ms;
-            makespan = makespan.max(completion);
-        }
-        for d in &mut disks {
-            d.finish(makespan);
-        }
-        sp.add(
-            "sub_requests",
-            disks.iter().map(|d| d.stats().requests).sum(),
-        );
+            .collect()
+    }
+
+    fn build_report(
+        &self,
+        disks: Vec<DiskSim>,
+        acc: Accum,
+        trace: &Trace,
+        obs_run: u64,
+    ) -> SimReport {
         SimReport {
-            makespan_ms: makespan,
-            total_io_time_ms,
-            total_response_ms,
+            makespan_ms: acc.makespan,
+            total_io_time_ms: acc.total_io_time_ms,
+            total_response_ms: acc.total_response_ms,
             idle_histograms: disks.iter().map(|d| d.idle_histogram().clone()).collect(),
             timelines: if self.timelines {
                 Some(
@@ -156,6 +143,155 @@ impl Simulator {
             app_requests: trace.len() as u64,
             obs_run,
         }
+    }
+
+    /// Runs the simulation over a (time-sorted) trace.
+    ///
+    /// Dispatches to a per-disk sharded parallel pass when more than one
+    /// worker thread is in effect (see [`with_exec_threads`](Self::with_exec_threads)
+    /// and `DPM_THREADS`) and the volume has more than one disk; otherwise
+    /// runs the serial reference pass. Both produce bit-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's arrivals are not non-decreasing.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        let obs_run = dpm_obs::next_run_id();
+        let mut sp = dpm_obs::span!("simulate");
+        sp.add("run", obs_run);
+        sp.add("app_requests", trace.len() as u64);
+        let threads =
+            dpm_exec::effective_threads(self.threads.unwrap_or_else(dpm_exec::num_threads));
+        let report = if threads > 1 && self.striping.num_disks() > 1 && !trace.is_empty() {
+            sp.add("workers", threads.min(self.striping.num_disks()) as u64);
+            self.run_sharded(trace, threads, obs_run)
+        } else {
+            self.run_serial(trace, obs_run)
+        };
+        sp.add(
+            "sub_requests",
+            report.per_disk.iter().map(|d| d.requests).sum(),
+        );
+        report
+    }
+
+    /// The serial reference pass: services every sub-request inline, in
+    /// request order, pieces in `(disk, local_byte)` order within a request.
+    fn run_serial(&self, trace: &Trace, obs_run: u64) -> SimReport {
+        let mut disks = self.make_disks(obs_run);
+        let mut acc = Accum::default();
+        let mut prev_arrival = f64::NEG_INFINITY;
+        let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
+        for r in trace.requests() {
+            assert!(
+                r.arrival_ms >= prev_arrival,
+                "trace must be sorted by arrival time"
+            );
+            prev_arrival = r.arrival_ms;
+            let mut completion = r.arrival_ms;
+            let mut device_ms = 0.0_f64;
+            self.split_request_into(r.offset, r.len, &mut pieces);
+            for &(disk, local_byte, len) in &pieces {
+                let out = disks[disk].service(&SubRequest {
+                    arrival_ms: r.arrival_ms,
+                    local_byte,
+                    len,
+                });
+                completion = completion.max(out.completion_ms);
+                device_ms = device_ms.max(out.stall_ms + out.service_ms);
+            }
+            acc.push(r.arrival_ms, completion, device_ms);
+        }
+        for d in &mut disks {
+            d.finish(acc.makespan);
+        }
+        self.build_report(disks, acc, trace, obs_run)
+    }
+
+    /// The sharded parallel pass. Three phases:
+    ///
+    /// 1. **Split** (serial): cut every request into per-disk sub-request
+    ///    streams, remembering for each request which stream positions its
+    ///    pieces landed at.
+    /// 2. **Service** (parallel): each worker drains whole per-disk streams —
+    ///    a [`DiskSim`] is self-contained, and its outcomes depend only on
+    ///    its own stream order, which matches the serial pass exactly.
+    /// 3. **Join** (serial): replay requests in arrival order, folding each
+    ///    request's piece outcomes with the same `max`/`+=` order as the
+    ///    serial pass, so `makespan`/`io_time`/`response` are bit-identical.
+    fn run_sharded(&self, trace: &Trace, threads: usize, obs_run: u64) -> SimReport {
+        let n = self.striping.num_disks();
+        let mut streams: Vec<Vec<SubRequest>> = vec![Vec::new(); n];
+        // Per request: (first piece slot, piece count) into `piece_refs`,
+        // which stores (disk, index within that disk's stream).
+        let mut piece_spans: Vec<(usize, usize)> = Vec::with_capacity(trace.len());
+        let mut piece_refs: Vec<(usize, usize)> = Vec::new();
+        let mut prev_arrival = f64::NEG_INFINITY;
+        let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
+        for r in trace.requests() {
+            assert!(
+                r.arrival_ms >= prev_arrival,
+                "trace must be sorted by arrival time"
+            );
+            prev_arrival = r.arrival_ms;
+            let start = piece_refs.len();
+            self.split_request_into(r.offset, r.len, &mut pieces);
+            for &(disk, local_byte, len) in &pieces {
+                piece_refs.push((disk, streams[disk].len()));
+                streams[disk].push(SubRequest {
+                    arrival_ms: r.arrival_ms,
+                    local_byte,
+                    len,
+                });
+            }
+            piece_spans.push((start, piece_refs.len() - start));
+        }
+
+        let pool = dpm_exec::Pool::new(threads);
+        let work: Vec<(DiskSim, Vec<SubRequest>)> =
+            self.make_disks(obs_run).into_iter().zip(streams).collect();
+        let serviced = pool.map_vec(work, |_disk_id, (mut disk, stream)| {
+            let outcomes: Vec<_> = stream.iter().map(|sub| disk.service(sub)).collect();
+            (disk, outcomes)
+        });
+        let mut disks = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
+        for (d, o) in serviced {
+            disks.push(d);
+            outcomes.push(o);
+        }
+
+        let mut acc = Accum::default();
+        for (r, &(start, count)) in trace.requests().iter().zip(&piece_spans) {
+            let mut completion = r.arrival_ms;
+            let mut device_ms = 0.0_f64;
+            for &(disk, idx) in &piece_refs[start..start + count] {
+                let out = &outcomes[disk][idx];
+                completion = completion.max(out.completion_ms);
+                device_ms = device_ms.max(out.stall_ms + out.service_ms);
+            }
+            acc.push(r.arrival_ms, completion, device_ms);
+        }
+        for d in &mut disks {
+            d.finish(acc.makespan);
+        }
+        self.build_report(disks, acc, trace, obs_run)
+    }
+}
+
+/// The per-request aggregates both passes fold in identical order.
+#[derive(Default)]
+struct Accum {
+    total_io_time_ms: f64,
+    total_response_ms: f64,
+    makespan: f64,
+}
+
+impl Accum {
+    fn push(&mut self, arrival_ms: f64, completion: f64, device_ms: f64) {
+        self.total_io_time_ms += device_ms;
+        self.total_response_ms += completion - arrival_ms;
+        self.makespan = self.makespan.max(completion);
     }
 }
 

@@ -1,0 +1,376 @@
+//! # dpm-exec — zero-dependency parallel execution
+//!
+//! A std-only scoped thread pool with an *ordered* parallel map: results
+//! always come back in input order, so every caller stays bit-for-bit
+//! deterministic no matter how many worker threads serviced the queue.
+//! The workspace's experiment matrix (app × version cells), the sharded
+//! disk simulator, and the compiler's per-disk candidate-set computation
+//! all run through it.
+//!
+//! Design points:
+//!
+//! * **No external dependencies.** Workers are `std::thread::scope`
+//!   threads over a shared atomic work queue; the whole workspace stays
+//!   offline-buildable.
+//! * **`DPM_THREADS` env control.** [`num_threads`] reads `DPM_THREADS`
+//!   (unset or `0` → `std::thread::available_parallelism()`); `1` forces
+//!   the serial path everywhere.
+//! * **Determinism.** [`Pool::map_indexed`] / [`par_map_indexed`] write
+//!   each result into its input's slot, so the output `Vec` is identical
+//!   to a serial `map` — only wall-clock order differs. With one thread
+//!   (or inside another pool's worker) the closure runs in input order on
+//!   the calling thread, making "serial" a strict special case of the
+//!   same code path.
+//! * **Panic propagation.** The first worker panic is captured, the queue
+//!   drains early, and the payload is re-raised on the caller's thread —
+//!   a panicking cell cannot silently truncate an experiment matrix.
+//! * **No nested fan-out.** A `par_map` issued from inside a worker runs
+//!   serially on that worker (depth-1 parallelism), so an experiment
+//!   matrix of `p` cells never spawns `p²` threads when the stages it
+//!   calls are themselves parallelized.
+//! * **Observability.** Each parallel map opens a `par_map` span
+//!   (`items`, `workers`) and each worker an `exec_worker` span
+//!   (`worker` id, `claimed` counter) via `dpm-obs`; verbose mode
+//!   additionally emits `exec_queue_depth` gauge events per claim.
+//!
+//! ```
+//! let squares = dpm_exec::par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // input order, always
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+thread_local! {
+    /// Set while the current thread is a pool worker (or inside
+    /// [`serial_scope`]); nested parallel maps then run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already a pool worker. Parallel maps
+/// issued from such a thread run serially (depth-1 parallelism).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Runs `f` with nested parallelism disabled: any parallel map issued
+/// inside (on this thread) executes serially in input order. Used by
+/// benchmarks that need an honest single-thread baseline regardless of
+/// `DPM_THREADS`.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
+/// The worker-thread count selected by the environment: `DPM_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (`DPM_THREADS=0` explicitly requests the latter). Always
+/// at least 1.
+pub fn num_threads() -> usize {
+    match std::env::var("DPM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => available(),
+            Ok(n) => n,
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Caps `requested` to what this call site may actually use: 1 when the
+/// current thread is already a pool worker, `requested` otherwise.
+pub fn effective_threads(requested: usize) -> usize {
+    if in_worker() {
+        1
+    } else {
+        requested.max(1)
+    }
+}
+
+/// A scoped thread pool of a fixed width. The pool owns no long-lived
+/// threads: each map spawns scoped workers over an atomic work queue and
+/// joins them before returning, so borrowed inputs need no `'static`
+/// bound and a finished map leaves nothing running.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`num_threads`] (the `DPM_THREADS` contract).
+    pub fn from_env() -> Pool {
+        Pool::new(num_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ordered parallel map over a slice: returns `f(i, &items[i])` for
+    /// every `i`, in input order. Runs serially (in order, on the calling
+    /// thread) when the pool has one thread, the input has at most one
+    /// item, or the calling thread is already a pool worker.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from `f` on the calling thread.
+    pub fn map_indexed<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        run_indexed(self.threads, items.len(), &|i| f(i, &items[i]))
+    }
+
+    /// Ordered parallel map over owned items: like
+    /// [`map_indexed`](Pool::map_indexed) but each call consumes its item,
+    /// for stages that thread mutable state through (e.g. per-processor
+    /// trace generation).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from `f` on the calling thread.
+    pub fn map_vec<T: Send, R: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T) -> R + Sync,
+    ) -> Vec<R> {
+        let len = items.len();
+        if effective_threads(self.threads).min(len) <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        run_indexed(self.threads, len, &|i| {
+            let item = slots[i]
+                .lock()
+                .expect("exec item slot poisoned")
+                .take()
+                .expect("exec item claimed twice");
+            f(i, item)
+        })
+    }
+}
+
+/// [`Pool::map_indexed`] on the environment-sized pool ([`num_threads`]).
+pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    Pool::from_env().map_indexed(items, f)
+}
+
+/// [`Pool::map_vec`] on the environment-sized pool ([`num_threads`]).
+pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R> {
+    Pool::from_env().map_vec(items, f)
+}
+
+/// The shared engine: `len` jobs drawn from an atomic queue by up to
+/// `threads` scoped workers, results written into per-index slots so the
+/// output order equals the input order.
+fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads).min(len);
+    if threads <= 1 {
+        // Serial fallback: same results, same order, no thread machinery;
+        // panics unwind straight to the caller.
+        return (0..len).map(job).collect();
+    }
+    let mut sp = dpm_obs::span!("par_map");
+    sp.add("items", len as u64);
+    sp.add("workers", threads as u64);
+    let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for w in 0..threads {
+            let (next, panicked, payload, slots) = (&next, &panicked, &payload, &slots);
+            s.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                let mut wsp = dpm_obs::span!("exec_worker");
+                wsp.add("worker", w as u64);
+                loop {
+                    if panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    if dpm_obs::verbose() {
+                        dpm_obs::emit(
+                            dpm_obs::kind::GAUGE,
+                            "exec_queue_depth",
+                            &[
+                                ("value", (len.saturating_sub(i + 1) as u64).into()),
+                                ("worker", (w as u64).into()),
+                            ],
+                        );
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                        Ok(r) => {
+                            *slots[i].lock().expect("exec result slot poisoned") = Some(r);
+                            wsp.incr("claimed");
+                        }
+                        Err(p) => {
+                            // Keep the *first* payload; later panics (and
+                            // still-queued jobs) are dropped once the flag
+                            // is up.
+                            let mut slot = payload.lock().expect("exec panic slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(p);
+                            }
+                            panicked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(p) = payload.into_inner().expect("exec panic slot poisoned") {
+        resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("exec result slot poisoned")
+                .expect("exec result slot unfilled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = Pool::new(threads).map_indexed(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn owned_map_consumes_and_orders() {
+        let items: Vec<String> = (0..64).map(|i| format!("item{i}")).collect();
+        let out = Pool::new(4).map_vec(items, |i, s| format!("{s}/{i}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(*s, format!("item{i}/{i}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(Pool::new(8).map_indexed(&none, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(8).map_indexed(&[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let idx: Vec<usize> = (0..100).collect();
+        Pool::new(7).map_indexed(&idx, |_, &i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).map_indexed(&items, |_, &i| {
+                if i == 13 {
+                    panic!("unlucky cell 13");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload preserved");
+        assert_eq!(msg, "unlucky cell 13");
+    }
+
+    #[test]
+    fn serial_pool_panics_propagate_too() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(1).map_indexed(&[0usize], |_, _| panic!("serial path"))
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_maps_run_serially_inside_workers() {
+        let outer: Vec<usize> = (0..4).collect();
+        let out = Pool::new(4).map_indexed(&outer, |_, &i| {
+            assert!(in_worker());
+            // Inner map must degrade to the serial path on this worker.
+            let inner = Pool::new(8).map_indexed(&[10usize, 20, 30], |_, &x| x + i);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![60, 63, 66, 69]);
+    }
+
+    #[test]
+    fn serial_scope_disables_parallelism() {
+        assert!(!in_worker());
+        serial_scope(|| {
+            assert!(in_worker());
+            let out = Pool::new(8).map_indexed(&[1u32, 2, 3], |_, &x| x * 2);
+            assert_eq!(out, vec![2, 4, 6]);
+        });
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn effective_threads_caps_inside_workers() {
+        assert_eq!(effective_threads(8), 8);
+        assert_eq!(effective_threads(0), 1);
+        serial_scope(|| assert_eq!(effective_threads(8), 1));
+    }
+
+    #[test]
+    fn pool_width_is_at_least_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(num_threads() >= 1);
+    }
+}

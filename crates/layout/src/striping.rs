@@ -140,40 +140,49 @@ impl Striping {
     ///
     /// Panics if `len == 0`.
     pub fn split_range(&self, offset: u64, len: u64) -> Vec<(DiskId, u64, u64)> {
+        let mut out = Vec::new();
+        self.split_range_into(offset, len, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`split_range`](Self::split_range):
+    /// clears `out` and fills it with the same pieces, sorted by
+    /// `(disk, local_byte)`. Hot loops (the simulator's request loop, the
+    /// trace generator's blocking estimate) keep one scratch `Vec` alive
+    /// instead of allocating per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn split_range_into(&self, offset: u64, len: u64, out: &mut Vec<(DiskId, u64, u64)>) {
         assert!(len > 0, "range length must be positive");
+        out.clear();
         let su = self.stripe_unit;
         let first = self.stripe_of_offset(offset);
         let last = self.stripe_of_offset(offset + len - 1);
-        // Piece under construction per disk: (local_byte, len, next_stripe).
-        let mut open: Vec<Option<(u64, u64, u64)>> = vec![None; self.num_disks];
-        let mut out = Vec::new();
         for s in first..=last {
-            let disk = self.disk_of_stripe(s);
             let stripe_lo = s * su;
             let lo = offset.max(stripe_lo);
             let hi = (offset + len).min(stripe_lo + su);
-            let plen = hi - lo;
             let local = self.local_block_of_stripe(s) * su + (lo - stripe_lo);
-            match &mut open[disk] {
-                Some((obyte, olen, next)) if *next == s && *obyte + *olen == local => {
-                    *olen += plen;
-                    *next = s + self.num_disks as u64;
-                }
-                slot => {
-                    if let Some((b, l, _)) = slot.take() {
-                        out.push((disk, b, l));
-                    }
-                    *slot = Some((local, plen, s + self.num_disks as u64));
-                }
-            }
+            out.push((self.disk_of_stripe(s), local, hi - lo));
         }
-        for (disk, slot) in open.into_iter().enumerate() {
-            if let Some((b, l, _)) = slot {
-                out.push((disk, b, l));
-            }
-        }
+        // A disk's stripes within the range have strictly increasing local
+        // addresses, so after this sort any mergeable (locally adjacent)
+        // pieces sit next to each other.
         out.sort_by_key(|&(d, b, _)| (d, b));
-        out
+        let mut w = 0;
+        for r in 1..out.len() {
+            let (rd, rb, rl) = out[r];
+            let (wd, wb, wl) = out[w];
+            if wd == rd && wb + wl == rb {
+                out[w].2 += rl;
+            } else {
+                w += 1;
+                out[w] = (rd, rb, rl);
+            }
+        }
+        out.truncate(w + 1);
     }
 }
 

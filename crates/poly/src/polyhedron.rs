@@ -62,6 +62,14 @@ impl Polyhedron {
         &self.constraints
     }
 
+    /// Whether constraint normalization has already proven this polyhedron
+    /// empty. Constant-time, unlike the projection-based
+    /// [`is_rationally_empty`](Self::is_rationally_empty); `false` means
+    /// "not yet proven empty", not "non-empty".
+    pub fn is_trivially_empty(&self) -> bool {
+        self.trivially_empty
+    }
+
     /// Adds a constraint in place.
     ///
     /// # Panics

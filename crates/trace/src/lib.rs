@@ -110,6 +110,19 @@ impl TraceStats {
             self.io_block_ms / total
         }
     }
+
+    /// Folds another processor's per-phase deltas into this total. Both the
+    /// serial and the parallel generation paths accumulate per-processor
+    /// deltas and merge them in processor order, so the float association
+    /// (and hence the result) is identical at any thread count.
+    fn merge(&mut self, other: &TraceStats) {
+        self.element_accesses += other.element_accesses;
+        self.cache_hits += other.cache_hits;
+        self.requests += other.requests;
+        self.bytes += other.bytes;
+        self.compute_ms += other.compute_ms;
+        self.io_block_ms += other.io_block_ms;
+    }
 }
 
 /// An execution order: which iterations run on which processor, in what
@@ -121,7 +134,10 @@ impl TraceStats {
 /// boundary all processors synchronize (their virtual clocks advance to
 /// the laggard's). Single-processor orders normally use one phase;
 /// multi-processor parallelizations use one phase per loop nest.
-pub trait ExecutionOrder {
+///
+/// `Sync` is a supertrait so the generator can stream several processors'
+/// iterations concurrently (orders are read-only during generation).
+pub trait ExecutionOrder: Sync {
     /// Number of processors.
     fn num_procs(&self) -> u32;
     /// Number of barrier-separated phases (default 1).
@@ -200,6 +216,9 @@ struct ProcState {
     /// Per-disk recent sequential-stream end positions, mirroring the disk
     /// firmware's detector, for the nominal blocking estimate.
     disk_streams: Vec<VecDeque<u64>>,
+    /// Scratch for per-disk request splitting in the blocking estimate
+    /// (reused across requests to avoid a per-request allocation).
+    split_buf: Vec<(usize, u64, u64)>,
     requests: Vec<IoRequest>,
 }
 
@@ -247,6 +266,13 @@ impl<'p> TraceGenerator<'p> {
         let nprocs = order.num_procs();
         sp.add("procs", u64::from(nprocs));
         sp.add("phases", order.num_phases() as u64);
+        // Within a phase the processors are independent (they synchronize
+        // only at phase boundaries), so each phase fans the per-processor
+        // streams out to the pool. `map_vec` returns states in processor
+        // order, and per-processor stat deltas are merged in that same
+        // order, so any thread count (including 1) produces identical
+        // traces and stats.
+        let pool = dpm_exec::Pool::from_env();
         let mut states: Vec<ProcState> = (0..nprocs)
             .map(|proc| ProcState {
                 clock_ms: 0.0,
@@ -254,6 +280,7 @@ impl<'p> TraceGenerator<'p> {
                 pending: Vec::new(),
                 recent: VecDeque::with_capacity(self.options.reuse_window_blocks),
                 disk_streams: vec![VecDeque::new(); self.layout.striping().num_disks()],
+                split_buf: Vec::new(),
                 requests: Vec::new(),
             })
             .collect();
@@ -266,12 +293,25 @@ impl<'p> TraceGenerator<'p> {
             // contention, while a naive parallelization in which every
             // processor sweeps every disk pays the full factor.
             let masks = self.phase_disk_masks(order, phase);
-            for (proc, st) in states.iter_mut().enumerate() {
+            let ran = pool.map_vec(std::mem::take(&mut states), |proc, mut st| {
                 let contention = contention_factor(&masks, proc);
+                let mut delta = TraceStats::default();
                 order.for_each_in_phase(phase, proc as u32, &mut |nest, iter| {
-                    self.execute_iteration(nest, iter, proc as u32, contention, st, &mut stats);
+                    self.execute_iteration(
+                        nest,
+                        iter,
+                        proc as u32,
+                        contention,
+                        &mut st,
+                        &mut delta,
+                    );
                 });
-                self.flush_all(proc as u32, contention, st, &mut stats);
+                self.flush_all(proc as u32, contention, &mut st, &mut delta);
+                (st, delta)
+            });
+            for (st, delta) in ran {
+                stats.merge(&delta);
+                states.push(st);
             }
             // Barrier: synchronize clocks.
             let max_clock = states.iter().map(|s| s.clock_ms).fold(0.0_f64, f64::max);
@@ -291,22 +331,23 @@ impl<'p> TraceGenerator<'p> {
     /// Disk footprint (bitmask) of each processor within one phase.
     fn phase_disk_masks(&self, order: &dyn ExecutionOrder, phase: usize) -> Vec<u64> {
         let nprocs = order.num_procs() as usize;
-        let mut masks = vec![0u64; nprocs];
         if nprocs == 1 {
-            return masks;
+            return vec![0u64];
         }
-        for (proc, mask) in masks.iter_mut().enumerate() {
-            order.for_each_in_phase(phase, proc as u32, &mut |nest, iter| {
+        let procs: Vec<u32> = (0..nprocs as u32).collect();
+        dpm_exec::par_map_indexed(&procs, |_, &proc| {
+            let mut mask = 0u64;
+            order.for_each_in_phase(phase, proc, &mut |nest, iter| {
                 for stmt in &self.program.nests[nest].body {
                     for r in &stmt.refs {
                         let coords = r.element_at(iter);
                         let d = self.layout.disk_of_element(self.program, r.array, &coords);
-                        *mask |= 1 << (d as u64 % 64);
+                        mask |= 1 << (d as u64 % 64);
                     }
                 }
             });
-        }
-        masks
+            mask
+        })
     }
 
     fn execute_iteration(
@@ -482,7 +523,11 @@ impl<'p> TraceGenerator<'p> {
             // sequential stream on its disk. A device-sharing factor
             // models p processors hammering the same disks.
             let mut worst = 0.0_f64;
-            for (disk, local_byte, len) in self.layout.striping().split_range(p.offset, p.len) {
+            let mut pieces = std::mem::take(&mut st.split_buf);
+            self.layout
+                .striping()
+                .split_range_into(p.offset, p.len, &mut pieces);
+            for &(disk, local_byte, len) in &pieces {
                 let streams = &mut st.disk_streams[disk];
                 let sequential = if let Some(slot) = streams.iter_mut().find(|e| **e == local_byte)
                 {
@@ -498,6 +543,7 @@ impl<'p> TraceGenerator<'p> {
                 let svc = self.params.service_ms(len, self.params.max_rpm, sequential);
                 worst = worst.max(svc);
             }
+            st.split_buf = pieces;
             let block = worst * contention;
             st.clock_ms += block;
             stats.io_block_ms += block;

@@ -18,4 +18,9 @@ run cargo test -q --offline --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Serial-vs-parallel harness: asserts the DPM_THREADS pool reproduces the
+# serial figure-9(a) results byte-for-byte and records wall times plus the
+# hot-path microbenches in BENCH_parallel.json (tracked run over run).
+run ./target/release/parallel_bench tiny BENCH_parallel.json
+
 echo "All checks passed."

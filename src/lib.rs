@@ -16,7 +16,10 @@
 //! * [`disksim`] — the TPM/DRPM disk energy simulator (§4, §7.1);
 //! * [`apps`] — the six Table 2 benchmark applications;
 //! * [`obs`] — zero-dependency instrumentation: spans, counters, typed
-//!   events, JSON-Lines sinks (enable with the `DPM_OBS` env var).
+//!   events, JSON-Lines sinks (enable with the `DPM_OBS` env var);
+//! * [`exec`] — zero-dependency execution layer: scoped thread pool and
+//!   ordered parallel maps with bit-for-bit deterministic results
+//!   (width via the `DPM_THREADS` env var).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub mod optimizer;
 pub use dpm_apps as apps;
 pub use dpm_core as core;
 pub use dpm_disksim as disksim;
+pub use dpm_exec as exec;
 pub use dpm_ir as ir;
 pub use dpm_layout as layout;
 pub use dpm_obs as obs;

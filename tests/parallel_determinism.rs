@@ -1,0 +1,216 @@
+//! Parallel == serial determinism suite for the `dpm-exec` execution layer.
+//!
+//! The execution layer promises *bit-for-bit* reproducibility: sharding the
+//! disk simulator, parallelizing the Q_d clustering, or fanning the trace
+//! generator across a pool must never change a single output byte. These
+//! tests pin that contract at several thread counts, and check that worker
+//! panics propagate instead of vanishing.
+
+use disk_reuse::prelude::*;
+use dpm_disksim::RaidConfig;
+
+/// A small multi-nest program whose arrays stripe across several disks —
+/// enough work that the sharded simulator actually engages all workers.
+fn test_program() -> Program {
+    parse_program(
+        "program det; array A[96][32] : f64; array B[96][32] : f64;
+         nest L1 { for i = 0 .. 95 { for j = 0 .. 31 { A[i][j] = B[i][j] + 1; } } }
+         nest L2 { for i = 0 .. 95 { for j = 0 .. 31 { B[i][j] = A[i][j] * 2; } } }",
+    )
+    .expect("test program parses")
+}
+
+fn test_striping() -> Striping {
+    Striping::new(8 << 10, 4, 0)
+}
+
+/// Builds a trace through the full front half of the pipeline (restructure →
+/// generate), serially, so the simulator tests have a fixed input.
+fn test_trace() -> Trace {
+    dpm_exec::serial_scope(|| {
+        let program = test_program();
+        let layout = LayoutMap::new(&program, test_striping());
+        let deps = analyze(&program);
+        let schedule = restructure_single(&program, &layout, &deps);
+        let gen = TraceGenerator::new(&program, &layout, TraceGenOptions::default());
+        gen.generate(&schedule).0
+    })
+}
+
+/// Field-by-field `SimReport` equality. `SimReport` carries an `obs_run` id
+/// that differs per run by design, so it has no `PartialEq`; everything the
+/// experiments consume is compared here instead. Floats are compared
+/// *bitwise* — the determinism contract is exact, not approximate.
+fn assert_reports_identical(a: &SimReport, b: &SimReport, label: &str) {
+    assert_eq!(
+        a.makespan_ms.to_bits(),
+        b.makespan_ms.to_bits(),
+        "{label}: makespan_ms differs ({} vs {})",
+        a.makespan_ms,
+        b.makespan_ms
+    );
+    assert_eq!(
+        a.total_io_time_ms.to_bits(),
+        b.total_io_time_ms.to_bits(),
+        "{label}: total_io_time_ms differs ({} vs {})",
+        a.total_io_time_ms,
+        b.total_io_time_ms
+    );
+    assert_eq!(
+        a.total_response_ms.to_bits(),
+        b.total_response_ms.to_bits(),
+        "{label}: total_response_ms differs ({} vs {})",
+        a.total_response_ms,
+        b.total_response_ms
+    );
+    assert_eq!(a.app_requests, b.app_requests, "{label}: app_requests");
+    assert_eq!(a.per_disk, b.per_disk, "{label}: per-disk stats differ");
+    assert_eq!(
+        a.idle_histograms, b.idle_histograms,
+        "{label}: idle histograms differ"
+    );
+    assert_eq!(a.timelines, b.timelines, "{label}: timelines differ");
+}
+
+fn run_sim(trace: &Trace, policy: PowerPolicy, threads: usize) -> SimReport {
+    Simulator::new(DiskParams::default(), policy, test_striping())
+        .with_timelines()
+        .with_exec_threads(threads)
+        .run(trace)
+}
+
+#[test]
+fn sharded_simulator_matches_serial_tpm() {
+    let trace = test_trace();
+    let policy = PowerPolicy::Tpm(TpmConfig::default());
+    let serial = run_sim(&trace, policy, 1);
+    assert!(
+        serial.total_energy_j() > 0.0,
+        "trace must exercise the disks"
+    );
+    for threads in [2usize, 8] {
+        let parallel = run_sim(&trace, policy, threads);
+        assert_reports_identical(&serial, &parallel, &format!("tpm x{threads}"));
+    }
+}
+
+#[test]
+fn sharded_simulator_matches_serial_drpm() {
+    let trace = test_trace();
+    let policy = PowerPolicy::Drpm(DrpmConfig::default());
+    let serial = run_sim(&trace, policy, 1);
+    for threads in [2usize, 8] {
+        let parallel = run_sim(&trace, policy, threads);
+        assert_reports_identical(&serial, &parallel, &format!("drpm x{threads}"));
+    }
+}
+
+#[test]
+fn sharded_simulator_matches_serial_with_raid_substriping() {
+    let trace = test_trace();
+    let policy = PowerPolicy::Tpm(TpmConfig::proactive());
+    let sim = |threads: usize| {
+        Simulator::new(DiskParams::default(), policy, test_striping())
+            .with_raid(RaidConfig::raid0(2, 4 << 10))
+            .with_timelines()
+            .with_exec_threads(threads)
+            .run(&trace)
+    };
+    let serial = sim(1);
+    for threads in [2usize, 8] {
+        assert_reports_identical(&serial, &sim(threads), &format!("raid x{threads}"));
+    }
+}
+
+/// The compiler half of the pipeline: Q_d clustering (`restructure_single`)
+/// and trace generation read `DPM_THREADS` through the pool. The schedule
+/// and trace must be identical at 1, 2 and 8 threads.
+///
+/// This is the only test that touches the `DPM_THREADS` environment
+/// variable; every other test in this binary pins its thread count
+/// explicitly, so the mutation cannot leak into a concurrently running
+/// test's configuration.
+#[test]
+fn restructure_and_trace_deterministic_across_thread_counts() {
+    let program = test_program();
+    let layout = LayoutMap::new(&program, test_striping());
+    let deps = analyze(&program);
+
+    // Baseline: force everything through the serial path.
+    let (base_schedule, base_trace, base_stats) = dpm_exec::serial_scope(|| {
+        let schedule = restructure_single(&program, &layout, &deps);
+        let gen = TraceGenerator::new(&program, &layout, TraceGenOptions::default());
+        let (trace, stats) = gen.generate(&schedule);
+        (schedule, trace, stats)
+    });
+    assert!(base_schedule.num_phases() > 0);
+    assert!(!base_trace.is_empty());
+
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DPM_THREADS", threads);
+        let schedule = restructure_single(&program, &layout, &deps);
+        assert_eq!(
+            schedule.num_phases(),
+            base_schedule.num_phases(),
+            "DPM_THREADS={threads}: phase count"
+        );
+        for phase in 0..schedule.num_phases() {
+            assert_eq!(
+                schedule.iters(phase, 0),
+                base_schedule.iters(phase, 0),
+                "DPM_THREADS={threads}: schedule differs in phase {phase}"
+            );
+        }
+        let gen = TraceGenerator::new(&program, &layout, TraceGenOptions::default());
+        let (trace, stats) = gen.generate(&schedule);
+        assert_eq!(
+            trace.requests(),
+            base_trace.requests(),
+            "DPM_THREADS={threads}: generated trace differs"
+        );
+        assert_eq!(
+            stats, base_stats,
+            "DPM_THREADS={threads}: trace stats differ"
+        );
+    }
+    std::env::remove_var("DPM_THREADS");
+}
+
+/// A worker panic must surface in the caller with its payload intact — a
+/// silently swallowed panic would let a half-computed experiment masquerade
+/// as a finished one.
+#[test]
+fn pool_propagates_worker_panics() {
+    let result = std::panic::catch_unwind(|| {
+        dpm_exec::Pool::new(2).map_vec(vec![0u32, 1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("worker exploded on item {x}");
+            }
+            x * 10
+        })
+    });
+    let payload = result.expect_err("panic must propagate out of map_vec");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("worker exploded on item 2"),
+        "panic payload should be preserved, got: {msg:?}"
+    );
+}
+
+/// Ordered parallel map: results come back in input order, whatever the
+/// thread count — the property every merge loop in the pipeline relies on.
+#[test]
+fn parallel_map_preserves_input_order() {
+    let items: Vec<usize> = (0..257).collect();
+    for threads in [1usize, 2, 8] {
+        let out = dpm_exec::Pool::new(threads).map_indexed(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+}
