@@ -36,6 +36,10 @@ pub enum Scale {
     /// Full evaluation scale (~0.5–1 M iterations, a few GB of data per
     /// application) — used by the experiment harness.
     Paper,
+    /// 1/2 linear scale — large enough that point-enumeration costs
+    /// dominate; the target scale for the closed-form counting and cached
+    /// projection-chain benchmarks (`poly_bench`).
+    Large,
     /// 1/8 linear scale — fast enough for integration tests.
     Small,
     /// 1/32 linear scale — unit-test speed.
@@ -53,6 +57,7 @@ impl Scale {
     pub fn divisor(self) -> u64 {
         match self {
             Scale::Paper => 1,
+            Scale::Large => 2,
             Scale::Small => 8,
             Scale::Tiny => 32,
             Scale::Custom(d) => {

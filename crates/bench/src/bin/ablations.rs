@@ -72,6 +72,7 @@ fn saving(base: &SimReport, v: &SimReport) -> String {
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Small,
     };

@@ -1,7 +1,7 @@
 //! Regenerates Figure 10: percentage disk-I/O-time degradation over the
 //! Base version — part (a) single processor, part (b) four processors.
 //!
-//! Usage: `figure10 [scale] [csv-path]` (scale: paper | small | tiny).
+//! Usage: `figure10 [scale] [csv-path]` (scale: paper | large | small | tiny).
 //! Always writes the full result set as JSON to `results/figure10.json`;
 //! with `DPM_OBS` set, the JSON additionally carries per-pass timings.
 
@@ -25,6 +25,7 @@ fn main() {
     let obs = dpm_obs::init_from_env();
     let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
+        Some("large") => Scale::Large,
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Paper,

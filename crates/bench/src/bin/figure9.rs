@@ -1,7 +1,7 @@
 //! Regenerates Figure 9: normalized disk energy consumption per application
 //! and code version — part (a) single processor, part (b) four processors.
 //!
-//! Usage: `figure9 [scale] [csv-path]` (scale: paper | small | tiny).
+//! Usage: `figure9 [scale] [csv-path]` (scale: paper | large | small | tiny).
 //! Prints the paper's reported averages next to the measured ones and
 //! optionally writes a CSV with every bar. Always writes the full result
 //! set as JSON to `results/figure9.json`; with `DPM_OBS` set, the JSON
@@ -27,6 +27,7 @@ fn main() {
     let obs = dpm_obs::init_from_env();
     let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
+        Some("large") => Scale::Large,
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Paper,

@@ -48,6 +48,7 @@ fn main() {
     let collector = dpm_obs::install_collector();
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Small,
     };

@@ -6,7 +6,7 @@
 //! plus the satellite micro-benchmarks in a machine-readable JSON file so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `parallel_bench [scale] [out-path]` (scale: tiny | small | paper;
+//! Usage: `parallel_bench [scale] [out-path]` (scale: tiny | small | large | paper;
 //! default tiny, output default `BENCH_parallel.json`). Thread count comes
 //! from `DPM_THREADS` (default 4). On a single-core host the speedup will
 //! hover around 1.0x — the determinism check still runs in full.
@@ -114,6 +114,7 @@ fn main() {
     dpm_obs::init_from_env();
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
         Some("small") => Scale::Small,
         _ => Scale::Tiny,
     };

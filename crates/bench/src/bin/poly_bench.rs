@@ -1,0 +1,355 @@
+//! Before/after harness for the closed-form counting and cached
+//! projection-chain work in `dpm-poly` and the bitset `Q_d` scheduler in
+//! `dpm-core`.
+//!
+//! Three things happen per run:
+//!
+//! 1. **Equivalence**: every closed-form count is asserted equal to the
+//!    enumeration baseline it replaced; the bitset scheduler is asserted
+//!    bit-identical to the reference engine. A mismatch exits non-zero.
+//! 2. **Microbenches**: counting and `Q_d` footprint construction at
+//!    `Scale::Large` geometry, closed-form vs enumerated, plus cached vs
+//!    uncached repeated queries and the two scheduling engines. The
+//!    closed-vs-enumerated speedup must reach 10x on the counting or the
+//!    `Q_d` bench, or the run fails.
+//! 3. **Matrix**: the figure-9(a) experiment matrix at the requested scale
+//!    (default `small`), wall-clock recorded — the "does the pipeline scale
+//!    past Tiny now" smoke check.
+//!
+//! Results land in a machine-readable JSON file. When a baseline file is
+//! given, each fresh `microbench_ns_per_iter` entry is compared against the
+//! baseline's entry of the same name and the run fails if it regressed by
+//! more than `DPM_BENCH_TOL`x (default 8 — generous, because CI machines
+//! vary; the gate is for order-of-magnitude regressions, i.e. losing a
+//! closed form, not for noise).
+//!
+//! Usage: `poly_bench [scale] [out-path] [baseline-path]`
+//! (scale: tiny | small | large | paper; default small, output default
+//! `BENCH_poly.json`, no baseline comparison unless a path is given).
+
+use dpm_apps::Scale;
+use dpm_bench::microbench::{bench, group};
+use dpm_bench::{run_matrix, ExperimentConfig, MatrixCell, Version};
+use dpm_layout::LayoutMap;
+use dpm_obs::Json;
+use dpm_poly::{Constraint, LinExpr, Polyhedron};
+use std::time::Instant;
+
+fn cells(scale: Scale) -> Vec<MatrixCell> {
+    dpm_apps::suite(scale)
+        .into_iter()
+        .map(|app| MatrixCell {
+            app,
+            versions: Version::single_cpu().to_vec(),
+            procs: 1,
+        })
+        .collect()
+}
+
+/// Array extent of the benchmark geometry at `Scale::Large` (the suite
+/// declares 1024-wide arrays at paper scale).
+fn large_n() -> i64 {
+    (1024 / Scale::Large.divisor()) as i64
+}
+
+/// A `Scale::Large` rectangular iteration space — the row-/column-block
+/// footprint shape the paper's schemes count constantly.
+fn rect_large() -> Polyhedron {
+    let n = large_n();
+    Polyhedron::universe(2)
+        .with_range(0, 0, n - 1)
+        .with_range(1, 0, n - 1)
+}
+
+/// A `Scale::Large` triangular space (Cholesky/SCF sweeps).
+fn tri_large() -> Polyhedron {
+    rect_large().with(Constraint::geq_zero(
+        LinExpr::var(2, 0).minus(&LinExpr::var(2, 1)),
+    ))
+}
+
+struct Micro {
+    name: &'static str,
+    ns: f64,
+}
+
+fn main() {
+    dpm_obs::init_from_env();
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Small,
+    };
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_poly.json".into());
+    let baseline_path = std::env::args().nth(3);
+
+    let mut failures = 0u32;
+    let mut micros: Vec<Micro> = Vec::new();
+
+    // ---- counting: closed form vs enumeration -------------------------
+    group("count_points at Scale::Large geometry");
+    {
+        let expect_rect = (large_n() * large_n()) as u64;
+        let expect_tri = (large_n() * (large_n() + 1) / 2) as u64;
+        // Fresh polyhedron per iteration on both sides, so the closed side
+        // pays its full cache-build cost and the comparison is construction
+        // + query vs construction + query.
+        let closed_rect = bench("poly/count_rect_closed", || rect_large().count_points());
+        let enum_rect = bench("poly/count_rect_enumerated", || {
+            rect_large().count_points_enumerated()
+        });
+        let closed_tri = bench("poly/count_tri_closed", || tri_large().count_points());
+        let enum_tri = bench("poly/count_tri_enumerated", || {
+            tri_large().count_points_enumerated()
+        });
+        for (label, got, want) in [
+            ("rect closed", rect_large().count_points(), expect_rect),
+            (
+                "rect enumerated",
+                rect_large().count_points_enumerated(),
+                expect_rect,
+            ),
+            ("tri closed", tri_large().count_points(), expect_tri),
+            (
+                "tri enumerated",
+                tri_large().count_points_enumerated(),
+                expect_tri,
+            ),
+        ] {
+            if got != want {
+                eprintln!("poly_bench: FAIL — {label} count {got} != expected {want}");
+                failures += 1;
+            }
+        }
+        micros.push(Micro {
+            name: "poly_count_rect_closed",
+            ns: closed_rect.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "poly_count_rect_enumerated",
+            ns: enum_rect.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "poly_count_tri_closed",
+            ns: closed_tri.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "poly_count_tri_enumerated",
+            ns: enum_tri.ns_per_iter,
+        });
+    }
+
+    // ---- Q_d footprint construction: closed form vs enumeration -------
+    group("per-disk Q_d footprints (AST nest 0, paper striping, Large)");
+    let qd_speedup;
+    {
+        let program = dpm_apps::ast(Scale::Large).program();
+        let layout = LayoutMap::new(&program, dpm_apps::paper_striping());
+        let sets = dpm_core::disk_iteration_sets(&program, &layout, 0)
+            .expect("AST nest 0 must admit symbolic per-disk sets");
+        let per_disk_closed: Vec<u64> = sets.iter().map(|s| s.count_points()).collect();
+        let per_disk_enum: Vec<u64> = sets.iter().map(|s| s.count_points_enumerated()).collect();
+        if per_disk_closed != per_disk_enum {
+            eprintln!(
+                "poly_bench: FAIL — Q_d closed-form counts {per_disk_closed:?} \
+                 != enumerated {per_disk_enum:?}"
+            );
+            failures += 1;
+        }
+        // Fresh sets per iteration: the bench measures building the
+        // footprints and counting them, the restructurer's actual pattern.
+        let closed = bench("core/qd_footprints_closed", || {
+            let sets = dpm_core::disk_iteration_sets(&program, &layout, 0).unwrap();
+            sets.iter().map(|s| s.count_points()).sum::<u64>()
+        });
+        let enumerated = bench("core/qd_footprints_enumerated", || {
+            let sets = dpm_core::disk_iteration_sets(&program, &layout, 0).unwrap();
+            sets.iter()
+                .map(|s| s.count_points_enumerated())
+                .sum::<u64>()
+        });
+        qd_speedup = enumerated.ns_per_iter / closed.ns_per_iter;
+        micros.push(Micro {
+            name: "core_qd_footprints_closed",
+            ns: closed.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "core_qd_footprints_enumerated",
+            ns: enumerated.ns_per_iter,
+        });
+    }
+
+    // ---- cached vs uncached repeated queries --------------------------
+    group("projection-chain cache (repeated queries, one polyhedron)");
+    {
+        let warm = tri_large();
+        let cached = bench("poly/queries_cached", || {
+            // Same polyhedron every iteration: everything after the first
+            // hit comes from the cache.
+            (warm.count_points(), warm.is_empty(), warm.lexmax())
+        });
+        let uncached = bench("poly/queries_uncached", || {
+            // Fresh polyhedron per iteration: every query rebuilds its
+            // chain, the pre-cache behaviour.
+            let p = tri_large();
+            (p.count_points(), p.is_empty(), p.lexmax())
+        });
+        micros.push(Micro {
+            name: "poly_queries_cached",
+            ns: cached.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "poly_queries_uncached",
+            ns: uncached.ns_per_iter,
+        });
+    }
+
+    // ---- scheduling engines: bitset vs reference ----------------------
+    group("Figure-3 scheduler (AST at Tiny, bitset vs reference)");
+    {
+        let program = dpm_apps::ast(Scale::Tiny).program();
+        let layout = LayoutMap::new(&program, dpm_apps::paper_striping());
+        let deps = dpm_ir::analyze(&program);
+        let fast = dpm_core::restructure_single(&program, &layout, &deps);
+        let reference = dpm_core::restructure_single_reference(&program, &layout, &deps);
+        if fast.num_phases() != reference.num_phases()
+            || (0..fast.num_phases()).any(|ph| fast.iters(ph, 0) != reference.iters(ph, 0))
+        {
+            eprintln!("poly_bench: FAIL — bitset schedule diverged from reference engine");
+            failures += 1;
+        }
+        let bitset = bench("core/schedule_bitset", || {
+            dpm_core::restructure_single(&program, &layout, &deps)
+        });
+        let refeng = bench("core/schedule_reference", || {
+            dpm_core::restructure_single_reference(&program, &layout, &deps)
+        });
+        micros.push(Micro {
+            name: "core_schedule_bitset",
+            ns: bitset.ns_per_iter,
+        });
+        micros.push(Micro {
+            name: "core_schedule_reference",
+            ns: refeng.ns_per_iter,
+        });
+    }
+
+    // ---- speedup gate -------------------------------------------------
+    let ns_of = |name: &str| micros.iter().find(|m| m.name == name).map_or(0.0, |m| m.ns);
+    let rect_speedup = ns_of("poly_count_rect_enumerated") / ns_of("poly_count_rect_closed");
+    let tri_speedup = ns_of("poly_count_tri_enumerated") / ns_of("poly_count_tri_closed");
+    let cached_speedup = ns_of("poly_queries_uncached") / ns_of("poly_queries_cached");
+    println!(
+        "\nspeedups: rect {rect_speedup:.1}x, tri {tri_speedup:.1}x, \
+         qd {qd_speedup:.1}x, cached-queries {cached_speedup:.1}x"
+    );
+    if rect_speedup < 10.0 && qd_speedup < 10.0 {
+        eprintln!(
+            "poly_bench: FAIL — neither the count_points bench ({rect_speedup:.1}x) \
+             nor the Q_d bench ({qd_speedup:.1}x) reached the 10x bar"
+        );
+        failures += 1;
+    }
+
+    // ---- figure-9(a) matrix at the requested scale --------------------
+    let num_cells = cells(scale).len();
+    println!("\nfigure-9(a) matrix at {scale:?} scale ({num_cells} cells)…");
+    let t = Instant::now();
+    let results = run_matrix(cells(scale), &ExperimentConfig::default());
+    let matrix_ms = t.elapsed().as_secs_f64() * 1e3;
+    let total_requests: u64 = results
+        .iter()
+        .flat_map(|a| a.results.iter())
+        .map(|r| r.report.app_requests)
+        .sum();
+    println!("  completed in {matrix_ms:.1} ms ({total_requests} simulated requests)");
+
+    // ---- report -------------------------------------------------------
+    let micro_json: Vec<(&str, Json)> = micros.iter().map(|m| (m.name, Json::F64(m.ns))).collect();
+    let json = Json::obj(vec![
+        ("name", Json::Str("poly_bench".into())),
+        ("matrix_scale", Json::Str(format!("{scale:?}"))),
+        ("matrix_cells", Json::U64(num_cells as u64)),
+        ("matrix_ms", Json::F64(matrix_ms)),
+        ("matrix_requests", Json::U64(total_requests)),
+        ("count_rect_speedup", Json::F64(rect_speedup)),
+        ("count_tri_speedup", Json::F64(tri_speedup)),
+        ("qd_footprints_speedup", Json::F64(qd_speedup)),
+        ("cached_queries_speedup", Json::F64(cached_speedup)),
+        ("microbench_ns_per_iter", Json::obj(micro_json)),
+    ]);
+    let mut body = String::new();
+    json.write(&mut body);
+    body.push('\n');
+    std::fs::write(&out_path, &body).expect("write BENCH_poly.json");
+    println!("wrote {out_path}");
+
+    // ---- baseline comparison ------------------------------------------
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => failures += compare_baseline(&json, &text, &path),
+            Err(e) => println!("no baseline comparison ({path}: {e})"),
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("poly_bench: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}
+
+/// Compares fresh `microbench_ns_per_iter` entries against a baseline
+/// report, returning the number of entries that regressed beyond the
+/// tolerance factor (`DPM_BENCH_TOL`, default 8). Entries present on only
+/// one side are skipped: adding or retiring a bench must not break the
+/// gate.
+fn compare_baseline(fresh: &Json, baseline_text: &str, path: &str) -> u32 {
+    let tol: f64 = std::env::var("DPM_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0.0)
+        .unwrap_or(8.0);
+    let baseline = match Json::parse(baseline_text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("poly_bench: FAIL — baseline {path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let (Some(Json::Obj(fresh_micro)), Some(Json::Obj(base_micro))) = (
+        fresh.get("microbench_ns_per_iter"),
+        baseline.get("microbench_ns_per_iter"),
+    ) else {
+        eprintln!("poly_bench: FAIL — baseline {path} has no microbench_ns_per_iter object");
+        return 1;
+    };
+    let mut regressions = 0u32;
+    println!("\nbaseline comparison vs {path} (tolerance {tol}x):");
+    for (name, value) in fresh_micro {
+        let Some(new_ns) = value.as_f64() else {
+            continue;
+        };
+        let Some(base_ns) = base_micro
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+        else {
+            println!("  {name:<34} (new bench, no baseline entry)");
+            continue;
+        };
+        let ratio = if base_ns > 0.0 { new_ns / base_ns } else { 0.0 };
+        let verdict = if ratio > tol { "REGRESSED" } else { "ok" };
+        println!("  {name:<34} {base_ns:>12.1} -> {new_ns:>12.1} ns/iter ({ratio:.2}x) {verdict}");
+        if ratio > tol {
+            eprintln!(
+                "poly_bench: FAIL — {name} regressed {ratio:.2}x over baseline \
+                 (tolerance {tol}x)"
+            );
+            regressions += 1;
+        }
+    }
+    regressions
+}

@@ -30,6 +30,7 @@ fn trace_of(program: &dpm_ir::Program, config: &ExperimentConfig) -> Trace {
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
         Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Small,
     };

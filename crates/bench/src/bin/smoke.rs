@@ -1,6 +1,6 @@
 //! Quick end-to-end shape check: runs a configurable subset of the suite
 //! at reduced scale and prints normalized energy / degradation per version.
-//! Usage: `smoke [scale] [app]` with scale in {tiny, small, paper}.
+//! Usage: `smoke [scale] [app]` with scale in {tiny, small, large, paper}.
 
 use dpm_apps::Scale;
 use dpm_bench::{run_app, ExperimentConfig, Version};
@@ -9,6 +9,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = match args.get(1).map(|s| s.as_str()) {
         Some("paper") => Scale::Paper,
+        Some("large") => Scale::Large,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Small,
     };

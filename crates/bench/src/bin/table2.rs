@@ -2,7 +2,7 @@
 //! of disk requests, base disk energy, and base disk I/O time (no power
 //! management, single processor).
 //!
-//! Usage: `table2 [scale]` (paper | small | tiny; default paper). Prints
+//! Usage: `table2 [scale]` (paper | large | small | tiny; default paper). Prints
 //! the paper's values alongside for comparison and writes the measured
 //! rows as JSON to `results/table2.json`. With `DPM_OBS` set, the whole
 //! run additionally streams instrumentation events (spans, per-disk state
@@ -26,6 +26,7 @@ fn main() {
     let obs = dpm_obs::init_from_env();
     let collector = obs.then(dpm_obs::install_collector);
     let scale = match std::env::args().nth(1).as_deref() {
+        Some("large") => Scale::Large,
         Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         _ => Scale::Paper,

@@ -50,8 +50,12 @@ pub use multi::{
     parallelize_layout_aware, region_owner, Assignment,
 };
 pub use schedule::{iteration_disk_mask, mean_disk_run_length, CompactIter, Schedule};
-pub use single::{cluster_iterations, original_schedule, restructure_single};
-pub use symbolic::{restructure_symbolic, SymbolicError, SymbolicPiece, SymbolicPlan};
+pub use single::{
+    cluster_iterations, original_schedule, restructure_single, restructure_single_reference,
+};
+pub use symbolic::{
+    disk_iteration_sets, restructure_symbolic, SymbolicError, SymbolicPiece, SymbolicPlan,
+};
 
 use dpm_ir::{DependenceInfo, Program};
 use dpm_layout::LayoutMap;

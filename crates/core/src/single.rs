@@ -29,9 +29,100 @@ struct NestTable {
     barrier_preds: Vec<NestId>,
 }
 
+/// A set of global iteration ids as a bit vector — one per disk, the `Q_d`
+/// sets of Figure 3 in streamable form. A disk pass walks its set words in
+/// ascending id order (`trailing_zeros` over each word), which is exactly
+/// the `(nest, index)` visit order of the reference engine because global
+/// ids are assigned nest-major.
+struct IdBitset {
+    words: Vec<u64>,
+}
+
+impl IdBitset {
+    fn new(len: usize) -> Self {
+        IdBitset {
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: usize) {
+        self.words[id / 64] |= 1u64 << (id % 64);
+    }
+}
+
+/// Whether iteration `idx` of nest `ni` (global id `id`) has all its
+/// dependence predecessors scheduled — shared by both scheduling engines
+/// and the fallback path.
+fn iter_ready(
+    tables: &[NestTable],
+    id: usize,
+    ni: usize,
+    idx: usize,
+    scheduled: &[bool],
+    nest_done: &[usize],
+    buf: &mut [i64; CompactIter::MAX_DEPTH],
+) -> bool {
+    let t = &tables[ni];
+    for &src in &t.barrier_preds {
+        if nest_done[src] < tables[src].iters.len() {
+            return false;
+        }
+    }
+    if t.serial && idx > 0 && !scheduled[id - 1] {
+        return false;
+    }
+    if !t.distances.is_empty() {
+        let pt = t.iters[idx].coords_into(buf).to_vec();
+        for d in &t.distances {
+            let pred: Vec<i64> = pt.iter().zip(d).map(|(a, b)| a - b).collect();
+            if let Some(pid) = find_iter(&tables[ni], ni, &pred) {
+                if !scheduled[pid] {
+                    return false;
+                }
+            }
+        }
+    }
+    if !t.exact_preds.is_empty() {
+        let pt = t.iters[idx].coords_into(buf).to_vec();
+        for (src, map) in &t.exact_preds {
+            let pred = map.apply(&pt);
+            if let Some(pid) = find_iter(&tables[*src], *src, &pred) {
+                if !scheduled[pid] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Disk-affinity masks for every iteration, flattened in global-id order.
+/// Each nest's masks depend only on read-only program/layout state, so
+/// nests are computed in parallel and flattened back in nest order —
+/// bit-identical to a serial sweep.
+fn compute_masks(program: &Program, layout: &LayoutMap, tables: &[NestTable]) -> Vec<u64> {
+    let mut qd = dpm_obs::span!("q_d_compute");
+    qd.add("nests", tables.len() as u64);
+    let per_nest = dpm_exec::par_map_indexed(tables, |ni, t| {
+        let mut buf = [0i64; CompactIter::MAX_DEPTH];
+        t.iters
+            .iter()
+            .map(|it| iteration_disk_mask(program, layout, ni, it.coords_into(&mut buf)))
+            .collect::<Vec<u64>>()
+    });
+    per_nest.into_iter().flatten().collect()
+}
+
 /// The Figure 3 restructuring: schedules all iterations of `program` on one
 /// processor, clustering accesses disk by disk while honouring data
 /// dependences.
+///
+/// The per-disk pools `Q_d` are held as [`IdBitset`]s over global iteration
+/// ids, so a disk pass visits only the iterations with affinity to that
+/// disk instead of filtering the whole pool per pass; the schedule produced
+/// is bit-identical to [`restructure_single_reference`], which keeps the
+/// literal mask-filtering loop.
 ///
 /// # Examples
 ///
@@ -57,69 +148,157 @@ pub fn restructure_single(
     let num_disks = layout.striping().num_disks();
     sp.add("iterations", total as u64);
 
-    // Disk mask per global iteration id (the per-disk sets Q_d of Figure 3,
-    // kept as bitmasks over the shared pool). Each nest's masks depend only
-    // on read-only program/layout state, so nests are computed in parallel
-    // and flattened back in nest order — bit-identical to the serial sweep.
-    let masks: Vec<u64> = {
-        let mut qd = dpm_obs::span!("q_d_compute");
-        qd.add("nests", tables.len() as u64);
-        let per_nest = dpm_exec::par_map_indexed(&tables, |ni, t| {
-            let mut buf = [0i64; CompactIter::MAX_DEPTH];
-            t.iters
-                .iter()
-                .map(|it| iteration_disk_mask(program, layout, ni, it.coords_into(&mut buf)))
-                .collect::<Vec<u64>>()
-        });
-        per_nest.into_iter().flatten().collect()
-    };
+    let masks = compute_masks(program, layout, &tables);
+
+    // Stream the masks into per-disk bitsets (the Q_d of Figure 3) plus a
+    // global-id → nest lookup, so each disk pass touches only its own pool.
+    // Iterations that touch no disk at all are folded into disk 0's pass;
+    // mask bits beyond the disk count are unreachable by any pass and are
+    // left to the fallback path, exactly as in the reference engine.
+    let mut qd: Vec<IdBitset> = (0..num_disks.max(1))
+        .map(|_| IdBitset::new(total))
+        .collect();
+    let mut nest_of: Vec<u16> = vec![0; total];
+    for (ni, t) in tables.iter().enumerate() {
+        for idx in 0..t.iters.len() {
+            nest_of[t.base_id + idx] = ni as u16;
+        }
+    }
+    for (id, &m) in masks.iter().enumerate() {
+        if m == 0 {
+            qd[0].insert(id);
+            continue;
+        }
+        let mut m = m;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if d < num_disks {
+                qd[d].insert(id);
+            }
+        }
+    }
+
+    let mut buf = [0i64; CompactIter::MAX_DEPTH];
+    let mut scheduled = vec![false; total];
+    let mut nest_done = vec![0usize; tables.len()];
+    let mut out: Vec<CompactIter> = Vec::with_capacity(total);
+    let mut remaining = total;
+
+    // The while-loop of Figure 3, sweeping bitsets instead of the full pool.
+    // An id scheduled during another disk's pass keeps its bit here until
+    // observed (lazy clearing): the `scheduled` check skips it exactly where
+    // the reference engine's pool filter would.
+    let mut rounds = 0u64;
+    let mut deferred = 0u64;
+    let mut fallbacks = 0u64;
+    while remaining > 0 {
+        rounds += 1;
+        let before = remaining;
+        for set in qd.iter_mut().take(num_disks) {
+            for wi in 0..set.words.len() {
+                let mut w = set.words[wi];
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let id = wi * 64 + b;
+                    if scheduled[id] {
+                        set.words[wi] &= !(1u64 << b);
+                        continue;
+                    }
+                    let ni = nest_of[id] as usize;
+                    let idx = id - tables[ni].base_id;
+                    if iter_ready(&tables, id, ni, idx, &scheduled, &nest_done, &mut buf) {
+                        scheduled[id] = true;
+                        nest_done[ni] += 1;
+                        out.push(tables[ni].iters[idx]);
+                        remaining -= 1;
+                        set.words[wi] &= !(1u64 << b);
+                    } else {
+                        // Dependence-deferred: stays in Q_d for a later pass
+                        // or the next round of the while-loop.
+                        deferred += 1;
+                    }
+                }
+            }
+        }
+        if remaining == before {
+            // No disk pass could schedule anything (possible only when a
+            // dependence spans disks in a pathological way): fall back to
+            // the first unscheduled iteration in original order, which is
+            // always ready because all dependences point backward.
+            fallbacks += 1;
+            // Lazy clearing takes care of the id's bits: any pass that
+            // still holds it skips it via the `scheduled` check.
+            fallback_schedule(
+                &tables,
+                &mut scheduled,
+                &mut nest_done,
+                &mut out,
+                &mut remaining,
+                &mut buf,
+            );
+        }
+    }
+    sp.add("rounds", rounds);
+    sp.add("deferred", deferred);
+    sp.add("fallbacks", fallbacks);
+    Schedule::single(out)
+}
+
+/// Schedules the first unscheduled iteration in original order, asserting
+/// it is ready; returns its global id. Shared by both engines' stall paths.
+fn fallback_schedule(
+    tables: &[NestTable],
+    scheduled: &mut [bool],
+    nest_done: &mut [usize],
+    out: &mut Vec<CompactIter>,
+    remaining: &mut usize,
+    buf: &mut [i64; CompactIter::MAX_DEPTH],
+) -> usize {
+    for (ni, t) in tables.iter().enumerate() {
+        for idx in 0..t.iters.len() {
+            let id = t.base_id + idx;
+            if scheduled[id] {
+                continue;
+            }
+            assert!(
+                iter_ready(tables, id, ni, idx, scheduled, nest_done, buf),
+                "dependence cycle at nest {ni} iteration {idx}"
+            );
+            scheduled[id] = true;
+            nest_done[ni] += 1;
+            out.push(t.iters[idx]);
+            *remaining -= 1;
+            return id;
+        }
+    }
+    panic!("scheduler stalled with {remaining} iterations left");
+}
+
+/// The pre-bitset Figure 3 engine: every disk pass filters the *entire*
+/// iteration pool against the disk's mask bit. Kept as the enumeration
+/// reference for the equivalence suite (`tests/poly_equivalence.rs`) and
+/// the `poly_bench` before/after microbenches; [`restructure_single`] must
+/// produce a bit-identical schedule.
+pub fn restructure_single_reference(
+    program: &Program,
+    layout: &LayoutMap,
+    deps: &DependenceInfo,
+) -> Schedule {
+    let mut sp = dpm_obs::span!("single_cpu_schedule_reference");
+    let tables = build_tables(program, deps);
+    let total: usize = tables.iter().map(|t| t.iters.len()).sum();
+    let num_disks = layout.striping().num_disks();
+    sp.add("iterations", total as u64);
+
+    let masks = compute_masks(program, layout, &tables);
     let mut buf = [0i64; CompactIter::MAX_DEPTH];
 
     let mut scheduled = vec![false; total];
     let mut nest_done = vec![0usize; tables.len()];
     let mut out: Vec<CompactIter> = Vec::with_capacity(total);
     let mut remaining = total;
-
-    let ready = |id: usize,
-                 ni: usize,
-                 idx: usize,
-                 scheduled: &[bool],
-                 nest_done: &[usize],
-                 buf: &mut [i64; CompactIter::MAX_DEPTH]|
-     -> bool {
-        let t = &tables[ni];
-        for &src in &t.barrier_preds {
-            if nest_done[src] < tables[src].iters.len() {
-                return false;
-            }
-        }
-        if t.serial && idx > 0 && !scheduled[id - 1] {
-            return false;
-        }
-        if !t.distances.is_empty() {
-            let pt = t.iters[idx].coords_into(buf).to_vec();
-            for d in &t.distances {
-                let pred: Vec<i64> = pt.iter().zip(d).map(|(a, b)| a - b).collect();
-                if let Some(pid) = find_iter(&tables[ni], ni, &pred) {
-                    if !scheduled[pid] {
-                        return false;
-                    }
-                }
-            }
-        }
-        if !t.exact_preds.is_empty() {
-            let pt = t.iters[idx].coords_into(buf).to_vec();
-            for (src, map) in &t.exact_preds {
-                let pred = map.apply(&pt);
-                if let Some(pid) = find_iter(&tables[*src], *src, &pred) {
-                    if !scheduled[pid] {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    };
 
     // The while-loop of Figure 3.
     let mut rounds = 0u64;
@@ -142,7 +321,7 @@ pub fn restructure_single(
                     if m & bit == 0 && !(m == 0 && d == 0) {
                         continue;
                     }
-                    if ready(id, ni, idx, &scheduled, &nest_done, &mut buf) {
+                    if iter_ready(&tables, id, ni, idx, &scheduled, &nest_done, &mut buf) {
                         scheduled[id] = true;
                         nest_done[ni] += 1;
                         out.push(t.iters[idx]);
@@ -156,33 +335,14 @@ pub fn restructure_single(
             }
         }
         if remaining == before {
-            // No disk pass could schedule anything (possible only when a
-            // dependence spans disks in a pathological way): fall back to
-            // the first unscheduled iteration in original order, which is
-            // always ready because all dependences point backward.
             fallbacks += 1;
-            let mut advanced = false;
-            'outer: for (ni, t) in tables.iter().enumerate() {
-                for idx in 0..t.iters.len() {
-                    let id = t.base_id + idx;
-                    if scheduled[id] {
-                        continue;
-                    }
-                    assert!(
-                        ready(id, ni, idx, &scheduled, &nest_done, &mut buf),
-                        "dependence cycle at nest {ni} iteration {idx}"
-                    );
-                    scheduled[id] = true;
-                    nest_done[ni] += 1;
-                    out.push(t.iters[idx]);
-                    remaining -= 1;
-                    advanced = true;
-                    break 'outer;
-                }
-            }
-            assert!(
-                advanced,
-                "scheduler stalled with {remaining} iterations left"
+            fallback_schedule(
+                &tables,
+                &mut scheduled,
+                &mut nest_done,
+                &mut out,
+                &mut remaining,
+                &mut buf,
             );
         }
     }
@@ -278,8 +438,25 @@ fn build_tables(program: &Program, deps: &DependenceInfo) -> Vec<NestTable> {
 
 /// Binary-searches a nest table for an iteration point, returning its
 /// global id.
+///
+/// A point that cannot be packed into a [`CompactIter`] — deeper than
+/// [`CompactIter::MAX_DEPTH`] or with a coordinate outside `i32` — cannot
+/// be in the table, so the lookup answers `None`; but since a missed lookup
+/// here means a dependence predecessor is treated as absent, the
+/// out-of-range path is reported as an explicit `diagnostic` event rather
+/// than silently dropped (see the `find_iter_out_of_range_*` regression
+/// tests).
 fn find_iter(table: &NestTable, nest: NestId, pt: &[i64]) -> Option<usize> {
     if pt.len() > CompactIter::MAX_DEPTH || pt.iter().any(|&c| i32::try_from(c).is_err()) {
+        dpm_obs::emit(
+            "diagnostic",
+            "find_iter_out_of_range",
+            &[
+                ("nest", (nest as u64).into()),
+                ("depth", (pt.len() as u64).into()),
+                ("max_depth", (CompactIter::MAX_DEPTH as u64).into()),
+            ],
+        );
         return None;
     }
     let key = CompactIter::new(nest, pt);
@@ -434,6 +611,79 @@ mod tests {
         let first_l2 = s.iters(0, 0).iter().position(|it| it.nest == 1).unwrap();
         let last_l1 = s.iters(0, 0).iter().rposition(|it| it.nest == 0).unwrap();
         assert!(last_l1 < first_l2, "L2 started before L1 finished");
+    }
+
+    /// Both scheduling engines must agree exactly — the bitset engine is
+    /// only an optimization. Exercised across dependence-free, intra-nest,
+    /// cross-nest-exact, barrier, and serial programs.
+    #[test]
+    fn bitset_engine_matches_reference_engine() {
+        let programs = [
+            "program t; array A[64][8] : f64;
+             nest L { for i = 0 .. 63 { for j = 0 .. 7 { A[i][j] = 1; } } }",
+            "program t; array A[256] : f64;
+             nest L { for i = 3 .. 255 { A[i] = A[i-3]; } }",
+            "program t; array A[32][32] : f64; array B[32][32] : f64;
+             nest L1 { for i = 0 .. 31 { for j = 0 .. 31 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 31 { for j = 0 .. 31 { B[i][j] = A[j][i]; } } }",
+            "program t; array A[64][8] : f64;
+             nest L1 { for i = 0 .. 63 { for j = 0 .. 7 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. 31 { for j = 0 .. 7 { A[2*i][j] = A[2*i][j] + 1; } } }",
+            "program t; array A[64] : f64;
+             nest L { for i = 0 .. 63 { for j = 0 .. 3 { A[i] = A[i] + 1; } } }",
+        ];
+        for src in programs {
+            let (p, layout, deps) = setup(src, Striping::new(512, 4, 0));
+            let fast = restructure_single(&p, &layout, &deps);
+            let reference = restructure_single_reference(&p, &layout, &deps);
+            assert_eq!(fast.num_phases(), reference.num_phases(), "{src}");
+            assert_eq!(fast.iters(0, 0), reference.iters(0, 0), "{src}");
+        }
+    }
+
+    /// A dependence-predecessor probe that cannot be packed into a
+    /// `CompactIter` answers `None` *and* reports a diagnostic event — the
+    /// silent-drop regression guard for depth `MAX_DEPTH + 1`.
+    #[test]
+    fn find_iter_out_of_range_depth_is_diagnosed() {
+        dpm_obs::enable();
+        let collector = dpm_obs::install_collector();
+        let table = NestTable {
+            base_id: 0,
+            iters: vec![CompactIter::new(0, &[0])],
+            distances: Vec::new(),
+            serial: false,
+            exact_preds: Vec::new(),
+            barrier_preds: Vec::new(),
+        };
+        let too_deep = vec![0i64; CompactIter::MAX_DEPTH + 1];
+        assert_eq!(find_iter(&table, 0, &too_deep), None);
+        let events = collector.snapshot();
+        let diag = events
+            .iter()
+            .find(|e| e.name == "find_iter_out_of_range")
+            .expect("out-of-range lookup must emit a diagnostic");
+        assert_eq!(diag.kind, "diagnostic");
+    }
+
+    /// Same guard for a coordinate that overflows `i32`.
+    #[test]
+    fn find_iter_out_of_range_coordinate_is_diagnosed() {
+        dpm_obs::enable();
+        let collector = dpm_obs::install_collector();
+        let table = NestTable {
+            base_id: 0,
+            iters: vec![CompactIter::new(0, &[0])],
+            distances: Vec::new(),
+            serial: false,
+            exact_preds: Vec::new(),
+            barrier_preds: Vec::new(),
+        };
+        assert_eq!(find_iter(&table, 0, &[i64::from(i32::MAX) + 1]), None);
+        assert!(collector
+            .snapshot()
+            .iter()
+            .any(|e| e.name == "find_iter_out_of_range"));
     }
 
     #[test]

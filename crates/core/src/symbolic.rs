@@ -20,7 +20,7 @@
 
 use dpm_ir::{DependenceInfo, NestId, Program};
 use dpm_layout::{DiskId, LayoutMap};
-use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest};
+use dpm_poly::{Constraint, LinExpr, Polyhedron, ScanNest, Set};
 use std::error::Error;
 use std::fmt;
 
@@ -160,51 +160,11 @@ pub fn restructure_symbolic(
     if !layout.is_one_to_one() {
         return Err(SymbolicError::RelaxedMapping);
     }
-    let striping = layout.striping();
-    let num_disks = striping.num_disks();
-    let su = striping.stripe_unit() as i64;
+    let num_disks = layout.striping().num_disks();
     let mut pieces = Vec::new();
     for d in 0..num_disks {
-        for (ni, nest) in program.nests.iter().enumerate() {
-            let Some(primary) = nest.all_refs().next() else {
-                return Err(SymbolicError::NoReferences(ni));
-            };
-            let decl = &program.arrays[primary.array];
-            if u64::from(decl.elem_bytes) > striping.stripe_unit() {
-                return Err(SymbolicError::ElementSpansStripes(ni));
-            }
-            let depth = nest.depth();
-            let dim = depth + 1; // variable 0 is the stripe-row counter t
-                                 // offset(I) in bytes, affine over (t, I).
-            let strides = decl.strides();
-            let mut lin = LinExpr::constant(dim, 0);
-            for (sub, stride) in primary.indices.iter().zip(&strides) {
-                let remapped = sub.remap(dim, &(1..=depth).collect::<Vec<_>>());
-                lin = lin.plus(&remapped.scaled(*stride as i64));
-            }
-            let offset = lin
-                .scaled(i64::from(decl.elem_bytes))
-                .plus_const(layout.file_base(primary.array) as i64);
-            // stripe = t*P + d0 with d0 the residue owned by disk d.
-            let p = num_disks as i64;
-            let d0 = ((d as i64) - (striping.start_disk() as i64)).rem_euclid(p);
-            let stripe = LinExpr::var(dim, 0).scaled(p).plus_const(d0);
-            let mut poly = Polyhedron::universe(dim)
-                // t >= 0
-                .with(Constraint::geq_zero(LinExpr::var(dim, 0)))
-                // su * stripe <= offset
-                .with(Constraint::leq(&stripe.scaled(su), &offset))
-                // offset <= su * stripe + su - 1
-                .with(Constraint::leq(
-                    &offset,
-                    &stripe.scaled(su).plus_const(su - 1),
-                ));
-            for (k, l) in nest.loops.iter().enumerate() {
-                let v = LinExpr::var(dim, k + 1);
-                let map: Vec<usize> = (1..=depth).collect();
-                poly.add(Constraint::geq(&v, &l.lo.remap(dim, &map)));
-                poly.add(Constraint::leq(&v, &l.hi.remap(dim, &map)));
-            }
+        for ni in 0..program.nests.len() {
+            let poly = qd_polyhedron(program, layout, d, ni)?;
             pieces.push(SymbolicPiece {
                 disk: d,
                 nest: ni,
@@ -215,6 +175,94 @@ pub fn restructure_symbolic(
         }
     }
     Ok(SymbolicPlan { pieces, num_disks })
+}
+
+/// The symbolic per-disk iteration set `Q_{d,nest}` over `(t, I)` — the
+/// polyhedron of the module doc — for disk `d` and nest `nest`.
+fn qd_polyhedron(
+    program: &Program,
+    layout: &LayoutMap,
+    d: DiskId,
+    ni: NestId,
+) -> Result<Polyhedron, SymbolicError> {
+    let striping = layout.striping();
+    let num_disks = striping.num_disks();
+    let su = striping.stripe_unit() as i64;
+    let nest = &program.nests[ni];
+    let Some(primary) = nest.all_refs().next() else {
+        return Err(SymbolicError::NoReferences(ni));
+    };
+    let decl = &program.arrays[primary.array];
+    if u64::from(decl.elem_bytes) > striping.stripe_unit() {
+        return Err(SymbolicError::ElementSpansStripes(ni));
+    }
+    let depth = nest.depth();
+    let dim = depth + 1; // variable 0 is the stripe-row counter t
+                         // offset(I) in bytes, affine over (t, I).
+    let strides = decl.strides();
+    let mut lin = LinExpr::constant(dim, 0);
+    for (sub, stride) in primary.indices.iter().zip(&strides) {
+        let remapped = sub.remap(dim, &(1..=depth).collect::<Vec<_>>());
+        lin = lin.plus(&remapped.scaled(*stride as i64));
+    }
+    let offset = lin
+        .scaled(i64::from(decl.elem_bytes))
+        .plus_const(layout.file_base(primary.array) as i64);
+    // stripe = t*P + d0 with d0 the residue owned by disk d.
+    let p = num_disks as i64;
+    let d0 = ((d as i64) - (striping.start_disk() as i64)).rem_euclid(p);
+    let stripe = LinExpr::var(dim, 0).scaled(p).plus_const(d0);
+    let mut poly = Polyhedron::universe(dim)
+        // t >= 0
+        .with(Constraint::geq_zero(LinExpr::var(dim, 0)))
+        // su * stripe <= offset
+        .with(Constraint::leq(&stripe.scaled(su), &offset))
+        // offset <= su * stripe + su - 1
+        .with(Constraint::leq(
+            &offset,
+            &stripe.scaled(su).plus_const(su - 1),
+        ));
+    for (k, l) in nest.loops.iter().enumerate() {
+        let v = LinExpr::var(dim, k + 1);
+        let map: Vec<usize> = (1..=depth).collect();
+        poly.add(Constraint::geq(&v, &l.lo.remap(dim, &map)));
+        poly.add(Constraint::leq(&v, &l.hi.remap(dim, &map)));
+    }
+    Ok(poly)
+}
+
+/// The per-disk symbolic iteration sets `Q_{d,nest}` of one nest, indexed
+/// by disk. Each set lives over `(t, I)` with variable 0 the auxiliary
+/// stripe-row counter `t`; iterations are assigned by the stripe owning the
+/// primary reference's first byte, so the sets partition the nest's
+/// iteration space (each iteration appears beneath exactly one disk, with
+/// exactly one witness `t`).
+///
+/// This is the affinity-footprint form of Figure 3's `Q_d`, the input both
+/// to the `SetOrder` trace-generation path and to the closed-form
+/// `count_points` footprint queries benchmarked in `poly_bench`.
+///
+/// # Errors
+///
+/// See [`SymbolicError`] — the layout must be one-to-one and every element
+/// must fit inside a stripe unit. Dependences are irrelevant here: the sets
+/// describe *where* iterations touch data, not a legal execution order.
+pub fn disk_iteration_sets(
+    program: &Program,
+    layout: &LayoutMap,
+    nest: NestId,
+) -> Result<Vec<Set>, SymbolicError> {
+    if !layout.is_one_to_one() {
+        return Err(SymbolicError::RelaxedMapping);
+    }
+    let num_disks = layout.striping().num_disks();
+    (0..num_disks)
+        .map(|d| {
+            Ok(Set::from(
+                qd_polyhedron(program, layout, d, nest)?.simplified(),
+            ))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -306,6 +354,33 @@ mod tests {
             restructure_symbolic(&p, &layout, &deps),
             Err(SymbolicError::HasDependences)
         ));
+    }
+
+    #[test]
+    fn disk_iteration_sets_partition_the_nest() {
+        let (p, layout, _) = setup(
+            "program t; array A[64][8] : f64;
+             nest L { for i = 0 .. 63 { for j = 0 .. 7 { A[i][j] = 1; } } }",
+            Striping::new(512, 4, 0),
+        );
+        let sets = disk_iteration_sets(&p, &layout, 0).unwrap();
+        assert_eq!(sets.len(), 4);
+        let total: u64 = sets.iter().map(|s| s.count_points()).sum();
+        assert_eq!(total, 64 * 8, "sets must partition the iteration space");
+        // Closed-form footprint counts agree with enumeration, and every
+        // point sits on the disk owning its primary reference's first byte.
+        let mut buf = Vec::new();
+        let mut seen = HashSet::new();
+        for (d, s) in sets.iter().enumerate() {
+            assert_eq!(s.count_points(), s.count_points_enumerated(), "disk {d}");
+            let n = s.points_into(&mut buf);
+            for pt in buf.chunks(s.dim()).take(n) {
+                // pt = (t, i, j): strip the stripe-row witness.
+                assert!(seen.insert(pt[1..].to_vec()), "duplicate {pt:?}");
+                assert_eq!(layout.disk_of_element(&p, 0, &[pt[1], pt[2]]), d);
+            }
+        }
+        assert_eq!(seen.len(), 512);
     }
 
     #[test]

@@ -370,7 +370,7 @@ mod tests {
     fn program_over_union_deduplicates() {
         let a = Polyhedron::universe(1).with_range(0, 0, 5);
         let b = Polyhedron::universe(1).with_range(0, 3, 8);
-        let s = Set::from(a).union(&Set::from(b));
+        let s = Set::from(a).into_union(Set::from(b));
         let prog = ScanProgram::build(&s);
         assert_eq!(prog.count(), 9);
     }

@@ -69,13 +69,22 @@ impl Set {
     /// Panics if dimensions differ.
     #[must_use]
     pub fn union(&self, other: &Set) -> Set {
+        self.clone().into_union(other.clone())
+    }
+
+    /// By-value [`union`](Self::union): consumes both operands, moving their
+    /// disjunct vectors instead of cloning them — the same ownership
+    /// discipline as [`into_subtract`](Self::into_subtract) and
+    /// [`into_constrained`](Self::into_constrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn into_union(mut self, other: Set) -> Set {
         assert_eq!(self.dim, other.dim, "dimension mismatch in union");
-        let mut parts = self.parts.clone();
-        parts.extend(other.parts.iter().cloned());
-        Set {
-            dim: self.dim,
-            parts,
-        }
+        self.parts.extend(other.parts);
+        self
     }
 
     /// Intersection (pairwise conjunction of disjuncts).
@@ -202,24 +211,95 @@ impl Set {
         }
     }
 
+    /// All distinct points, sorted lexicographically, written into `buf` as
+    /// a flat row-major buffer of `dim()`-length coordinate tuples — one
+    /// heap allocation total, versus one per point for
+    /// [`points_sorted`](Self::points_sorted). `buf` is cleared first;
+    /// returns the number of points written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any disjunct is unbounded.
+    pub fn points_into(&self, buf: &mut Vec<i64>) -> usize {
+        buf.clear();
+        self.enumerate(|p| buf.extend_from_slice(p));
+        if self.dim == 0 {
+            return usize::from(self.parts.iter().any(|p| p.contains(&[])));
+        }
+        let n = buf.len() / self.dim;
+        // A single disjunct already enumerates in lexicographic order; with
+        // several, sort the tuple chunks via an index permutation.
+        if self.parts.len() > 1 && n > 1 {
+            let chunk = |i: usize| &buf[i * self.dim..(i + 1) * self.dim];
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| chunk(a).cmp(chunk(b)));
+            let mut sorted = Vec::with_capacity(buf.len());
+            for i in order {
+                sorted.extend_from_slice(chunk(i));
+            }
+            *buf = sorted;
+        }
+        n
+    }
+
     /// All distinct points, sorted lexicographically.
     ///
     /// # Panics
     ///
     /// Panics if any disjunct is unbounded.
     pub fn points_sorted(&self) -> Vec<Vec<i64>> {
-        let mut pts = Vec::new();
-        self.enumerate(|p| pts.push(p.to_vec()));
-        pts.sort();
-        pts
+        if self.dim == 0 {
+            return if self.parts.iter().any(|p| p.contains(&[])) {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut flat = Vec::new();
+        let n = self.points_into(&mut flat);
+        (0..n)
+            .map(|i| flat[i * self.dim..(i + 1) * self.dim].to_vec())
+            .collect()
     }
 
     /// Number of distinct integer points.
+    ///
+    /// When the disjuncts are pairwise disjoint (always true for a single
+    /// disjunct, and checked cheaply for a handful of them), the count is
+    /// the sum of the per-polyhedron closed-form counts — no point is ever
+    /// enumerated. Overlapping disjuncts fall back to
+    /// [`count_points_enumerated`](Self::count_points_enumerated).
     ///
     /// # Panics
     ///
     /// Panics if any disjunct is unbounded.
     pub fn count_points(&self) -> u64 {
+        match self.parts.len() {
+            0 => 0,
+            1 => self.parts[0].count_points(),
+            _ => {
+                let disjoint = self.parts.iter().enumerate().all(|(i, a)| {
+                    self.parts[i + 1..]
+                        .iter()
+                        .all(|b| a.intersect(b).is_empty())
+                });
+                if disjoint {
+                    self.parts.iter().map(|p| p.count_points()).sum()
+                } else {
+                    self.count_points_enumerated()
+                }
+            }
+        }
+    }
+
+    /// Number of distinct integer points by deduplicated enumeration — the
+    /// pre-closed-form baseline, kept public for benchmarking and
+    /// equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any disjunct is unbounded.
+    pub fn count_points_enumerated(&self) -> u64 {
         let mut n = 0;
         self.enumerate(|_| n += 1);
         n
@@ -366,5 +446,45 @@ mod tests {
     fn simplified_drops_empty_parts() {
         let a = interval(0, 3).union(&interval(10, 5)); // second is empty
         assert_eq!(a.simplified().parts().len(), 1);
+    }
+
+    #[test]
+    fn into_union_matches_union() {
+        let a = interval(0, 5);
+        let b = interval(3, 8);
+        let by_ref = a.union(&b);
+        let by_val = a.into_union(b);
+        assert_eq!(by_ref.count_points(), by_val.count_points());
+        assert_eq!(by_val.count_points(), 9);
+        assert_eq!(by_val.parts().len(), 2);
+    }
+
+    #[test]
+    fn points_into_flat_buffer() {
+        let square = Set::from(
+            Polyhedron::universe(2)
+                .with_range(0, 0, 1)
+                .with_range(1, 0, 1),
+        );
+        let mut buf = vec![99; 3]; // stale contents must be cleared
+        let n = square.points_into(&mut buf);
+        assert_eq!(n, 4);
+        assert_eq!(buf, vec![0, 0, 0, 1, 1, 0, 1, 1]);
+        // Overlapping multi-part union: flat output equals points_sorted.
+        let u = interval(0, 5).union(&interval(3, 8));
+        let n = u.points_into(&mut buf);
+        assert_eq!(n, 9);
+        let from_flat: Vec<Vec<i64>> = buf.chunks(1).map(|c| c.to_vec()).collect();
+        assert_eq!(from_flat, u.points_sorted());
+    }
+
+    #[test]
+    fn disjoint_union_counts_in_closed_form() {
+        let u = interval(0, 5).union(&interval(10, 15));
+        assert_eq!(u.count_points(), 12);
+        assert_eq!(u.count_points(), u.count_points_enumerated());
+        // Overlapping parts still agree with the enumerated baseline.
+        let o = interval(0, 5).union(&interval(3, 8));
+        assert_eq!(o.count_points(), o.count_points_enumerated());
     }
 }

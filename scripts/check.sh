@@ -23,4 +23,11 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 # hot-path microbenches in BENCH_parallel.json (tracked run over run).
 run ./target/release/parallel_bench tiny BENCH_parallel.json
 
+# Closed-form counting and cached projection-chain gate: asserts the
+# closed-form counts match enumeration, requires >=10x on the counting
+# microbench, runs the figure-9(a) matrix at Scale::Small (the first scale
+# past Tiny), and fails on order-of-magnitude regressions vs the checked-in
+# baseline (tolerance via DPM_BENCH_TOL, default 8x).
+run ./target/release/poly_bench small BENCH_poly.json scripts/BENCH_poly_baseline.json
+
 echo "All checks passed."

@@ -66,8 +66,8 @@ pub mod prelude {
     pub use dpm_apps::{by_name, paper_striping, suite, BenchApp, Scale};
     pub use dpm_core::{
         apply_transform, mean_disk_run_length, original_schedule, parallelize_baseline,
-        parallelize_layout_aware, restructure_single, restructure_symbolic, Assignment, Schedule,
-        Transform,
+        parallelize_layout_aware, restructure_single, restructure_single_reference,
+        restructure_symbolic, Assignment, Schedule, Transform,
     };
     pub use dpm_disksim::{
         DiskParams, DrpmConfig, IoRequest, PowerPolicy, RequestKind, SimReport, Simulator,
