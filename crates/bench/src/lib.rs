@@ -27,6 +27,7 @@ pub use report::RunReport;
 use dpm_apps::BenchApp;
 use dpm_core::{apply_transform, Assignment, Schedule, Transform};
 use dpm_disksim::{DiskParams, DrpmConfig, PowerPolicy, SimReport, Simulator, TpmConfig, Trace};
+use dpm_faults::FaultPlan;
 use dpm_ir::Program;
 use dpm_layout::{LayoutMap, Striping};
 use dpm_trace::{TraceGenOptions, TraceGenerator, TraceStats};
@@ -135,6 +136,9 @@ pub struct ExperimentConfig {
     pub disk: DiskParams,
     /// Trace-generation options.
     pub trace: TraceGenOptions,
+    /// Fault plan every simulation runs under (zero = fault-free; the
+    /// chaos benchmark sweeps this).
+    pub faults: FaultPlan,
 }
 
 impl Default for ExperimentConfig {
@@ -151,6 +155,7 @@ impl Default for ExperimentConfig {
                 max_request_bytes: striping.stripe_unit(),
                 ..TraceGenOptions::default()
             },
+            faults: FaultPlan::zero(),
         }
     }
 }
@@ -314,7 +319,8 @@ pub fn run_app(
             traces.push((shape, trace, stats));
         }
         let (_, trace, stats) = traces.iter().find(|(s, _, _)| *s == shape).unwrap();
-        let sim = Simulator::new(config.disk, v.policy(), config.striping);
+        let sim =
+            Simulator::new(config.disk, v.policy(), config.striping).with_faults(config.faults);
         let report = sim.run(trace);
         results.push(VersionResult {
             version: v,

@@ -89,6 +89,14 @@ impl RunReport {
                     ("cache_hits", Json::U64(r.trace_stats.cache_hits)),
                     ("spin_downs", Json::U64(r.report.total_spin_downs())),
                     ("speed_changes", Json::U64(r.report.total_speed_changes())),
+                    ("faults", Json::U64(r.report.total_faults())),
+                    ("retries", Json::U64(r.report.total_retries())),
+                    ("timeouts", Json::U64(r.report.total_timeouts())),
+                    ("requeues", Json::U64(r.report.total_requeues())),
+                    (
+                        "degraded_disks",
+                        Json::U64(r.report.degraded_disks() as u64),
+                    ),
                     ("obs_run", Json::U64(r.report.obs_run)),
                 ])
             })

@@ -3,6 +3,7 @@
 
 use crate::params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
 use crate::stats::{DiskStats, IdleHistogram, Span, SpanState};
+use dpm_faults::{FaultInjector, RetryPolicy};
 
 /// One contiguous piece of an application request on a single disk.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,6 +65,11 @@ pub struct DiskSim {
     obs_identity: (u64, usize),
     /// Last power state announced to the instrumentation layer.
     obs_state: Option<SpanState>,
+    /// Seeded fault decision stream; `None` = the fault-free fast path.
+    injector: Option<FaultInjector>,
+    /// Whether the stuck-spindle fault has been counted yet (it is a
+    /// per-disk condition, counted once on first suppression).
+    stuck_reported: bool,
 }
 
 impl DiskSim {
@@ -92,7 +98,17 @@ impl DiskSim {
             span_cursor: 0.0,
             obs_identity: (0, 0),
             obs_state: None,
+            injector: None,
+            stuck_reported: false,
         }
+    }
+
+    /// Arms fault injection: subsequent services consult `injector` at
+    /// every decision point (service attempt, spin-up, RPM transition).
+    /// Without an injector the behaviour is bit-identical to the
+    /// fault-free simulator.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// Stamps the `(run, disk)` identity carried by this disk's
@@ -191,15 +207,89 @@ impl DiskSim {
         // RAID-0 members transfer their chunk shares in parallel; the node
         // completes when the most-loaded member does.
         let member_bytes = self.raid.max_member_bytes(r.len);
-        let svc = self.params.service_ms(member_bytes, self.rpm, sequential);
-        let completion = start + svc;
-        self.accrue_busy(svc);
+        let mut svc = self.params.service_ms(member_bytes, self.rpm, sequential);
+        let jitter = self.injector.as_mut().map_or(0.0, FaultInjector::jitter_ms);
+        if jitter > 0.0 {
+            svc += jitter;
+            let at = self.span_cursor;
+            self.emit_fault(
+                dpm_obs::kind::FAULT,
+                "latency_jitter",
+                at,
+                &[("jitter_ms", jitter.into())],
+            );
+        }
+        // Transient-error retry loop: a failed attempt still occupies the
+        // heads for the full service time, then waits out a capped
+        // exponential backoff. A request that exhausts its retries is
+        // re-queued behind the degraded-disk recovery delay and then
+        // forced through — work is never dropped.
+        let mut elapsed = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            let failed = self
+                .injector
+                .as_mut()
+                .is_some_and(FaultInjector::transient_error);
+            self.accrue_busy(svc);
+            elapsed += svc;
+            if !failed {
+                break;
+            }
+            self.stats.faults += 1;
+            let at = self.span_cursor;
+            self.emit_fault(dpm_obs::kind::FAULT, "transient_error", at, &[]);
+            let rp: RetryPolicy = *self
+                .injector
+                .as_ref()
+                .expect("fault without injector")
+                .retry();
+            if attempt < rp.max_retries {
+                let backoff = rp.backoff_ms(attempt);
+                self.stats.retries += 1;
+                self.emit_fault(
+                    dpm_obs::kind::RETRY,
+                    "backoff",
+                    at,
+                    &[("attempt", attempt.into()), ("backoff_ms", backoff.into())],
+                );
+                self.accrue_idle(backoff);
+                elapsed += backoff;
+                attempt += 1;
+            } else {
+                self.stats.requeues += 1;
+                self.mark_degraded(at);
+                self.accrue_idle(rp.requeue_delay_ms);
+                elapsed += rp.requeue_delay_ms;
+                self.accrue_busy(svc);
+                elapsed += svc;
+                break;
+            }
+        }
+        let completion = start + elapsed;
         if sequential {
             self.stats.sequential_requests += 1;
         }
+        stall += elapsed - svc;
         self.stats.requests += 1;
         self.stats.bytes += r.len;
         self.clock_ms = completion;
+        // Timeout accounting: response past the plan's budget is counted
+        // (and reported) but never cancelled — the trace-driven model has
+        // no caller to hand a cancellation to, so a timeout is an
+        // observation, not a control action.
+        if let Some(rp) = self.injector.as_ref().map(|i| *i.retry()) {
+            let response = completion - r.arrival_ms;
+            if rp.timeout_ms > 0.0 && response > rp.timeout_ms {
+                self.stats.timeouts += 1;
+                self.emit_fault(
+                    dpm_obs::kind::FAULT,
+                    "timeout",
+                    completion,
+                    &[("response_ms", response.into())],
+                );
+            }
+        }
         // DRPM window bookkeeping.
         if let PowerPolicy::Drpm(cfg) = self.policy {
             let target = self
@@ -291,10 +381,53 @@ impl DiskSim {
                 extra += self.params.spin_up_ms;
             }
         }
-        self.stats.standby_ms += standby;
-        self.stats.energy_j += self.members() * self.params.standby_power_w * standby / 1000.0;
-        self.push_span(standby, SpanState::Standby);
+        self.accrue_standby(standby);
         if request_follows {
+            // Injected spin-up failures: each failed attempt burns a full
+            // spin-up (time and energy) and the spindle falls back to
+            // standby for a backoff before the next try; exhaustion marks
+            // the disk degraded and re-queues behind the recovery delay.
+            // Failed attempts are always unhidden stall — even a
+            // compiler-issued proactive spin-up cannot predict a failing
+            // spindle.
+            let mut attempt = 0u32;
+            while self
+                .injector
+                .as_mut()
+                .is_some_and(FaultInjector::spin_up_fails)
+            {
+                self.stats.faults += 1;
+                let at = self.span_cursor;
+                self.emit_fault(dpm_obs::kind::FAULT, "spin_up_failure", at, &[]);
+                self.stats.transition_ms += self.params.spin_up_ms;
+                self.stats.energy_j += self.members() * self.params.spin_up_energy_j;
+                self.push_span(self.params.spin_up_ms, SpanState::Transition);
+                extra += self.params.spin_up_ms;
+                let rp: RetryPolicy = *self
+                    .injector
+                    .as_ref()
+                    .expect("fault without injector")
+                    .retry();
+                if attempt < rp.max_retries {
+                    let backoff = rp.backoff_ms(attempt);
+                    self.stats.retries += 1;
+                    self.emit_fault(
+                        dpm_obs::kind::RETRY,
+                        "backoff",
+                        at,
+                        &[("attempt", attempt.into()), ("backoff_ms", backoff.into())],
+                    );
+                    self.accrue_standby(backoff);
+                    extra += backoff;
+                    attempt += 1;
+                } else {
+                    self.stats.requeues += 1;
+                    self.mark_degraded(at);
+                    self.accrue_standby(rp.requeue_delay_ms);
+                    extra += rp.requeue_delay_ms;
+                    break; // the forced (successful) spin-up follows
+                }
+            }
             self.stats.spin_ups += 1;
             self.stats.transition_ms += self.params.spin_up_ms;
             self.stats.energy_j += self.members() * self.params.spin_up_energy_j;
@@ -305,6 +438,13 @@ impl DiskSim {
 
     fn pass_idle_drpm(&mut self, gap: f64, cfg: &DrpmConfig) -> f64 {
         if gap <= cfg.idle_ramp_threshold_ms {
+            self.accrue_idle(gap);
+            return 0.0;
+        }
+        // A stuck spindle cannot change speed: the ramp that would have
+        // started here is suppressed and the whole gap is idled away at
+        // the current level.
+        if self.stuck() {
             self.accrue_idle(gap);
             return 0.0;
         }
@@ -415,6 +555,9 @@ impl DiskSim {
             return;
         }
         if slowdown > cfg.max_slowdown && self.rpm < self.params.max_rpm {
+            if self.stuck() {
+                return;
+            }
             let target = (self.rpm + cfg.rpm_step).min(self.params.max_rpm);
             self.transition_now(self.rpm, target, cfg);
             self.cooldown_windows = 2;
@@ -422,6 +565,9 @@ impl DiskSim {
             let target = self.rpm - cfg.rpm_step;
             let predicted = slowdown * f64::from(self.rpm) / f64::from(target);
             if predicted <= cfg.max_slowdown {
+                if self.stuck() {
+                    return;
+                }
                 self.transition_now(self.rpm, target, cfg);
                 self.cooldown_windows = 2;
             }
@@ -483,6 +629,62 @@ impl DiskSim {
         self.stats.energy_j +=
             self.members() * self.params.active_power_at_rpm_w(at_rpm) * ms / 1000.0;
         self.push_span(ms, SpanState::Transition);
+    }
+
+    fn accrue_standby(&mut self, ms: f64) {
+        if ms <= 0.0 {
+            return;
+        }
+        self.stats.standby_ms += ms;
+        self.stats.energy_j += self.members() * self.params.standby_power_w * ms / 1000.0;
+        self.push_span(ms, SpanState::Standby);
+    }
+
+    /// Whether this disk's spindle is stuck at its current RPM. Counted
+    /// as a fault (once) the first time it actually suppresses a speed
+    /// change, so fault-free runs of a healthy plan stay clean.
+    fn stuck(&mut self) -> bool {
+        if !self.injector.as_ref().is_some_and(FaultInjector::stuck_rpm) {
+            return false;
+        }
+        if !self.stuck_reported {
+            self.stuck_reported = true;
+            self.stats.faults += 1;
+            let at = self.span_cursor;
+            self.emit_fault(
+                dpm_obs::kind::FAULT,
+                "stuck_rpm",
+                at,
+                &[("rpm", self.rpm.into())],
+            );
+        }
+        true
+    }
+
+    /// Marks the disk degraded (idempotent) and emits the typed event on
+    /// the first transition.
+    fn mark_degraded(&mut self, at_ms: f64) {
+        if self.stats.degraded {
+            return;
+        }
+        self.stats.degraded = true;
+        self.emit_fault(dpm_obs::kind::DEGRADE, "marked", at_ms, &[]);
+    }
+
+    /// Emits one typed fault/retry/degrade event carrying this disk's
+    /// `(run, disk)` identity and the accounted wall position.
+    fn emit_fault(&self, kind: &str, name: &str, at_ms: f64, extra: &[(&str, dpm_obs::Value)]) {
+        if !dpm_obs::enabled() {
+            return;
+        }
+        let (run, disk) = self.obs_identity;
+        let mut fields: Vec<(&str, dpm_obs::Value)> = vec![
+            ("run", run.into()),
+            ("disk", disk.into()),
+            ("at_ms", at_ms.into()),
+        ];
+        fields.extend_from_slice(extra);
+        dpm_obs::emit(kind, name, &fields);
     }
 }
 
@@ -655,6 +857,131 @@ mod tests {
         let mut d = DiskSim::new(params(), PowerPolicy::None);
         d.finish(10.0);
         let _ = d.service(&sub(20.0, 0, 1024));
+    }
+
+    #[test]
+    fn transient_error_retries_then_succeeds() {
+        use dpm_faults::FaultPlan;
+        let mut plan = FaultPlan::zero();
+        plan.transient_error_rate = 1.0; // every attempt fails
+        plan.retry.max_retries = 2;
+        let mut d = DiskSim::new(params(), PowerPolicy::None);
+        d.set_fault_injector(plan.injector_for_disk(0));
+        let out = d.service(&sub(0.0, 0, 1024));
+        let s = d.stats();
+        // 3 failed attempts (initial + 2 retries), then the forced pass.
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.requeues, 1);
+        assert!(s.degraded);
+        assert_eq!(s.requests, 1, "work is never dropped");
+        let svc = params().service_ms(1024, 15_000, false);
+        let backoffs = plan.retry.backoff_ms(0) + plan.retry.backoff_ms(1);
+        let expect = 4.0 * svc + backoffs + plan.retry.requeue_delay_ms;
+        assert!(
+            (out.completion_ms - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            out.completion_ms
+        );
+        assert!((out.stall_ms - (expect - svc)).abs() < 1e-9);
+        d.finish(out.completion_ms);
+    }
+
+    #[test]
+    fn timeout_counted_when_response_exceeds_budget() {
+        use dpm_faults::FaultPlan;
+        let mut plan = FaultPlan::zero();
+        plan.transient_error_rate = 1.0;
+        plan.retry.max_retries = 0;
+        plan.retry.requeue_delay_ms = 5_000.0;
+        plan.retry.timeout_ms = 1_000.0;
+        let mut d = DiskSim::new(params(), PowerPolicy::None);
+        d.set_fault_injector(plan.injector_for_disk(0));
+        let _ = d.service(&sub(0.0, 0, 1024));
+        assert_eq!(d.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn spin_up_failure_costs_extra_transitions() {
+        use dpm_faults::FaultPlan;
+        let clean = {
+            let mut d = DiskSim::new(params(), PowerPolicy::Tpm(TpmConfig::default()));
+            let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+            let c2 = d.service(&sub(c1 + 100_000.0, 1 << 30, 1024)).completion_ms;
+            d.finish(c2);
+            (c2, d.stats().clone())
+        };
+        let mut plan = FaultPlan::zero();
+        plan.spin_up_failure_rate = 1.0; // every attempt fails → retries exhaust
+        plan.retry.max_retries = 1;
+        let mut d = DiskSim::new(params(), PowerPolicy::Tpm(TpmConfig::default()));
+        d.set_fault_injector(plan.injector_for_disk(0));
+        let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+        let c2 = d.service(&sub(c1 + 100_000.0, 1 << 30, 1024)).completion_ms;
+        d.finish(c2);
+        let s = d.stats();
+        assert_eq!(s.faults, 2); // initial failure + failed retry
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.requeues, 1);
+        assert!(s.degraded);
+        assert_eq!(s.spin_ups, clean.1.spin_ups);
+        // Two extra full spin-ups of time and energy, plus backoff/requeue.
+        assert!(c2 > clean.0 + 2.0 * params().spin_up_ms - 1e-9);
+        assert!(s.energy_j > clean.1.energy_j + 2.0 * params().spin_up_energy_j - 1e-6);
+    }
+
+    #[test]
+    fn stuck_rpm_disk_never_changes_speed() {
+        use dpm_faults::FaultPlan;
+        let mut plan = FaultPlan::zero();
+        plan.stuck_rpm_rate = 1.0;
+        let mut d = DiskSim::new(params(), PowerPolicy::Drpm(DrpmConfig::default()));
+        d.set_fault_injector(plan.injector_for_disk(0));
+        let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+        d.finish(c1 + 60_000.0);
+        assert_eq!(d.rpm(), 15_000, "stuck spindle must not ramp");
+        assert_eq!(d.stats().speed_changes, 0);
+        assert_eq!(d.stats().faults, 1, "stuck condition counted once");
+    }
+
+    #[test]
+    fn jitter_slows_service_deterministically() {
+        use dpm_faults::FaultPlan;
+        let mut plan = FaultPlan::zero();
+        plan.jitter_max_ms = 10.0;
+        let run = |inject: bool| {
+            let mut d = DiskSim::new(params(), PowerPolicy::None);
+            if inject {
+                d.set_fault_injector(plan.injector_for_disk(3));
+            }
+            d.service(&sub(0.0, 0, 1024)).completion_ms
+        };
+        let clean = run(false);
+        let a = run(true);
+        let b = run(true);
+        assert!(a >= clean, "jitter only adds latency");
+        assert_eq!(a.to_bits(), b.to_bits(), "same seed, same jitter");
+    }
+
+    #[test]
+    fn zero_plan_injector_is_bit_identical_to_none() {
+        use dpm_faults::FaultPlan;
+        let run = |inject: bool| {
+            let mut d = DiskSim::new(params(), PowerPolicy::Tpm(TpmConfig::default()));
+            if inject {
+                d.set_fault_injector(FaultPlan::zero().injector_for_disk(0));
+            }
+            let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+            let c2 = d.service(&sub(c1 + 100_000.0, 1 << 30, 1024)).completion_ms;
+            d.finish(c2 + 1_000.0);
+            (c2, d.stats().clone())
+        };
+        let (c_none, s_none) = run(false);
+        let (c_zero, s_zero) = run(true);
+        assert_eq!(c_none.to_bits(), c_zero.to_bits());
+        assert_eq!(s_none.energy_j.to_bits(), s_zero.energy_j.to_bits());
+        assert_eq!(s_none.faults, 0);
+        assert_eq!(s_zero.faults, 0);
     }
 
     #[test]

@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod disk;
+pub mod invariants;
 mod params;
 mod request;
 mod sim;
 mod stats;
 
 pub use disk::{DiskSim, SubRequest};
+pub use dpm_faults::{FaultInjector, FaultPlan, RetryPolicy};
 pub use params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
 pub use request::{IoRequest, RequestKind, Trace, TraceParseError, TRACE_BLOCK_BYTES};
 pub use sim::Simulator;

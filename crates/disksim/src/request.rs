@@ -57,16 +57,43 @@ impl Trace {
         Trace::default()
     }
 
-    /// Builds a trace from requests, sorting by arrival time (stable, so
-    /// equal-time requests keep insertion order).
+    /// Builds a trace from requests. Non-monotonic input is handled
+    /// explicitly: arrivals are **stable-sorted** (equal-time requests
+    /// keep insertion order, so a shuffled trace and its sorted twin
+    /// produce bit-identical simulations), and requests the sort cannot
+    /// give a meaning to — non-finite arrival times, negative arrival
+    /// times, zero-length transfers — are **rejected** up front rather
+    /// than left to trip the simulator's ordering assertion mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics, naming the offending request index, if any arrival time is
+    /// NaN/infinite/negative or any length is zero.
     pub fn from_requests(mut requests: Vec<IoRequest>) -> Self {
+        for (i, r) in requests.iter().enumerate() {
+            assert!(
+                r.arrival_ms.is_finite() && r.arrival_ms >= 0.0,
+                "request {i}: arrival time {} is not a finite non-negative ms value",
+                r.arrival_ms
+            );
+            assert!(r.len > 0, "request {i}: length must be positive");
+        }
         requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
         Trace { requests }
     }
 
     /// Appends a request; the caller must keep arrivals non-decreasing or
     /// call [`Trace::sort`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length request or a non-finite/negative arrival.
     pub fn push(&mut self, r: IoRequest) {
+        assert!(
+            r.arrival_ms.is_finite() && r.arrival_ms >= 0.0,
+            "arrival time {} is not a finite non-negative ms value",
+            r.arrival_ms
+        );
         assert!(r.len > 0, "request length must be positive");
         self.requests.push(r);
     }
@@ -303,5 +330,43 @@ mod tests {
     fn push_rejects_empty_request() {
         let mut t = Trace::new();
         t.push(req(0.0, 0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "request 1: arrival time NaN")]
+    fn from_requests_rejects_nan_arrival() {
+        let _ = Trace::from_requests(vec![req(0.0, 0, 10, 0), req(f64::NAN, 4096, 10, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite non-negative")]
+    fn from_requests_rejects_negative_arrival() {
+        let _ = Trace::from_requests(vec![req(-1.0, 0, 10, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn from_requests_rejects_zero_length() {
+        let _ = Trace::from_requests(vec![req(0.0, 0, 0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite non-negative")]
+    fn push_rejects_infinite_arrival() {
+        let mut t = Trace::new();
+        t.push(req(f64::INFINITY, 0, 10, 0));
+    }
+
+    #[test]
+    fn from_requests_sort_is_stable_on_equal_arrivals() {
+        // Two requests at the same instant keep insertion order, so a
+        // shuffled trace sorts to exactly one canonical order.
+        let t = Trace::from_requests(vec![
+            req(5.0, 0, 10, 0),
+            req(1.0, 4096, 10, 1),
+            req(1.0, 8192, 10, 2),
+        ]);
+        let procs: Vec<u32> = t.requests().iter().map(|r| r.proc_id).collect();
+        assert_eq!(procs, vec![1, 2, 0]);
     }
 }

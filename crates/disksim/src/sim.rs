@@ -7,6 +7,7 @@ use crate::disk::{DiskSim, SubRequest};
 use crate::params::{DiskParams, PowerPolicy, RaidConfig};
 use crate::request::Trace;
 use crate::stats::SimReport;
+use dpm_faults::FaultPlan;
 use dpm_layout::Striping;
 
 /// A configured simulator: disk parameters + power policy + striping.
@@ -38,6 +39,7 @@ pub struct Simulator {
     raid: RaidConfig,
     timelines: bool,
     threads: Option<usize>,
+    faults: FaultPlan,
 }
 
 impl Simulator {
@@ -51,7 +53,24 @@ impl Simulator {
             raid: RaidConfig::single(),
             timelines: false,
             threads: None,
+            faults: FaultPlan::zero(),
         }
+    }
+
+    /// Arms a deterministic fault plan. The zero plan (the default) takes
+    /// the fault-free fast path and is bit-identical to a simulator that
+    /// never heard of faults; any other plan derives one independent
+    /// decision stream per disk from `plan.seed`, so reports are
+    /// reproducible at any thread count.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The fault plan in effect.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Enables per-disk power-state timeline recording in the report.
@@ -111,6 +130,9 @@ impl Simulator {
                 d.set_obs_identity(obs_run, disk);
                 if self.timelines {
                     d.record_timeline();
+                }
+                if !self.faults.is_zero() {
+                    d.set_fault_injector(self.faults.injector_for_disk(disk));
                 }
                 d
             })
@@ -172,6 +194,10 @@ impl Simulator {
             "sub_requests",
             report.per_disk.iter().map(|d| d.requests).sum(),
         );
+        // Debug builds (hence every `cargo test`) verify the conservation
+        // laws after every run; see [`crate::invariants`].
+        #[cfg(debug_assertions)]
+        crate::invariants::assert_clean(&report, &self.params, &self.raid, trace, &self.striping);
         report
     }
 

@@ -29,6 +29,21 @@ pub struct DiskStats {
     pub spin_ups: u64,
     /// DRPM level changes.
     pub speed_changes: u64,
+    /// Injected fault events that fired on this disk (spin-up failures,
+    /// transient errors, stuck-spindle detections).
+    pub faults: u64,
+    /// Retries issued in response to faults (each waits out a capped
+    /// exponential backoff before the next attempt).
+    pub retries: u64,
+    /// Sub-requests whose response exceeded the plan's timeout budget.
+    pub timeouts: u64,
+    /// Requests that exhausted their retries and were re-queued behind
+    /// the degraded-disk recovery delay. Work is never dropped: a
+    /// re-queued request still completes.
+    pub requeues: u64,
+    /// Whether the disk was marked degraded (a request exhausted its
+    /// retries at least once).
+    pub degraded: bool,
 }
 
 /// Histogram of idle-period lengths with buckets chosen around the
@@ -296,6 +311,31 @@ impl SimReport {
         self.per_disk.iter().map(|d| d.speed_changes).sum()
     }
 
+    /// Total injected fault events across disks.
+    pub fn total_faults(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.faults).sum()
+    }
+
+    /// Total fault retries across disks.
+    pub fn total_retries(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.retries).sum()
+    }
+
+    /// Total request timeouts across disks.
+    pub fn total_timeouts(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.timeouts).sum()
+    }
+
+    /// Total degraded-disk re-queues across disks.
+    pub fn total_requeues(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.requeues).sum()
+    }
+
+    /// How many disks ended the run marked degraded.
+    pub fn degraded_disks(&self) -> usize {
+        self.per_disk.iter().filter(|d| d.degraded).count()
+    }
+
     /// An unachievable *oracle* lower bound on energy for this run's disk
     /// activity: every disk pays active power exactly while busy and
     /// standby power the rest of the makespan, with free instantaneous
@@ -325,7 +365,7 @@ impl fmt::Display for SimReport {
             self.total_sub_requests(),
         )?;
         for (i, d) in self.per_disk.iter().enumerate() {
-            writeln!(
+            write!(
                 f,
                 "  disk{i}: busy {:.1}s idle {:.1}s standby {:.1}s trans {:.1}s energy {:.1}J \
                  reqs {} (seq {}) downs {} ups {} speed-chg {}",
@@ -340,6 +380,18 @@ impl fmt::Display for SimReport {
                 d.spin_ups,
                 d.speed_changes,
             )?;
+            if d.faults > 0 || d.timeouts > 0 {
+                write!(
+                    f,
+                    " faults {} retries {} timeouts {} requeues {}{}",
+                    d.faults,
+                    d.retries,
+                    d.timeouts,
+                    d.requeues,
+                    if d.degraded { " DEGRADED" } else { "" },
+                )?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }

@@ -93,6 +93,26 @@ fn available() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Runs `f` with `DPM_THREADS` temporarily overridden to `threads`,
+/// restoring the previous value (or unsetting it) afterwards, panic
+/// included. The environment is process-global, so callers must not
+/// overlap scopes from concurrent threads — the determinism tests and
+/// benches that sweep thread counts each keep this to one binary.
+pub fn with_env_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<String>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(v) => std::env::set_var("DPM_THREADS", v),
+                None => std::env::remove_var("DPM_THREADS"),
+            }
+        }
+    }
+    let _restore = Restore(std::env::var("DPM_THREADS").ok());
+    std::env::set_var("DPM_THREADS", threads.to_string());
+    f()
+}
+
 /// Caps `requested` to what this call site may actually use: 1 when the
 /// current thread is already a pool worker, `requested` otherwise.
 pub fn effective_threads(requested: usize) -> usize {

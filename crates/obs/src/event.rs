@@ -36,6 +36,18 @@ pub mod kind {
     /// A reuse-window (cache filter) hit in the trace generator; emitted
     /// per access only in verbose mode (fields: `proc`, `block`).
     pub const CACHE_HIT: &str = "cache_hit";
+    /// An injected fault fired in the simulator (`name` = fault class:
+    /// `spin_up_failure`, `transient_error`, `stuck_rpm`, `latency_jitter`,
+    /// `timeout`; fields: `run`, `disk`, `at_ms`, plus class-specific
+    /// payload such as `jitter_ms`).
+    pub const FAULT: &str = "fault";
+    /// The simulator retried a faulted operation (fields: `run`, `disk`,
+    /// `at_ms`, `attempt`, `backoff_ms`).
+    pub const RETRY: &str = "retry";
+    /// A disk exhausted its retries and was marked degraded; the failed
+    /// request is re-queued behind a recovery delay (fields: `run`,
+    /// `disk`, `at_ms`).
+    pub const DEGRADE: &str = "degrade";
 }
 
 /// A field value: three numeric flavours (kept apart so JSON round-trips

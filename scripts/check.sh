@@ -18,6 +18,11 @@ run cargo test -q --offline --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Fault-injection determinism suite in release mode: same seed => bit-identical
+# reports at 1/2/8 threads, zero plan indistinguishable from no plan, no plan
+# ever loses or duplicates work.
+run cargo test -q --offline --release --test fault_determinism
+
 # Serial-vs-parallel harness: asserts the DPM_THREADS pool reproduces the
 # serial figure-9(a) results byte-for-byte and records wall times plus the
 # hot-path microbenches in BENCH_parallel.json (tracked run over run).
@@ -29,5 +34,11 @@ run ./target/release/parallel_bench tiny BENCH_parallel.json
 # past Tiny), and fails on order-of-magnitude regressions vs the checked-in
 # baseline (tolerance via DPM_BENCH_TOL, default 8x).
 run ./target/release/poly_bench small BENCH_poly.json scripts/BENCH_poly_baseline.json
+
+# Chaos sweep: the figure-9(a) matrix under escalating fault rates with a
+# fixed seed. Asserts serial == parallel byte-for-byte under every plan,
+# re-checks all simulator invariants in release mode, and records the
+# per-rate fault/energy aggregates in BENCH_chaos.json (tracked).
+run ./target/release/chaos_bench tiny BENCH_chaos.json
 
 echo "All checks passed."

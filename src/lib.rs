@@ -19,7 +19,10 @@
 //!   events, JSON-Lines sinks (enable with the `DPM_OBS` env var);
 //! * [`exec`] — zero-dependency execution layer: scoped thread pool and
 //!   ordered parallel maps with bit-for-bit deterministic results
-//!   (width via the `DPM_THREADS` env var).
+//!   (width via the `DPM_THREADS` env var);
+//! * [`faults`] — deterministic fault injection: seeded per-disk plans
+//!   for spin-up failures, transient errors, latency jitter, and stuck
+//!   spindles, with retry/backoff/degradation handled by the simulator.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use dpm_apps as apps;
 pub use dpm_core as core;
 pub use dpm_disksim as disksim;
 pub use dpm_exec as exec;
+pub use dpm_faults as faults;
 pub use dpm_ir as ir;
 pub use dpm_layout as layout;
 pub use dpm_obs as obs;
@@ -73,6 +77,7 @@ pub mod prelude {
         DiskParams, DrpmConfig, IoRequest, PowerPolicy, RequestKind, SimReport, Simulator,
         TpmConfig, Trace,
     };
+    pub use dpm_faults::{FaultPlan, RetryPolicy};
     pub use dpm_ir::{analyze, parse_program, DependenceInfo, Program};
     pub use dpm_layout::{LayoutMap, Striping};
     pub use dpm_trace::{

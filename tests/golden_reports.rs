@@ -1,0 +1,203 @@
+//! Golden-report snapshots: the Tiny-scale `RunReport` JSON for the
+//! table-2 and figure-9 experiments under the zero-fault plan, compared
+//! field-by-field against checked-in files.
+//!
+//! These pin the *output* of the whole pipeline: any change to the
+//! compiler, trace generator, simulator, or report format that shifts a
+//! number shows up here as a readable per-field diff. Run-varying fields
+//! (`obs_run`, `pass_timings_us`) are skipped. Floats compare with a
+//! relative tolerance of 1e-9 — bit-exactness across toolchains is not
+//! the contract here (the determinism suite owns that); the goldens
+//! guard against *semantic* drift.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! DPM_UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+
+use dpm_apps::Scale;
+use dpm_bench::{run_matrix, ExperimentConfig, MatrixCell, RunReport, Version};
+use dpm_obs::Json;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Mirrors the `table2` binary's report construction at Tiny scale: one
+/// Base cell per application, single processor, default (zero-fault)
+/// configuration.
+fn build_table2() -> Json {
+    dpm_exec::serial_scope(|| {
+        let config = ExperimentConfig::default();
+        let mut report = RunReport::new("table2")
+            .with_config(&config)
+            .with_field("scale", Json::Str("Tiny".into()));
+        let cells: Vec<MatrixCell> = dpm_apps::suite(Scale::Tiny)
+            .into_iter()
+            .map(|app| MatrixCell {
+                app,
+                versions: vec![Version::Base],
+                procs: 1,
+            })
+            .collect();
+        for res in &run_matrix(cells, &config) {
+            report.push_app(res);
+        }
+        report.to_json()
+    })
+}
+
+/// Mirrors the `figure9` binary's report construction at Tiny scale:
+/// part (a) single-processor versions, part (b) four-processor versions.
+fn build_figure9() -> Json {
+    dpm_exec::serial_scope(|| {
+        let config = ExperimentConfig::default();
+        let mut report = RunReport::new("figure9")
+            .with_config(&config)
+            .with_field("scale", Json::Str("Tiny".into()));
+        for (procs, versions) in [
+            (1u32, Version::single_cpu().to_vec()),
+            (4u32, Version::multi_cpu().to_vec()),
+        ] {
+            let cells: Vec<MatrixCell> = dpm_apps::suite(Scale::Tiny)
+                .into_iter()
+                .map(|app| MatrixCell {
+                    app,
+                    versions: versions.clone(),
+                    procs,
+                })
+                .collect();
+            for res in &run_matrix(cells, &config) {
+                report.push_app(res);
+            }
+        }
+        report.to_json()
+    })
+}
+
+/// Keys excluded from comparison: run ids differ per process, and pass
+/// timings are wall-clock measurements.
+const SKIP_KEYS: [&str; 2] = ["obs_run", "pass_timings_us"];
+
+fn as_number(j: &Json) -> Option<f64> {
+    match *j {
+        Json::U64(x) => Some(x as f64),
+        Json::I64(x) => Some(x as f64),
+        Json::F64(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// Recursive structural diff with numeric tolerance. `path` names the
+/// location (`apps[2].versions[1].energy_j`) so a failure reads directly.
+fn diff(path: &str, got: &Json, want: &Json, out: &mut Vec<String>) {
+    if let (Some(a), Some(b)) = (as_number(got), as_number(want)) {
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        if (a - b).abs() > tol {
+            out.push(format!("{path}: got {a}, golden has {b}"));
+        }
+        return;
+    }
+    match (got, want) {
+        // NaN serializes as null; a fresh NaN matches a golden null.
+        (Json::F64(x), Json::Null) | (Json::Null, Json::F64(x)) if x.is_nan() => {}
+        (Json::Obj(g), Json::Obj(w)) => {
+            for (k, gv) in g {
+                if SKIP_KEYS.contains(&k.as_str()) {
+                    continue;
+                }
+                match w.iter().find(|(wk, _)| wk == k) {
+                    Some((_, wv)) => diff(&format!("{path}.{k}"), gv, wv, out),
+                    None => out.push(format!("{path}.{k}: missing from golden")),
+                }
+            }
+            for (k, _) in w {
+                if !SKIP_KEYS.contains(&k.as_str()) && !g.iter().any(|(gk, _)| gk == k) {
+                    out.push(format!("{path}.{k}: in golden but not in fresh report"));
+                }
+            }
+        }
+        (Json::Arr(g), Json::Arr(w)) => {
+            if g.len() != w.len() {
+                out.push(format!("{path}: length {} vs golden {}", g.len(), w.len()));
+            }
+            for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                diff(&format!("{path}[{i}]"), gv, wv, out);
+            }
+        }
+        _ if got == want => {}
+        _ => out.push(format!("{path}: got {got}, golden has {want}")),
+    }
+}
+
+fn check_golden(name: &str, fresh: &Json) {
+    let path = golden_path(name);
+    if std::env::var_os("DPM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, fresh.to_string() + "\n").unwrap();
+        eprintln!("golden_reports: regenerated {}", path.display());
+        return;
+    }
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n\
+             (regenerate with DPM_UPDATE_GOLDEN=1 cargo test --test golden_reports)",
+            path.display()
+        )
+    });
+    let golden = Json::parse(&body).expect("golden file parses as JSON");
+    let mut diffs = Vec::new();
+    diff(name.trim_end_matches(".json"), fresh, &golden, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "{name}: fresh report diverges from golden in {} place(s):\n{}\n\
+         If the change is intentional, regenerate with \
+         DPM_UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        diffs.len(),
+        diffs
+            .iter()
+            .map(|d| format!("  - {d}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn table2_tiny_matches_golden() {
+    check_golden("table2_tiny.json", &build_table2());
+}
+
+#[test]
+fn figure9_tiny_matches_golden() {
+    check_golden("figure9_tiny.json", &build_figure9());
+}
+
+/// The skip-list actually skips: a report compared against itself with a
+/// different `obs_run` must still match.
+#[test]
+fn obs_run_is_excluded_from_comparison() {
+    let fresh = build_table2();
+    let mut mutated = fresh.clone();
+    fn bump_obs_run(j: &mut Json) {
+        match j {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs {
+                    if k == "obs_run" {
+                        *v = Json::U64(0xDEAD_BEEF);
+                    } else {
+                        bump_obs_run(v);
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(bump_obs_run),
+            _ => {}
+        }
+    }
+    bump_obs_run(&mut mutated);
+    let mut diffs = Vec::new();
+    diff("self", &fresh, &mutated, &mut diffs);
+    assert!(diffs.is_empty(), "obs_run leaked into the diff: {diffs:?}");
+}
