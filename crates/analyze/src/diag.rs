@@ -1,0 +1,451 @@
+//! Typed diagnostics: every finding of the verifier and the lint pass is
+//! a [`Diagnostic`] with a stable machine-readable code, a severity
+//! derived from that code, a best-effort source [`Location`], and a
+//! human-readable message. Diagnostics are mirrored onto the `dpm-obs`
+//! event stream (kind [`dpm_obs::kind::DIAGNOSTIC`]) and serialize to
+//! JSON for the `dpm-analyze` CLI and the golden snapshots.
+
+use dpm_ir::{ArrayId, NestId, SrcPos};
+use dpm_obs::{kind, Json, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail the analyze gate;
+/// `Warning`s flag suspicious-but-simulable inputs; `Info` records
+/// analysis decisions (e.g. "symbolic path declined, exact path needed").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Analysis note, never a failure.
+    Info,
+    /// Suspicious input; simulation proceeds.
+    Warning,
+    /// Legality or well-formedness violation; fails the gate.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. The string forms (`E_DEP_ORDER`, …) are the
+/// public contract: tests, the JSON export, and the obs stream all key on
+/// them, so variants may be added but existing strings must not change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// An intra-nest dependence sink runs before (or without) its source.
+    DepOrder,
+    /// A dependent intra-nest pair was placed on different processors of
+    /// the same phase (concurrent execution of a dependence).
+    DepConcurrent,
+    /// A cross-nest exact dependence pair is out of order.
+    CrossOrder,
+    /// A cross-nest barrier dependence is violated (some sink-nest
+    /// iteration does not strictly follow every source-nest iteration).
+    BarrierOrder,
+    /// The schedule omits an iteration of the program.
+    CoverageMissing,
+    /// The schedule executes an iteration more than once.
+    CoverageDuplicate,
+    /// The schedule contains an iteration outside the program's domains.
+    CoverageForeign,
+    /// The symbolic per-disk sets miss iterations (Σ|Q_d| < trip count).
+    PartitionGap,
+    /// The symbolic per-disk sets overlap (an iteration on two disks).
+    PartitionOverlap,
+    /// An affine access footprint escapes the declared array extents.
+    FootprintOob,
+    /// The layout leaves array elements with no disk placement.
+    LayoutGap,
+    /// The layout maps some element (or volume byte) twice.
+    LayoutOverlap,
+    /// A layout segment extends past the volume size.
+    LayoutBounds,
+    /// An array element may straddle a stripe-unit boundary, so "the disk
+    /// of an element" is ill-defined for it.
+    ElementSpansStripes,
+    /// An array subscript is affine but not analyzable as ±var+const;
+    /// dependence analysis falls back to conservative `*` distances.
+    NonAffineRef,
+    /// A nest carries `*` (unknown-distance) dependences: every analysis
+    /// must preserve its original iteration order.
+    StarDependence,
+    /// An array is declared (and occupies disk space) but never accessed.
+    UnusedArray,
+    /// A nest performs no disk I/O or has an empty iteration domain.
+    EmptyNest,
+    /// Arrays in one §6 affinity class vote for different distribution
+    /// dimensions, so no single unification satisfies the class.
+    AffinityMismatch,
+    /// `Program::validate` failed (dangling ids, rank mismatches, …).
+    Malformed,
+    /// The symbolic verifier declined and defers to the exact engine.
+    NeedsExact,
+    /// Per-code cap reached; this records how many were dropped.
+    Suppressed,
+}
+
+impl DiagCode {
+    /// Stable machine-readable code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::DepOrder => "E_DEP_ORDER",
+            DiagCode::DepConcurrent => "E_DEP_CONCURRENT",
+            DiagCode::CrossOrder => "E_CROSS_ORDER",
+            DiagCode::BarrierOrder => "E_BARRIER_ORDER",
+            DiagCode::CoverageMissing => "E_COVERAGE_MISSING",
+            DiagCode::CoverageDuplicate => "E_COVERAGE_DUP",
+            DiagCode::CoverageForeign => "E_COVERAGE_FOREIGN",
+            DiagCode::PartitionGap => "E_PARTITION_GAP",
+            DiagCode::PartitionOverlap => "E_PARTITION_OVERLAP",
+            DiagCode::FootprintOob => "E_FOOTPRINT_OOB",
+            DiagCode::LayoutGap => "E_LAYOUT_GAP",
+            DiagCode::LayoutOverlap => "E_LAYOUT_OVERLAP",
+            DiagCode::LayoutBounds => "E_LAYOUT_BOUNDS",
+            DiagCode::ElementSpansStripes => "W_ELEMENT_SPANS_STRIPES",
+            DiagCode::NonAffineRef => "W_NONAFFINE_REF",
+            DiagCode::StarDependence => "W_STAR_DEPENDENCE",
+            DiagCode::UnusedArray => "W_UNUSED_ARRAY",
+            DiagCode::EmptyNest => "W_EMPTY_NEST",
+            DiagCode::AffinityMismatch => "W_AFFINITY_MISMATCH",
+            DiagCode::Malformed => "E_MALFORMED",
+            DiagCode::NeedsExact => "I_NEEDS_EXACT",
+            DiagCode::Suppressed => "I_SUPPRESSED",
+        }
+    }
+
+    /// Severity is a function of the code (the `E_`/`W_`/`I_` prefix).
+    pub fn severity(self) -> Severity {
+        match self.as_str().as_bytes()[0] {
+            b'E' => Severity::Error,
+            b'W' => Severity::Warning,
+            _ => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a finding points: any subset of {nest, statement, array} plus a
+/// source position (known for parsed programs via [`dpm_ir::SrcMap`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Offending nest, if any.
+    pub nest: Option<NestId>,
+    /// Offending statement within `nest`, if any.
+    pub stmt: Option<usize>,
+    /// Offending array, if any.
+    pub array: Option<ArrayId>,
+    /// Source position (`SrcPos::UNKNOWN` for hand-built programs).
+    pub pos: SrcPos,
+}
+
+impl Location {
+    /// A finding with no anchor (whole-program).
+    pub fn none() -> Location {
+        Location::default()
+    }
+
+    /// Anchored at a nest.
+    pub fn nest(nest: NestId) -> Location {
+        Location {
+            nest: Some(nest),
+            ..Location::default()
+        }
+    }
+
+    /// Anchored at a statement within a nest.
+    pub fn stmt(nest: NestId, stmt: usize) -> Location {
+        Location {
+            nest: Some(nest),
+            stmt: Some(stmt),
+            ..Location::default()
+        }
+    }
+
+    /// Anchored at an array declaration.
+    pub fn array(array: ArrayId) -> Location {
+        Location {
+            array: Some(array),
+            ..Location::default()
+        }
+    }
+
+    /// Attaches an array to an existing anchor.
+    #[must_use]
+    pub fn with_array(mut self, array: ArrayId) -> Location {
+        self.array = Some(array);
+        self
+    }
+
+    /// Attaches a source position.
+    #[must_use]
+    pub fn with_pos(mut self, pos: SrcPos) -> Location {
+        self.pos = pos;
+        self
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(n) = self.nest {
+            write!(f, "nest {n}")?;
+            wrote = true;
+        }
+        if let Some(s) = self.stmt {
+            write!(f, "{}stmt {s}", if wrote { " " } else { "" })?;
+            wrote = true;
+        }
+        if let Some(a) = self.array {
+            write!(f, "{}array {a}", if wrote { " " } else { "" })?;
+            wrote = true;
+        }
+        if self.pos.is_known() {
+            write!(f, "{}@{}", if wrote { " " } else { "" }, self.pos)?;
+            wrote = true;
+        }
+        if !wrote {
+            f.write_str("<program>")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Derived from `code`; stored so consumers can filter without a
+    /// code table.
+    pub severity: Severity,
+    /// Stable machine-readable code.
+    pub code: DiagCode,
+    /// What the finding points at.
+    pub location: Location,
+    /// Human-readable description, including concrete witnesses.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; severity comes from the code.
+    pub fn new(code: DiagCode, location: Location, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: code.severity(),
+            code,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// JSON form used by the CLI export and golden snapshots.
+    pub fn to_json(&self) -> Json {
+        fn opt(v: Option<usize>) -> Json {
+            v.map_or(Json::Null, |x| Json::U64(x as u64))
+        }
+        Json::obj(vec![
+            ("code", Json::Str(self.code.as_str().to_string())),
+            ("severity", Json::Str(self.severity.as_str().to_string())),
+            ("nest", opt(self.location.nest)),
+            ("stmt", opt(self.location.stmt)),
+            ("array", opt(self.location.array)),
+            ("line", Json::U64(u64::from(self.location.pos.line))),
+            ("col", Json::U64(u64::from(self.location.pos.col))),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+
+    /// Mirrors the finding onto the `dpm-obs` event stream.
+    pub fn emit(&self) {
+        let mut fields: Vec<(&str, Value)> = vec![("severity", self.severity.as_str().into())];
+        if let Some(n) = self.location.nest {
+            fields.push(("nest", n.into()));
+        }
+        if let Some(s) = self.location.stmt {
+            fields.push(("stmt", s.into()));
+        }
+        if let Some(a) = self.location.array {
+            fields.push(("array", a.into()));
+        }
+        if self.location.pos.is_known() {
+            fields.push(("line", self.location.pos.line.into()));
+            fields.push(("col", self.location.pos.col.into()));
+        }
+        fields.push(("message", self.message.as_str().into()));
+        dpm_obs::emit(kind::DIAGNOSTIC, self.code.as_str(), &fields);
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// Per-code cap on reported diagnostics. A corrupted schedule can violate
+/// thousands of pairs; the first few witnesses carry all the signal, so
+/// the rest collapse into one `I_SUPPRESSED` note with the total.
+pub const MAX_PER_CODE: usize = 16;
+
+/// Collects diagnostics, capping each code at [`MAX_PER_CODE`] witnesses
+/// and mirroring every *kept* finding onto the obs stream.
+#[derive(Debug, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+    counts: BTreeMap<DiagCode, usize>,
+}
+
+impl DiagSink {
+    /// An empty sink.
+    pub fn new() -> DiagSink {
+        DiagSink::default()
+    }
+
+    /// Adds a finding (dropped past the per-code cap, but still counted).
+    pub fn push(&mut self, d: Diagnostic) {
+        let n = self.counts.entry(d.code).or_insert(0);
+        *n += 1;
+        if *n <= MAX_PER_CODE {
+            d.emit();
+            self.diags.push(d);
+        }
+    }
+
+    /// Number of findings recorded for `code` (including suppressed ones).
+    pub fn count(&self, code: DiagCode) -> usize {
+        self.counts.get(&code).copied().unwrap_or(0)
+    }
+
+    /// Finalizes: appends one `I_SUPPRESSED` note per over-cap code and
+    /// returns the findings in insertion order.
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        for (&code, &n) in &self.counts {
+            if n > MAX_PER_CODE {
+                let d = Diagnostic::new(
+                    DiagCode::Suppressed,
+                    Location::none(),
+                    format!(
+                        "{} further {} diagnostic(s) suppressed (cap {})",
+                        n - MAX_PER_CODE,
+                        code,
+                        MAX_PER_CODE
+                    ),
+                );
+                d.emit();
+                self.diags.push(d);
+            }
+        }
+        self.diags
+    }
+}
+
+/// Counts `Error`-severity findings in a slice.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+/// Counts `Warning`-severity findings in a slice.
+pub fn warning_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_tracks_code_prefix() {
+        assert_eq!(DiagCode::DepOrder.severity(), Severity::Error);
+        assert_eq!(DiagCode::UnusedArray.severity(), Severity::Warning);
+        assert_eq!(DiagCode::NeedsExact.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn sink_caps_per_code_and_reports_suppression() {
+        let mut sink = DiagSink::new();
+        for i in 0..MAX_PER_CODE + 5 {
+            sink.push(Diagnostic::new(
+                DiagCode::DepOrder,
+                Location::nest(0),
+                format!("violation {i}"),
+            ));
+        }
+        sink.push(Diagnostic::new(
+            DiagCode::CrossOrder,
+            Location::none(),
+            "kept",
+        ));
+        let out = sink.finish();
+        let dep = out.iter().filter(|d| d.code == DiagCode::DepOrder).count();
+        assert_eq!(dep, MAX_PER_CODE);
+        let sup: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DiagCode::Suppressed)
+            .collect();
+        assert_eq!(sup.len(), 1);
+        assert!(sup[0].message.contains("5 further"), "{}", sup[0].message);
+        assert!(out.iter().any(|d| d.code == DiagCode::CrossOrder));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let d = Diagnostic::new(
+            DiagCode::FootprintOob,
+            Location::stmt(1, 2)
+                .with_array(3)
+                .with_pos(SrcPos::new(7, 9)),
+            "A[8] out of bounds",
+        );
+        let j = d.to_json();
+        assert_eq!(
+            j.get("code").and_then(Json::as_str),
+            Some("E_FOOTPRINT_OOB")
+        );
+        assert_eq!(j.get("severity").and_then(Json::as_str), Some("error"));
+        assert_eq!(j.get("nest").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("stmt").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("array").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("line").and_then(Json::as_u64), Some(7));
+        // Round-trips through the JSON printer/parser.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn display_reads_well() {
+        let d = Diagnostic::new(
+            DiagCode::DepOrder,
+            Location::nest(2).with_pos(SrcPos::new(4, 1)),
+            "iteration [3] runs before [2]",
+        );
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("E_DEP_ORDER"), "{s}");
+        assert!(s.contains("nest 2"), "{s}");
+        assert!(s.contains("@4:1"), "{s}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Static volume footprints: the byte ranges a program's generated trace
+//! is allowed to touch, computed from the layout alone (no trace).
+//!
+//! Every request the trace generator emits addresses bytes of some
+//! referenced array's placement segments, expanded to request-block
+//! granularity. The cross-check test asserts each `Trace` request falls
+//! inside this footprint, catching trace/layout drift statically.
+
+use dpm_ir::Program;
+use dpm_layout::LayoutMap;
+
+/// Sorted, disjoint, merged half-open byte intervals `[start, end)` of
+/// the volume that requests against `program` may touch: the placement
+/// segments of every *referenced* array, each expanded outward to
+/// `block_bytes` boundaries (the trace generator rounds requests to
+/// blocks). Unused arrays are excluded — traffic to them is drift.
+pub fn static_volume_footprint(
+    program: &Program,
+    layout: &LayoutMap,
+    block_bytes: u64,
+) -> Vec<(u64, u64)> {
+    let block = block_bytes.max(1);
+    let mut used = vec![false; program.arrays.len()];
+    for nest in &program.nests {
+        for r in nest.all_refs() {
+            used[r.array] = true;
+        }
+    }
+    let mut ivals: Vec<(u64, u64)> = Vec::new();
+    for (a, decl) in program.arrays.iter().enumerate() {
+        if !used[a] {
+            continue;
+        }
+        let eb = u64::from(decl.elem_bytes);
+        for (lo, hi, base) in layout.segments(a) {
+            let start = base / block * block;
+            let end = (base + (hi - lo + 1) * eb).div_ceil(block) * block;
+            ivals.push((start, end));
+        }
+    }
+    ivals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in ivals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Whether `[start, start + len)` lies inside one footprint interval.
+/// (Intervals are merged, so a legal request never spans two.)
+pub fn footprint_contains(footprint: &[(u64, u64)], start: u64, len: u64) -> bool {
+    let end = start + len;
+    let ix = footprint.partition_point(|&(_, e)| e <= start);
+    footprint
+        .get(ix)
+        .is_some_and(|&(s, e)| s <= start && end <= e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_ir::parse_program;
+    use dpm_layout::Striping;
+
+    #[test]
+    fn footprint_covers_used_arrays_only() {
+        let p = parse_program(
+            "program t; array A[64] : bytes(4096); array GHOST[64] : bytes(4096);
+             nest L { for i = 0 .. 63 { A[i] = 1; } }",
+        )
+        .unwrap();
+        let layout = LayoutMap::new(&p, Striping::paper_default());
+        let fp = static_volume_footprint(&p, &layout, 4096);
+        assert!(!fp.is_empty());
+        // A's first byte is covered; GHOST's is not.
+        let a0 = layout.element_offset(&p, 0, &[0]);
+        let g0 = layout.element_offset(&p, 1, &[0]);
+        assert!(footprint_contains(&fp, a0, 4096));
+        assert!(!footprint_contains(&fp, g0, 4096));
+        // Intervals are sorted and disjoint.
+        for w in fp.windows(2) {
+            assert!(w[0].1 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn containment_respects_interval_edges() {
+        let fp = vec![(0u64, 100u64), (200, 300)];
+        assert!(footprint_contains(&fp, 0, 100));
+        assert!(!footprint_contains(&fp, 50, 100));
+        assert!(footprint_contains(&fp, 200, 1));
+        assert!(!footprint_contains(&fp, 150, 10));
+        assert!(!footprint_contains(&fp, 300, 1));
+    }
+}

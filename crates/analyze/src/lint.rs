@@ -1,0 +1,419 @@
+//! Program and layout lints: well-formedness checks that run *before*
+//! any schedule exists, catching malformed inputs the simulator would
+//! otherwise silently accept.
+//!
+//! * Affine access footprints must stay inside declared array extents
+//!   (polyhedral containment per reference dimension, with a concrete
+//!   out-of-bounds witness iteration on failure).
+//! * The layout must place every array element on exactly one disk: no
+//!   coverage gaps, no double-mapping, no segment past the volume end.
+//! * Elements that may straddle stripe-unit boundaries are flagged —
+//!   "the disk of an element" is ill-defined for them.
+//! * Non-simple (un-analyzable) subscripts, conservative `*`
+//!   dependences, unused arrays, and empty nests are surfaced.
+//! * §6 affinity classes are checked for consistency: arrays that must
+//!   be distributed together should vote for the same distribution
+//!   dimension.
+
+use crate::diag::{DiagCode, DiagSink, Diagnostic, Location};
+use dpm_core::{affinity_classes, distribution_dims};
+use dpm_ir::{DependenceInfo, Program};
+use dpm_layout::LayoutMap;
+use dpm_poly::{Constraint, LinExpr, Polyhedron, Set};
+
+/// Lints `program` (and, when given, its `layout`). Returns every
+/// finding; an empty list means the inputs are clean.
+pub fn lint_program(
+    program: &Program,
+    layout: Option<&LayoutMap>,
+    deps: &DependenceInfo,
+) -> Vec<Diagnostic> {
+    let mut sp = dpm_obs::span!("lint_program");
+    let mut sink = DiagSink::new();
+
+    // Structural validity first: everything below indexes arrays/nests.
+    if let Err(msg) = program.validate() {
+        sink.push(Diagnostic::new(
+            DiagCode::Malformed,
+            Location::none(),
+            format!("program fails validation: {msg}"),
+        ));
+        return sink.finish();
+    }
+
+    lint_footprints(program, &mut sink);
+    lint_nests(program, deps, &mut sink);
+    lint_arrays(program, &mut sink);
+    lint_affinity(program, deps, &mut sink);
+    if let Some(layout) = layout {
+        lint_layout(program, layout, &mut sink);
+    }
+
+    let out = sink.finish();
+    sp.add("diagnostics", out.len() as u64);
+    out
+}
+
+/// Access footprint ⊆ declared extents, per reference dimension, by
+/// polyhedral containment: the iteration domain must be a subset of the
+/// preimage of the legal index range `0 ≤ sub(I) ≤ extent − 1`.
+fn lint_footprints(program: &Program, sink: &mut DiagSink) {
+    for (ni, nest) in program.nests.iter().enumerate() {
+        let depth = nest.depth();
+        let domain = Set::from(nest.iteration_space());
+        for (si, stmt) in nest.body.iter().enumerate() {
+            for r in &stmt.refs {
+                let decl = &program.arrays[r.array];
+                for (k, sub) in r.indices.iter().enumerate() {
+                    let hi = decl.dims[k] as i64 - 1;
+                    let legal = Set::from(
+                        Polyhedron::universe(depth)
+                            .with(Constraint::geq_zero(sub.clone()))
+                            .with(Constraint::leq(sub, &LinExpr::constant(depth, hi))),
+                    );
+                    if domain.is_subset_of(&legal) {
+                        continue;
+                    }
+                    let witness = domain.subtract(&legal).sample_point();
+                    let at = witness.map_or_else(String::new, |w| {
+                        format!(" (e.g. iteration {:?} gives index {})", w, sub.eval(&w))
+                    });
+                    sink.push(Diagnostic::new(
+                        DiagCode::FootprintOob,
+                        Location::stmt(ni, si)
+                            .with_array(r.array)
+                            .with_pos(program.src.stmt(ni, si)),
+                        format!(
+                            "{}: subscript {} of {} escapes [0, {}]{}",
+                            stmt.label, k, decl.name, hi, at
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Per-nest lints: empty domains, nests without I/O, non-simple
+/// subscripts, and conservative `*` dependence profiles.
+fn lint_nests(program: &Program, deps: &DependenceInfo, sink: &mut DiagSink) {
+    for (ni, nest) in program.nests.iter().enumerate() {
+        let loc = Location::nest(ni).with_pos(program.src.nest(ni));
+        if nest.trip_count() == 0 {
+            sink.push(Diagnostic::new(
+                DiagCode::EmptyNest,
+                loc,
+                format!("nest {} has an empty iteration domain", nest.name),
+            ));
+        }
+        if nest.all_refs().next().is_none() {
+            sink.push(Diagnostic::new(
+                DiagCode::EmptyNest,
+                loc,
+                format!(
+                    "nest {} performs no array accesses (no disk I/O to optimize)",
+                    nest.name
+                ),
+            ));
+        }
+        for (si, stmt) in nest.body.iter().enumerate() {
+            for r in &stmt.refs {
+                if !r.is_simple() {
+                    sink.push(Diagnostic::new(
+                        DiagCode::NonAffineRef,
+                        Location::stmt(ni, si)
+                            .with_array(r.array)
+                            .with_pos(program.src.stmt(ni, si)),
+                        format!(
+                            "{}: reference to {} is not simple (±var + const); \
+                             dependence analysis falls back to conservative `*` distances",
+                            stmt.label, program.arrays[r.array].name
+                        ),
+                    ));
+                }
+            }
+        }
+        if deps.nest_requires_original_order(ni) {
+            let stars = deps
+                .intra
+                .iter()
+                .filter(|d| d.nest == ni && !d.distance.is_exact())
+                .count();
+            sink.push(Diagnostic::new(
+                DiagCode::StarDependence,
+                loc,
+                format!(
+                    "nest {} carries {stars} unknown-distance (`*`) dependence(s); \
+                     every transformation must preserve its original iteration order",
+                    nest.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Arrays declared but never referenced still occupy striped disk space.
+fn lint_arrays(program: &Program, sink: &mut DiagSink) {
+    let mut used = vec![false; program.arrays.len()];
+    for nest in &program.nests {
+        for r in nest.all_refs() {
+            used[r.array] = true;
+        }
+    }
+    for (a, decl) in program.arrays.iter().enumerate() {
+        if !used[a] {
+            sink.push(Diagnostic::new(
+                DiagCode::UnusedArray,
+                Location::array(a).with_pos(program.src.array(a)),
+                format!(
+                    "array {} ({} bytes on disk) is never accessed",
+                    decl.name,
+                    decl.size_bytes()
+                ),
+            ));
+        }
+    }
+}
+
+/// §6 affinity-class consistency: arrays co-referenced by a statement end
+/// up in one class and are distributed along one dimension; if the
+/// unification vote (`distribution_dims`) disagrees inside a class, the
+/// layout-aware parallelizer cannot satisfy every member.
+fn lint_affinity(program: &Program, deps: &DependenceInfo, sink: &mut DiagSink) {
+    let dims = distribution_dims(program, deps);
+    let mut used = vec![false; program.arrays.len()];
+    for nest in &program.nests {
+        for r in nest.all_refs() {
+            used[r.array] = true;
+        }
+    }
+    for class in affinity_classes(program) {
+        let members: Vec<_> = class.into_iter().filter(|&a| used[a]).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let first = dims[members[0]];
+        if members.iter().any(|&a| dims[a] != first) {
+            let desc: Vec<String> = members
+                .iter()
+                .map(|&a| format!("{} → dim {}", program.arrays[a].name, dims[a]))
+                .collect();
+            sink.push(Diagnostic::new(
+                DiagCode::AffinityMismatch,
+                Location::array(members[0]).with_pos(program.src.array(members[0])),
+                format!(
+                    "affinity class {{{}}} votes for different distribution dimensions",
+                    desc.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Layout lints: every element placed exactly once, inside the volume,
+/// and (ideally) not straddling stripe-unit boundaries.
+fn lint_layout(program: &Program, layout: &LayoutMap, sink: &mut DiagSink) {
+    let su = layout.striping().stripe_unit();
+    let mut byte_ranges: Vec<(u64, u64, usize)> = Vec::new();
+    for (a, decl) in program.arrays.iter().enumerate() {
+        let loc = Location::array(a).with_pos(program.src.array(a));
+        let segs = layout.segments(a);
+        let elems = decl.num_elements();
+        let eb = u64::from(decl.elem_bytes);
+        if segs.is_empty() {
+            sink.push(Diagnostic::new(
+                DiagCode::LayoutGap,
+                loc,
+                format!("array {} has no disk placement at all", decl.name),
+            ));
+            continue;
+        }
+        // Linear-index coverage: segments must tile [0, elems).
+        let mut next = 0u64;
+        for &(lo, hi, _) in &segs {
+            if lo > next {
+                sink.push(Diagnostic::new(
+                    DiagCode::LayoutGap,
+                    loc,
+                    format!(
+                        "array {}: elements [{}, {}) have no disk placement",
+                        decl.name, next, lo
+                    ),
+                ));
+            } else if lo < next {
+                sink.push(Diagnostic::new(
+                    DiagCode::LayoutOverlap,
+                    loc,
+                    format!(
+                        "array {}: elements [{}, {}] are mapped more than once",
+                        decl.name,
+                        lo,
+                        next - 1
+                    ),
+                ));
+            }
+            next = next.max(hi + 1);
+        }
+        if next < elems {
+            sink.push(Diagnostic::new(
+                DiagCode::LayoutGap,
+                loc,
+                format!(
+                    "array {}: elements [{}, {}) have no disk placement",
+                    decl.name, next, elems
+                ),
+            ));
+        }
+        for &(lo, hi, base) in &segs {
+            byte_ranges.push((base, base + (hi - lo + 1) * eb, a));
+            // Stripe-straddle: safe iff elements pack the stripe unit
+            // evenly from an element-aligned base.
+            if eb > su {
+                sink.push(Diagnostic::new(
+                    DiagCode::ElementSpansStripes,
+                    loc,
+                    format!(
+                        "array {}: one element ({} bytes) spans multiple {}-byte stripe \
+                         units; per-element disk assignment is ill-defined",
+                        decl.name, eb, su
+                    ),
+                ));
+            } else if !su.is_multiple_of(eb) || !base.is_multiple_of(eb) {
+                sink.push(Diagnostic::new(
+                    DiagCode::ElementSpansStripes,
+                    loc,
+                    format!(
+                        "array {}: elements of {} bytes at volume offset {} may straddle \
+                         {}-byte stripe boundaries",
+                        decl.name, eb, base, su
+                    ),
+                ));
+            }
+        }
+    }
+    // Volume-level uniqueness and bounds across all arrays' segments.
+    byte_ranges.sort_unstable();
+    for w in byte_ranges.windows(2) {
+        let (_, end_a, a) = w[0];
+        let (start_b, _, b) = w[1];
+        if start_b < end_a {
+            sink.push(Diagnostic::new(
+                DiagCode::LayoutOverlap,
+                Location::array(a).with_pos(program.src.array(a)),
+                format!(
+                    "volume bytes [{}, {}) are claimed by both {} and {}",
+                    start_b, end_a, program.arrays[a].name, program.arrays[b].name
+                ),
+            ));
+        }
+    }
+    for &(start, end, a) in &byte_ranges {
+        if end > layout.volume_bytes() {
+            sink.push(Diagnostic::new(
+                DiagCode::LayoutBounds,
+                Location::array(a).with_pos(program.src.array(a)),
+                format!(
+                    "{}: segment [{}, {}) extends past the {}-byte volume",
+                    program.arrays[a].name,
+                    start,
+                    end,
+                    layout.volume_bytes()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use dpm_ir::{analyze, parse_program};
+    use dpm_layout::Striping;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let layout = LayoutMap::new(&p, Striping::paper_default());
+        let deps = analyze(&p);
+        lint_program(&p, Some(&layout), &deps)
+    }
+
+    #[test]
+    fn clean_program_lints_clean() {
+        let diags = run("program t; const N = 32; array A[N][N] : bytes(4096);
+             nest L { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }");
+        assert_eq!(diags, vec![]);
+    }
+
+    #[test]
+    fn out_of_bounds_footprint_is_an_error_with_witness() {
+        let diags = run("program t; array A[8] : f64;
+             nest L { for i = 0 .. 7 { A[i+4] = 1; } }");
+        let oob: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::FootprintOob)
+            .collect();
+        assert_eq!(oob.len(), 1, "{diags:?}");
+        assert_eq!(oob[0].severity, Severity::Error);
+        assert_eq!(oob[0].location.nest, Some(0));
+        assert_eq!(oob[0].location.array, Some(0));
+        assert!(
+            oob[0].location.pos.is_known(),
+            "parsed program has positions"
+        );
+        assert!(
+            oob[0].message.contains("escapes [0, 7]"),
+            "{}",
+            oob[0].message
+        );
+        assert!(oob[0].message.contains("iteration"), "{}", oob[0].message);
+    }
+
+    #[test]
+    fn unused_array_and_empty_nest_warn() {
+        let diags = run("program t; array A[8] : f64; array GHOST[64] : f64;
+             nest L { for i = 0 .. 7 { A[i] = 1; } }
+             nest IDLE { for i = 0 .. 3 { f(i); } }");
+        assert!(diags.iter().any(|d| d.code == DiagCode::UnusedArray));
+        assert!(diags.iter().any(|d| d.code == DiagCode::EmptyNest));
+        assert!(diags.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn star_dependence_and_nonaffine_ref_warn() {
+        let diags = run("program t; const N = 8; array A[N][N] : f64;
+             nest L { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][0] = A[i][j]; } } }");
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::StarDependence),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn elements_smaller_than_stripe_units_are_flagged_when_unaligned() {
+        // 8-byte f64 elements with the paper's 32 KB stripe unit: evenly
+        // packed, aligned base — no straddle warnings expected.
+        let diags = run("program t; array A[16] : f64;
+             nest L { for i = 0 .. 15 { A[i] = 1; } }");
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.code != DiagCode::ElementSpansStripes),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn affinity_mismatch_warns_on_conflicting_votes() {
+        // A is distributed by rows (parallel i), B by columns (read
+        // transposed in the same statement) — one class, two votes.
+        let diags = run(
+            "program t; const N = 16; array A[N][N] : f64; array B[N][N] : f64;
+             nest L { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = B[j][i]; } } }",
+        );
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::AffinityMismatch),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! Polyhedral (enumeration-free) legality verification.
+//!
+//! The exact engine in [`crate::verify`] enumerates iterations, which is
+//! fine at Tiny but not at Small/Large. This module discharges the same
+//! obligations *symbolically* for the schedules the paper's single-CPU
+//! restructurer produces — the "disk-major" order that visits disk 0's
+//! iterations, then disk 1's, preserving original order within a disk.
+//!
+//! ## Proof obligations
+//!
+//! 1. **Partition** (always checked): the per-disk iteration sets
+//!    `Q_{d}` of [`dpm_core::disk_iteration_sets`] partition each nest's
+//!    domain — `Σ_d |Q_d| = trip count` by closed-form counting and
+//!    `Q_i ∩ Q_j = ∅` pairwise by Fourier–Motzkin emptiness. Because the
+//!    sets live over `(t, I)` with the stripe row `t` uniquely determined
+//!    by `I`, counting `(t, I)` points equals counting iterations, and a
+//!    gap/overlap here is a hard error in the symbolic pipeline itself.
+//! 2. **Intra-nest dependences**: the disk-major order is *not* provably
+//!    legal when a nest carries any intra-nest dependence — a `Star`
+//!    distance conservatively forces original order, and even an exact
+//!    distance can cross disks. The engine refuses (an `I_NEEDS_EXACT`
+//!    info) and defers to the exact engine, exactly like
+//!    [`dpm_core::restructure_symbolic`] defers to `restructure_single`.
+//! 3. **Cross-nest dependences**: for an exact dependence `src(J) =
+//!    M(J)` the disk-major plan runs nests disk-by-disk, so a violation
+//!    exists iff some sink `J` lands on an earlier disk than its source
+//!    `M(J)`. That is the integer emptiness of the composed polyhedron
+//!    `{(t_dst, J, t_src) : (t_dst, J) ∈ Q_{d₂,dst} ∧ (t_src, M(J)) ∈
+//!    Q_{d₁,src}}` for every disk pair `d₁ > d₂` — decided without
+//!    enumeration, and a non-empty system yields a concrete witness
+//!    iteration via `find_point`. Barriers are proven by disk-count
+//!    ordering: `max{d : |Q_{d,src}| > 0} ≤ min{d : |Q_{d,dst}| > 0}`.
+
+use crate::diag::{DiagCode, DiagSink, Diagnostic, Location};
+use dpm_core::disk_iteration_sets;
+use dpm_ir::{CrossDep, DependenceInfo, IterMap, Program};
+use dpm_layout::LayoutMap;
+use dpm_poly::{Constraint, LinExpr, Polyhedron, Relation, Set};
+
+/// Result of the symbolic verification of the disk-major plan.
+#[derive(Clone, Debug)]
+pub struct SymbolicOutcome {
+    /// Hard invariant findings (partition gaps/overlaps) plus
+    /// `I_NEEDS_EXACT` notes where the engine declined.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations of the *disk-major plan itself* (a cross-nest
+    /// dependence the pure per-disk order would break). These are not
+    /// program errors — the enumerated scheduler handles such programs by
+    /// deferring iterations — but they prove the symbolic plan illegal.
+    pub plan_violations: Vec<Diagnostic>,
+    /// `true` iff the disk-major order was *proven* legal for this
+    /// program/layout (no refusals, no violations, partitions intact).
+    pub proved: bool,
+}
+
+/// Symbolically verifies the disk-major restructuring plan for
+/// `program` under `layout`. See the module docs for the obligations.
+pub fn verify_disk_major(
+    program: &Program,
+    layout: &LayoutMap,
+    deps: &DependenceInfo,
+) -> SymbolicOutcome {
+    let mut sp = dpm_obs::span!("verify_disk_major");
+    let mut sink = DiagSink::new();
+    let mut plan = DiagSink::new();
+    let mut proved = true;
+    let num_disks = layout.striping().num_disks();
+
+    // Obligation 1: per-nest partition proof.
+    let mut qd: Vec<Option<Vec<Set>>> = Vec::with_capacity(program.nests.len());
+    for (ni, nest) in program.nests.iter().enumerate() {
+        match disk_iteration_sets(program, layout, ni) {
+            Ok(sets) => {
+                let total: u64 = sets.iter().map(Set::count_points).sum();
+                let trip = nest.trip_count();
+                if total != trip {
+                    proved = false;
+                    let code = if total < trip {
+                        DiagCode::PartitionGap
+                    } else {
+                        DiagCode::PartitionOverlap
+                    };
+                    sink.push(Diagnostic::new(
+                        code,
+                        Location::nest(ni).with_pos(program.src.nest(ni)),
+                        format!(
+                            "nest {}: per-disk sets cover {} of {} iterations",
+                            nest.name, total, trip
+                        ),
+                    ));
+                }
+                for i in 0..sets.len() {
+                    for j in i + 1..sets.len() {
+                        let both = sets[i].intersect(&sets[j]);
+                        if let Some(w) = both.sample_point() {
+                            proved = false;
+                            sink.push(Diagnostic::new(
+                                DiagCode::PartitionOverlap,
+                                Location::nest(ni).with_pos(program.src.nest(ni)),
+                                format!(
+                                    "nest {}: iteration {:?} (with stripe row {}) maps to \
+                                     both disk {} and disk {}",
+                                    nest.name,
+                                    &w[1..],
+                                    w[0],
+                                    i,
+                                    j
+                                ),
+                            ));
+                        }
+                    }
+                }
+                qd.push(Some(sets));
+            }
+            Err(e) => {
+                proved = false;
+                sink.push(Diagnostic::new(
+                    DiagCode::NeedsExact,
+                    Location::nest(ni).with_pos(program.src.nest(ni)),
+                    format!(
+                        "nest {}: no symbolic per-disk sets ({e}); exact engine required",
+                        nest.name
+                    ),
+                ));
+                qd.push(None);
+            }
+        }
+    }
+
+    // Obligation 2: intra-nest dependences force the exact engine.
+    let dependent_nests: Vec<usize> = (0..program.nests.len())
+        .filter(|&ni| deps.intra.iter().any(|d| d.nest == ni))
+        .collect();
+    for &ni in &dependent_nests {
+        proved = false;
+        let star = deps
+            .intra
+            .iter()
+            .any(|d| d.nest == ni && !d.distance.is_exact());
+        sink.push(Diagnostic::new(
+            DiagCode::NeedsExact,
+            Location::nest(ni).with_pos(program.src.nest(ni)),
+            format!(
+                "nest {} carries intra-nest dependences{}; disk-major order is not \
+                 provable symbolically — conservative `*` distances force original \
+                 order, so the exact engine must check the deferring scheduler's output",
+                program.nests[ni].name,
+                if star {
+                    " (including `*` distances)"
+                } else {
+                    ""
+                }
+            ),
+        ));
+    }
+
+    // Obligation 3: cross-nest dependences against the disk-major order.
+    for dep in &deps.cross {
+        let (src, dst) = dep.endpoints();
+        let (Some(q_src), Some(q_dst)) = (&qd[src], &qd[dst]) else {
+            continue; // already refused above
+        };
+        match dep {
+            CrossDep::Exact { map, .. } => {
+                let dst_depth = program.nests[dst].depth();
+                for (d_dst, set_dst) in q_dst.iter().enumerate() {
+                    for (d_src, set_src) in q_src.iter().enumerate().skip(d_dst + 1) {
+                        if let Some(w) = composed_witness(set_dst, set_src, map, dst_depth) {
+                            proved = false;
+                            let j = &w[1..=dst_depth];
+                            plan.push(Diagnostic::new(
+                                DiagCode::CrossOrder,
+                                Location::nest(dst).with_pos(program.src.nest(dst)),
+                                format!(
+                                    "disk-major plan illegal: {} {:?} runs on disk {} but \
+                                     its source {} {:?} runs on later disk {}",
+                                    program.nests[dst].name,
+                                    j,
+                                    d_dst,
+                                    program.nests[src].name,
+                                    map.apply(j),
+                                    d_src
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            CrossDep::Barrier { .. } => {
+                let max_src = (0..num_disks).rev().find(|&d| q_src[d].count_points() > 0);
+                let min_dst = (0..num_disks).find(|&d| q_dst[d].count_points() > 0);
+                if let (Some(hi), Some(lo)) = (max_src, min_dst) {
+                    if hi > lo {
+                        proved = false;
+                        plan.push(Diagnostic::new(
+                            DiagCode::BarrierOrder,
+                            Location::nest(dst).with_pos(program.src.nest(dst)),
+                            format!(
+                                "disk-major plan illegal: barrier source {} still has \
+                                 iterations on disk {} after sink {} starts on disk {}",
+                                program.nests[src].name, hi, program.nests[dst].name, lo
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let diagnostics = sink.finish();
+    let plan_violations = plan.finish();
+    sp.add("diagnostics", diagnostics.len() as u64);
+    sp.add("plan_violations", plan_violations.len() as u64);
+    SymbolicOutcome {
+        diagnostics,
+        plan_violations,
+        proved,
+    }
+}
+
+/// Integer witness of `{(t_dst, J, t_src) : (t_dst, J) ∈ dst_part ∧
+/// (t_src, M(J)) ∈ src_part}`, or `None` if the system is empty.
+///
+/// Variables: `0 = t_dst`, `1..=dst_depth = J`, `dst_depth + 1 = t_src`.
+/// Destination constraints embed by identity; source constraints get each
+/// source variable `v` substituted by its [`IterMap`] term
+/// `coef·J[dst_var] + constant` and their `t` rewired to `t_src`.
+fn composed_witness(q_dst: &Set, q_src: &Set, map: &IterMap, dst_depth: usize) -> Option<Vec<i64>> {
+    let dim = dst_depth + 2;
+    let identity: Vec<usize> = (0..=dst_depth).collect();
+    for pd in q_dst.parts() {
+        for ps in q_src.parts() {
+            let mut poly = Polyhedron::universe(dim);
+            for c in pd.constraints() {
+                poly.add(match c.relation() {
+                    Relation::GeqZero => Constraint::geq_zero(c.expr().remap(dim, &identity)),
+                    Relation::EqZero => Constraint::eq_zero(c.expr().remap(dim, &identity)),
+                });
+            }
+            for c in ps.constraints() {
+                let e = c.expr();
+                // Start from the constant, rewire t (src var 0) to the
+                // trailing t_src slot, substitute mapped iteration vars.
+                let mut out = LinExpr::constant(dim, e.constant_term());
+                out.set_coeff(dst_depth + 1, e.coeff(0));
+                for v in 0..map.src_depth() {
+                    let cv = e.coeff(1 + v);
+                    if cv != 0 {
+                        let (coef, dst_var, konst) = map.term(v);
+                        out.set_coeff(1 + dst_var, out.coeff(1 + dst_var) + cv * coef);
+                        out = out.plus_const(cv * konst);
+                    }
+                }
+                poly.add(match c.relation() {
+                    Relation::GeqZero => Constraint::geq_zero(out),
+                    Relation::EqZero => Constraint::eq_zero(out),
+                });
+            }
+            if let Some(w) = poly.find_point() {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_ir::{analyze, parse_program};
+    use dpm_layout::Striping;
+
+    fn layout_for(p: &Program) -> LayoutMap {
+        LayoutMap::new(p, Striping::paper_default())
+    }
+
+    /// Big dependence-free 2D sweep: the partition proof and the (vacuous)
+    /// dependence obligations all discharge, with no enumeration.
+    #[test]
+    fn dependence_free_program_is_proved() {
+        let p = parse_program(
+            "program t; const N = 256; array A[N][N] : bytes(4096);
+             nest L { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let layout = layout_for(&p);
+        let deps = analyze(&p);
+        let out = verify_disk_major(&p, &layout, &deps);
+        assert!(out.proved, "{:?}", out.diagnostics);
+        assert!(out.plan_violations.is_empty());
+    }
+
+    /// Identity cross-nest map: source and sink of each pair land on the
+    /// same disk, so the disk-major plan is provably legal.
+    #[test]
+    fn identity_cross_dep_is_proved() {
+        let p = parse_program(
+            "program t; const N = 64; array A[N][N] : bytes(4096);
+             nest L1 { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 2; } } }",
+        )
+        .unwrap();
+        let layout = layout_for(&p);
+        let deps = analyze(&p);
+        assert!(deps
+            .cross
+            .iter()
+            .any(|c| matches!(c, CrossDep::Exact { .. })));
+        let out = verify_disk_major(&p, &layout, &deps);
+        assert!(
+            out.proved,
+            "{:?} / {:?}",
+            out.diagnostics, out.plan_violations
+        );
+    }
+
+    /// Transposed cross-nest map: a sink iteration generally reads data
+    /// its source wrote on a *different* disk, so the pure disk-major
+    /// plan must be found illegal, with a concrete witness.
+    #[test]
+    fn transposed_cross_dep_breaks_the_plan() {
+        let p = parse_program(
+            "program t; const N = 64; array A[N][N] : bytes(4096); array B[N][N] : bytes(4096);
+             nest L1 { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }
+             nest L2 { for i = 0 .. N-1 { for j = 0 .. N-1 { B[i][j] = A[j][i]; } } }",
+        )
+        .unwrap();
+        let layout = layout_for(&p);
+        let deps = analyze(&p);
+        let out = verify_disk_major(&p, &layout, &deps);
+        assert!(!out.proved);
+        assert!(
+            out.plan_violations
+                .iter()
+                .any(|d| d.code == DiagCode::CrossOrder),
+            "{:?}",
+            out.plan_violations
+        );
+        // The exact engine agrees with the symbolic verdict: the paper's
+        // deferring scheduler produces a *legal* schedule anyway.
+        let schedule = dpm_core::restructure_single(&p, &layout, &deps);
+        assert_eq!(crate::verify_schedule(&p, &deps, &schedule), vec![]);
+    }
+
+    /// Intra-nest dependences make the engine refuse, not guess.
+    #[test]
+    fn intra_deps_defer_to_exact_engine() {
+        let p = parse_program(
+            "program t; const N = 64; array A[N][N] : bytes(4096);
+             nest L { for i = 1 .. N-1 { for j = 0 .. N-1 { A[i][j] = A[i-1][j]; } } }",
+        )
+        .unwrap();
+        let layout = layout_for(&p);
+        let deps = analyze(&p);
+        let out = verify_disk_major(&p, &layout, &deps);
+        assert!(!out.proved);
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::NeedsExact));
+        // Hard errors: none — refusal is an Info, not an Error.
+        assert_eq!(crate::error_count(&out.diagnostics), 0);
+    }
+
+    /// The symbolic partition counts agree with brute-force enumeration
+    /// of the per-disk sets (closed form vs lattice walking).
+    #[test]
+    fn partition_counts_match_enumeration() {
+        let p = parse_program(
+            "program t; const N = 96; array A[N][N] : bytes(4096);
+             nest L { for i = 0 .. N-1 { for j = 0 .. N-1 { A[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let layout = layout_for(&p);
+        for ni in 0..p.nests.len() {
+            let sets = disk_iteration_sets(&p, &layout, ni).unwrap();
+            for s in &sets {
+                assert_eq!(s.count_points(), s.count_points_enumerated());
+            }
+            let total: u64 = sets.iter().map(Set::count_points).sum();
+            assert_eq!(total, p.nests[ni].trip_count());
+        }
+    }
+}

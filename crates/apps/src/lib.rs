@@ -436,6 +436,10 @@ mod tests {
         assert!(!deps.cross.is_empty());
     }
 
+    /// Printer→parser round trip is lossless for every app: the whole
+    /// `Program` compares equal (equality deliberately ignores source
+    /// positions, which the reparse legitimately moves), and the reparse
+    /// records real positions for every declaration and statement.
     #[test]
     fn apps_round_trip_through_printer() {
         for app in suite(Scale::Tiny) {
@@ -443,7 +447,16 @@ mod tests {
             let printed = dpm_ir::printer::print_program(&p1);
             let p2 = dpm_ir::parse_program(&printed)
                 .unwrap_or_else(|e| panic!("{} reparse: {e}", app.name));
-            assert_eq!(p1.arrays, p2.arrays, "{}", app.name);
+            assert_eq!(p1, p2, "{}\n--- printed ---\n{printed}", app.name);
+            for a in 0..p2.arrays.len() {
+                assert!(p2.src.array(a).is_known(), "{}: array {a}", app.name);
+            }
+            for (ni, nest) in p2.nests.iter().enumerate() {
+                assert!(p2.src.nest(ni).is_known(), "{}: nest {ni}", app.name);
+                for si in 0..nest.body.len() {
+                    assert!(p2.src.stmt(ni, si).is_known(), "{}: {ni}/{si}", app.name);
+                }
+            }
         }
     }
 }

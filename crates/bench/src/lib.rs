@@ -315,6 +315,19 @@ pub fn run_app(
         if !traces.iter().any(|(s, _, _)| *s == shape) {
             let schedule = build_schedule(&program, &layout, &deps, shape, procs);
             debug_assert!(schedule.validate_coverage(&program).is_ok());
+            // Debug builds prove every schedule legal before simulating
+            // it: an illegal schedule would produce a plausible-looking
+            // (but meaningless) energy number.
+            #[cfg(debug_assertions)]
+            {
+                let diags = dpm_analyze::verify_schedule(&program, &deps, &schedule);
+                debug_assert_eq!(
+                    dpm_analyze::error_count(&diags),
+                    0,
+                    "illegal {shape:?} schedule for {}: {diags:?}",
+                    app.name
+                );
+            }
             let (trace, stats) = gen.generate(&schedule);
             traces.push((shape, trace, stats));
         }

@@ -116,6 +116,20 @@ impl Schedule {
         self.num_procs
     }
 
+    /// Visits every scheduled iteration as `(phase, proc, index, iter)`,
+    /// in phase order, then processor order, then within-processor issue
+    /// order. This triple is exactly a schedule *position*: the legality
+    /// verifier's "a precedes b" predicate is defined over it.
+    pub fn for_each_scheduled<F: FnMut(usize, u32, usize, CompactIter)>(&self, mut f: F) {
+        for (phase, procs) in self.phases.iter().enumerate() {
+            for (proc, iters) in procs.iter().enumerate() {
+                for (idx, it) in iters.iter().enumerate() {
+                    f(phase, proc as u32, idx, *it);
+                }
+            }
+        }
+    }
+
     /// Total scheduled iterations over all phases and processors.
     pub fn total_iterations(&self) -> u64 {
         self.phases

@@ -14,6 +14,104 @@ pub type ArrayId = usize;
 /// Identifies a loop nest within its [`Program`].
 pub type NestId = usize;
 
+/// A 1-based source position (`line:col`); `0:0` means "unknown" (the
+/// entity was built programmatically rather than parsed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SrcPos {
+    /// 1-based line, 0 when unknown.
+    pub line: u32,
+    /// 1-based column, 0 when unknown.
+    pub col: u32,
+}
+
+impl SrcPos {
+    /// The "no position recorded" sentinel.
+    pub const UNKNOWN: SrcPos = SrcPos { line: 0, col: 0 };
+
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        SrcPos { line, col }
+    }
+
+    /// `true` unless this is [`SrcPos::UNKNOWN`].
+    pub fn is_known(self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for SrcPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+/// Side table mapping IR entities back to source positions.
+///
+/// Kept *outside* the AST nodes so that structural equality (and hence the
+/// printer→parser round-trip tests) ignores where an entity came from: a
+/// reparsed pretty-print compares equal to the original even though every
+/// position moved. Queries on out-of-range ids return
+/// [`SrcPos::UNKNOWN`], so hand-built programs need no bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct SrcMap {
+    arrays: Vec<SrcPos>,
+    nests: Vec<SrcPos>,
+    stmts: Vec<Vec<SrcPos>>,
+}
+
+impl SrcMap {
+    /// Position of an array declaration.
+    pub fn array(&self, id: ArrayId) -> SrcPos {
+        self.arrays.get(id).copied().unwrap_or(SrcPos::UNKNOWN)
+    }
+
+    /// Position of a nest header.
+    pub fn nest(&self, id: NestId) -> SrcPos {
+        self.nests.get(id).copied().unwrap_or(SrcPos::UNKNOWN)
+    }
+
+    /// Position of a statement within a nest.
+    pub fn stmt(&self, nest: NestId, stmt: usize) -> SrcPos {
+        self.stmts
+            .get(nest)
+            .and_then(|v| v.get(stmt))
+            .copied()
+            .unwrap_or(SrcPos::UNKNOWN)
+    }
+
+    /// Records an array declaration's position (growing the table).
+    pub fn set_array(&mut self, id: ArrayId, pos: SrcPos) {
+        if self.arrays.len() <= id {
+            self.arrays.resize(id + 1, SrcPos::UNKNOWN);
+        }
+        self.arrays[id] = pos;
+    }
+
+    /// Records a nest header's position (growing the table).
+    pub fn set_nest(&mut self, id: NestId, pos: SrcPos) {
+        if self.nests.len() <= id {
+            self.nests.resize(id + 1, SrcPos::UNKNOWN);
+        }
+        self.nests[id] = pos;
+    }
+
+    /// Records a statement's position (growing the table).
+    pub fn set_stmt(&mut self, nest: NestId, stmt: usize, pos: SrcPos) {
+        if self.stmts.len() <= nest {
+            self.stmts.resize(nest + 1, Vec::new());
+        }
+        let row = &mut self.stmts[nest];
+        if row.len() <= stmt {
+            row.resize(stmt + 1, SrcPos::UNKNOWN);
+        }
+        row[stmt] = pos;
+    }
+}
+
 /// Whether an array reference reads or writes the element.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -301,7 +399,7 @@ impl LoopNest {
 }
 
 /// A whole program: array declarations plus loop nests executed in order.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Program {
     /// Source-level program name.
     pub name: String,
@@ -309,7 +407,18 @@ pub struct Program {
     pub arrays: Vec<ArrayDecl>,
     /// The loop nests, in program order; [`NestId`] indexes this vector.
     pub nests: Vec<LoopNest>,
+    /// Source positions of the entities above (see [`SrcMap`]); excluded
+    /// from equality so reparsed pretty-prints compare structurally.
+    pub src: SrcMap,
 }
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.arrays == other.arrays && self.nests == other.nests
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// Creates an empty program.
@@ -318,6 +427,7 @@ impl Program {
             name: name.into(),
             arrays: Vec::new(),
             nests: Vec::new(),
+            src: SrcMap::default(),
         }
     }
 

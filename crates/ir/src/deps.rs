@@ -138,6 +138,19 @@ impl IterMap {
             .collect()
     }
 
+    /// The `v`-th source coordinate as `(coef, dst_var, constant)`:
+    /// `src[v] = coef · dst[dst_var] + constant`. Lets symbolic analyses
+    /// (e.g. the polyhedral legality verifier) substitute the map into
+    /// constraint systems without enumerating iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.src_depth()`.
+    pub fn term(&self, v: usize) -> (i64, usize, i64) {
+        let t = &self.terms[v];
+        (t.coef, t.dst_var, t.constant)
+    }
+
     /// Arity of the produced source iteration.
     pub fn src_depth(&self) -> usize {
         self.terms.len()

@@ -47,7 +47,7 @@ pub mod printer;
 
 pub use ast::{
     concat_programs, AccessKind, ArrayDecl, ArrayId, ArrayRef, Loop, LoopNest, NestId, Program,
-    Statement,
+    SrcMap, SrcPos, Statement,
 };
 pub use deps::{
     analyze, outermost_parallel_loop, CrossDep, DependenceInfo, DistElem, Distance, IntraDep,

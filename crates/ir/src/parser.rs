@@ -25,7 +25,7 @@
 //!   present, must be an array reference (a write).
 //! * Line comments start with `#` or `//`.
 
-use crate::ast::{AccessKind, ArrayDecl, ArrayRef, Loop, LoopNest, Program, Statement};
+use crate::ast::{AccessKind, ArrayDecl, ArrayRef, Loop, LoopNest, Program, SrcPos, Statement};
 use dpm_poly::LinExpr;
 use std::collections::HashMap;
 use std::error::Error;
@@ -280,6 +280,15 @@ struct SymRef {
 }
 
 impl Parser {
+    /// Source position of the token the parser currently sits on, for
+    /// recording into the program's [`SrcMap`].
+    fn here_pos(&self) -> SrcPos {
+        self.tokens
+            .get(self.pos)
+            .map(|t| SrcPos::new(t.line as u32, t.col as u32))
+            .unwrap_or(SrcPos::UNKNOWN)
+    }
+
     fn err_here(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self
             .tokens
@@ -366,6 +375,7 @@ impl Parser {
                     self.consts.insert(name, e.constant);
                 }
                 Some(Tok::Ident(kw)) if kw == "array" => {
+                    let decl_pos = self.here_pos();
                     self.pos += 1;
                     let name = self.ident()?;
                     let mut dims = Vec::new();
@@ -411,11 +421,17 @@ impl Parser {
                         return Err(self.err_here(format!("duplicate array `{name}`")));
                     }
                     let id = prog.add_array(ArrayDecl::new(name.clone(), dims, elem_bytes));
+                    prog.src.set_array(id, decl_pos);
                     array_ids.insert(name, id);
                 }
                 Some(Tok::Ident(kw)) if kw == "nest" => {
-                    let nest = self.nest(&array_ids)?;
-                    prog.add_nest(nest);
+                    let nest_pos = self.here_pos();
+                    let (nest, stmt_positions) = self.nest(&array_ids)?;
+                    let ni = prog.add_nest(nest);
+                    prog.src.set_nest(ni, nest_pos);
+                    for (si, pos) in stmt_positions.into_iter().enumerate() {
+                        prog.src.set_stmt(ni, si, pos);
+                    }
                 }
                 other => {
                     return Err(self.err_here(format!(
@@ -428,7 +444,10 @@ impl Parser {
         Ok(prog)
     }
 
-    fn nest(&mut self, arrays: &HashMap<String, usize>) -> Result<LoopNest, ParseError> {
+    fn nest(
+        &mut self,
+        arrays: &HashMap<String, usize>,
+    ) -> Result<(LoopNest, Vec<SrcPos>), ParseError> {
         self.eat_keyword("nest")?;
         let name = self.ident()?;
         self.eat_punct("{")?;
@@ -461,7 +480,9 @@ impl Parser {
         let var_refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
         // Statements in the innermost body.
         let mut body = Vec::new();
+        let mut stmt_positions = Vec::new();
         while !matches!(self.peek(), Some(Tok::Punct("}"))) {
+            stmt_positions.push(self.here_pos());
             body.push(self.statement(arrays, &var_refs, body.len())?);
         }
         // Close every loop brace plus the nest brace.
@@ -477,7 +498,7 @@ impl Parser {
             debug_assert_eq!(lo.dim(), depth);
             loops.push(Loop { var, lo, hi });
         }
-        Ok(LoopNest { name, loops, body })
+        Ok((LoopNest { name, loops, body }, stmt_positions))
     }
 
     fn statement(
@@ -815,6 +836,31 @@ mod tests {
         let e = parse_program("program t;\n  bogus").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.col >= 3);
+    }
+
+    #[test]
+    fn source_positions_are_recorded() {
+        let p = parse_program(
+            "program t;\narray A[4] : f64;\nnest L {\n  for i = 0 .. 3 {\n    A[i] = 1;\n    A[i] = 2;\n  }\n}",
+        )
+        .unwrap();
+        assert_eq!(p.src.array(0), SrcPos::new(2, 1));
+        assert_eq!(p.src.nest(0), SrcPos::new(3, 1));
+        assert_eq!(p.src.stmt(0, 0), SrcPos::new(5, 5));
+        assert_eq!(p.src.stmt(0, 1), SrcPos::new(6, 5));
+        // Out-of-range queries answer UNKNOWN rather than panicking.
+        assert_eq!(p.src.stmt(7, 7), SrcPos::UNKNOWN);
+        assert!(!p.src.stmt(7, 7).is_known());
+    }
+
+    #[test]
+    fn positions_do_not_affect_equality() {
+        let src = "program t;\narray A[4] : f64;\nnest L { for i = 0 .. 3 { A[i] = 1; } }";
+        let spaced = "program t;\n\n\narray A[4] : f64;\n\nnest L { for i = 0 .. 3 { A[i] = 1; } }";
+        let a = parse_program(src).unwrap();
+        let b = parse_program(spaced).unwrap();
+        assert_ne!(a.src.array(0), b.src.array(0));
+        assert_eq!(a, b, "SrcMap leaked into Program equality");
     }
 
     #[test]

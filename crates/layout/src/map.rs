@@ -211,6 +211,18 @@ impl LayoutMap {
         let eb = u64::from(program.arrays[array].elem_bytes);
         (self.striping.stripe_unit() / eb).max(1)
     }
+
+    /// The array's placement segments as `(lin_lo, lin_hi, base_byte)`
+    /// triples, sorted by linearized element index (`lin_hi` inclusive,
+    /// `base_byte` = volume offset of element `lin_lo`). Exposed for
+    /// static layout lints: coverage (no gaps), uniqueness (no
+    /// double-mapping), and volume-bounds checks.
+    pub fn segments(&self, array: ArrayId) -> Vec<(u64, u64, u64)> {
+        self.segments[array]
+            .iter()
+            .map(|s| (s.lin_lo, s.lin_hi, s.base))
+            .collect()
+    }
 }
 
 impl fmt::Display for LayoutMap {

@@ -48,6 +48,10 @@ pub mod kind {
     /// request is re-queued behind a recovery delay (fields: `run`,
     /// `disk`, `at_ms`).
     pub const DEGRADE: &str = "degrade";
+    /// A static-analysis diagnostic from `dpm-analyze` (`name` = stable
+    /// diagnostic code; fields: `severity`, plus location fields `nest`,
+    /// `stmt`, `array`, `line`, `col` where known, and `message`).
+    pub const DIAGNOSTIC: &str = "diagnostic";
 }
 
 /// A field value: three numeric flavours (kept apart so JSON round-trips

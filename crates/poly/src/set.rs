@@ -179,6 +179,24 @@ impl Set {
         self.parts.iter().all(|p| p.is_empty())
     }
 
+    /// Whether every integer point of `self` lies in `other`
+    /// (`A ⊆ B ⇔ A ∖ B = ∅`). Exact over integers — the subtraction's
+    /// emptiness check falls back to lattice enumeration where the
+    /// rational test is inconclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn is_subset_of(&self, other: &Set) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Some integer point of the set, or `None` if it is empty. Used to
+    /// produce concrete witnesses for non-empty violation sets.
+    pub fn sample_point(&self) -> Option<Vec<i64>> {
+        self.parts.iter().find_map(|p| p.find_point())
+    }
+
     /// Drops disjuncts proven empty (by the cheap rational test); returns
     /// the simplified set.
     #[must_use]

@@ -16,7 +16,23 @@ run() {
 run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo fmt --all --check
-run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Pinned lint set. `-D warnings` promotes every default clippy lint plus
+# rustc warnings to errors; the extra pins deny leftover debugging and
+# placeholder macros that are warn-by-default (or allow-by-default) and
+# would otherwise slip through a green build. Extend the list here rather
+# than in per-crate attributes so every crate is held to the same bar.
+run cargo clippy --offline --workspace --all-targets -- \
+    -D warnings \
+    -D clippy::dbg_macro \
+    -D clippy::todo \
+    -D clippy::unimplemented
+
+# Static legality gate: lint every app, symbolically verify the disk-major
+# plan, and exactly verify all four scheduler outputs per app. Exits
+# non-zero on any Error-severity diagnostic, so an illegal schedule or a
+# malformed program fails the build before any benchmark runs.
+run ./target/release/dpm-analyze tiny results/ANALYZE_tiny.json
 
 # Fault-injection determinism suite in release mode: same seed => bit-identical
 # reports at 1/2/8 threads, zero plan indistinguishable from no plan, no plan

@@ -22,7 +22,10 @@
 //!   (width via the `DPM_THREADS` env var);
 //! * [`faults`] — deterministic fault injection: seeded per-disk plans
 //!   for spin-up failures, transient errors, latency jitter, and stuck
-//!   spindles, with retry/backoff/degradation handled by the simulator.
+//!   spindles, with retry/backoff/degradation handled by the simulator;
+//! * [`analyze`] — static legality verification and program lints:
+//!   exact and symbolic schedule verifiers, layout/footprint/affinity
+//!   lints, typed diagnostics, and the `dpm-analyze` CLI gate.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 
 pub mod optimizer;
 
+pub use dpm_analyze as analyze;
 pub use dpm_apps as apps;
 pub use dpm_core as core;
 pub use dpm_disksim as disksim;
@@ -67,6 +71,7 @@ pub use dpm_trace as trace;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
+    pub use dpm_analyze::{lint_program, verify_disk_major, verify_schedule, Diagnostic};
     pub use dpm_apps::{by_name, paper_striping, suite, BenchApp, Scale};
     pub use dpm_core::{
         apply_transform, mean_disk_run_length, original_schedule, parallelize_baseline,

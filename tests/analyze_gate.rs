@@ -1,0 +1,56 @@
+//! The legality gate: every schedule either scheduler in this tree can
+//! produce for the Tiny suite — original order, the §5 disk-reuse
+//! restructurer, and both §6 parallelizers across processor counts and
+//! clustering flags — is proven legal by the exact verifier. This is the
+//! issue's acceptance criterion as a test; `scripts/check.sh` runs the
+//! same check through the `dpm-analyze` binary.
+
+use disk_reuse::analyze::{error_count, verify_schedule};
+use disk_reuse::prelude::*;
+
+#[test]
+fn every_scheduler_output_verifies_clean() {
+    let striping = paper_striping();
+    for app in suite(Scale::Tiny) {
+        let program = app.program();
+        let layout = LayoutMap::new(&program, striping);
+        let deps = analyze(&program);
+
+        let mut schedules = vec![
+            ("original".to_string(), original_schedule(&program)),
+            (
+                "restructure_single".to_string(),
+                restructure_single(&program, &layout, &deps),
+            ),
+        ];
+        for procs in [1u32, 2, 4, 8] {
+            for cluster in [false, true] {
+                schedules.push((
+                    format!("baseline_p{procs}_c{cluster}"),
+                    parallelize_baseline(&program, &layout, &deps, procs, cluster),
+                ));
+                schedules.push((
+                    format!("layout_aware_p{procs}_c{cluster}"),
+                    parallelize_layout_aware(&program, &layout, &deps, procs, cluster),
+                ));
+            }
+        }
+        for (name, schedule) in &schedules {
+            let diags = verify_schedule(&program, &deps, schedule);
+            assert_eq!(
+                error_count(&diags),
+                0,
+                "{}/{name}: illegal schedule: {diags:?}",
+                app.name
+            );
+        }
+    }
+}
+
+/// The suite-level report agrees: zero errors end to end, for every app,
+/// every pass, every schedule.
+#[test]
+fn suite_report_has_zero_errors() {
+    let rep = disk_reuse::analyze::analyze_suite(Scale::Tiny, 4, true);
+    assert_eq!(rep.total_errors, 0, "{}", rep.json);
+}

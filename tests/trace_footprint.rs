@@ -1,0 +1,93 @@
+//! Cross-checks between the dynamic pipeline and the static analyses:
+//!
+//! * every request a generated `Trace` contains falls inside the
+//!   statically computed volume footprint ([`static_volume_footprint`]) —
+//!   the trace generator can never touch bytes the program's layout does
+//!   not own;
+//! * the symbolic per-disk iteration sets (`disk_iteration_sets`)
+//!   classify every concrete iteration onto exactly the disk that the
+//!   layout places its primary reference's first byte on.
+
+use disk_reuse::analyze::{footprint_contains, static_volume_footprint};
+use disk_reuse::core::disk_iteration_sets;
+use disk_reuse::prelude::*;
+
+#[test]
+fn every_trace_request_is_inside_the_static_footprint() {
+    let striping = paper_striping();
+    let opts = TraceGenOptions::default();
+    for app in suite(Scale::Tiny) {
+        let program = app.program();
+        let layout = LayoutMap::new(&program, striping);
+        let deps = analyze(&program);
+        let footprint = static_volume_footprint(&program, &layout, opts.block_bytes);
+        assert!(!footprint.is_empty(), "{}: empty footprint", app.name);
+
+        let gen = TraceGenerator::new(&program, &layout, opts);
+        for (name, schedule) in [
+            ("original", original_schedule(&program)),
+            ("restructured", restructure_single(&program, &layout, &deps)),
+            (
+                "layout_aware_p4",
+                parallelize_layout_aware(&program, &layout, &deps, 4, true),
+            ),
+        ] {
+            let (trace, _) = gen.generate(&schedule);
+            for (i, r) in trace.requests().iter().enumerate() {
+                assert!(
+                    footprint_contains(&footprint, r.offset, r.len),
+                    "{}/{name}: request {i} [{}, +{}) outside static footprint {:?}",
+                    app.name,
+                    r.offset,
+                    r.len,
+                    footprint
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_iteration_sets_agree_with_the_layout_per_iteration() {
+    let striping = paper_striping();
+    let p = striping.num_disks() as u64;
+    let mut nests_checked = 0usize;
+    for app in suite(Scale::Tiny) {
+        let program = app.program();
+        let layout = LayoutMap::new(&program, striping);
+        for (ni, nest) in program.nests.iter().enumerate() {
+            let Ok(sets) = disk_iteration_sets(&program, &layout, ni) else {
+                continue; // no refs / element spans stripes: no exact sets
+            };
+            let Some(primary) = nest.all_refs().next() else {
+                continue;
+            };
+            // The sets partition the iteration space: counts sum to the
+            // trip count (each iteration has exactly one witness `t`).
+            let total: u128 = sets.iter().map(|s| s.count_points() as u128).sum();
+            assert_eq!(
+                total,
+                u128::from(nest.trip_count()),
+                "{}/nest {ni}: sets do not partition the domain",
+                app.name
+            );
+            // And they agree with the layout, iteration by iteration.
+            for point in nest.iterations() {
+                let coords: Vec<i64> = primary.indices.iter().map(|s| s.eval(&point)).collect();
+                let byte = layout.element_offset(&program, primary.array, &coords);
+                let disk = striping.disk_of_offset(byte);
+                let t = striping.stripe_of_offset(byte) / p;
+                let mut witness = vec![t as i64];
+                witness.extend(&point);
+                assert!(
+                    sets[disk].contains(&witness),
+                    "{}/nest {ni}: iteration {point:?} (byte {byte}) not in \
+                     its own disk-{disk} set at t={t}",
+                    app.name
+                );
+            }
+            nests_checked += 1;
+        }
+    }
+    assert!(nests_checked > 0, "no nest had exact per-disk sets");
+}
