@@ -1,0 +1,185 @@
+//! Bench-trend regression gate over unified [`BenchRecord`] documents.
+//!
+//! For every record file given (default: the three harness outputs
+//! `BENCH_parallel.json`, `BENCH_poly.json`, `BENCH_chaos.json`):
+//!
+//! 1. parses and schema-checks the record (wrong `schema_version` fails);
+//! 2. fails if the record carries any `fail`-status gate — a bin that
+//!    exited non-zero never writes one, so this catches stale files;
+//! 3. compares each metric against `scripts/BENCH_<name>_baseline.json`
+//!    (`<name>` = the bench name minus its `_bench` suffix) when that
+//!    baseline exists, printing a delta table. `_x` metrics regress
+//!    downward, everything else upward; tolerance is `DPM_BENCH_TOL`
+//!    (default 8x — the gate is for order-of-magnitude regressions, not
+//!    scheduler noise), overridable per metric by a `tolerances` object in
+//!    the baseline file;
+//! 4. appends the record, stamped with `unix_ms`, as one line to the
+//!    trend log (default `results/BENCH_TREND.jsonl`) so the perf
+//!    trajectory accumulates run over run.
+//!
+//! Exits non-zero on any schema error, failed gate, or regression.
+//!
+//! Usage: `bench-report [--trend <path>] [record.json ...]`
+
+use dpm_bench::record::{compare, env_tolerance, BenchRecord};
+use dpm_bench::GateStatus;
+use dpm_obs::Json;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// `scripts/BENCH_<short>_baseline.json` for a bench name like
+/// `poly_bench`.
+fn baseline_path(bench: &str) -> String {
+    let short = bench.strip_suffix("_bench").unwrap_or(bench);
+    format!("scripts/BENCH_{short}_baseline.json")
+}
+
+/// Checks one record file; returns the number of failures it contributed
+/// and, on a readable record, the JSON to append to the trend log.
+fn check_record(path: &str, tol: f64) -> (u32, Option<Json>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-report: FAIL — cannot read {path}: {e}");
+            return (1, None);
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench-report: FAIL — {path} is not valid JSON: {e}");
+            return (1, None);
+        }
+    };
+    let record = match BenchRecord::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-report: FAIL — {path} is not a BenchRecord: {e}");
+            return (1, None);
+        }
+    };
+
+    let mut failures = 0u32;
+    println!(
+        "\n{} ({path}): scale {}, {} thread(s) on {} core(s)",
+        record.bench, record.scale, record.threads, record.host_parallelism
+    );
+    for gate in &record.gates {
+        println!(
+            "  gate {:<28} {:<8} {}",
+            gate.name,
+            gate.status.as_str(),
+            gate.detail
+        );
+        if gate.status == GateStatus::Fail {
+            eprintln!(
+                "bench-report: FAIL — {path} carries failed gate {} ({})",
+                gate.name, gate.detail
+            );
+            failures += 1;
+        }
+    }
+
+    let base_path = baseline_path(&record.bench);
+    match std::fs::read_to_string(&base_path) {
+        Ok(base_text) => match Json::parse(&base_text) {
+            Ok(baseline) => {
+                println!("  baseline {base_path} (tolerance {tol}x):");
+                for d in compare(&record, &baseline, tol) {
+                    match d.baseline {
+                        None => println!(
+                            "    {:<34} {:>14.1} (new metric, no baseline)",
+                            d.name, d.fresh
+                        ),
+                        Some(b) => {
+                            let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+                            println!(
+                                "    {:<34} {b:>14.1} -> {:>14.1} ({:.2}x vs {:.0}x tol) {verdict}",
+                                d.name, d.fresh, d.ratio, d.tolerance
+                            );
+                            if d.regressed {
+                                eprintln!(
+                                    "bench-report: FAIL — {} regressed {:.2}x over {base_path} \
+                                     (tolerance {:.0}x)",
+                                    d.name, d.ratio, d.tolerance
+                                );
+                                failures += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-report: FAIL — baseline {base_path} is not valid JSON: {e}");
+                failures += 1;
+            }
+        },
+        Err(_) => println!("  no baseline at {base_path}; comparison skipped"),
+    }
+
+    // Stamp and compact for the trend log.
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let mut line = vec![("unix_ms".to_string(), Json::U64(unix_ms))];
+    if let Json::Obj(pairs) = json {
+        line.extend(pairs);
+    }
+    (failures, Some(Json::Obj(line)))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trend_path = "results/BENCH_TREND.jsonl".to_string();
+    if args.first().map(String::as_str) == Some("--trend") {
+        args.remove(0);
+        if args.is_empty() {
+            eprintln!("bench-report: --trend needs a path");
+            std::process::exit(2);
+        }
+        trend_path = args.remove(0);
+    }
+    if args.is_empty() {
+        args = vec![
+            "BENCH_parallel.json".into(),
+            "BENCH_poly.json".into(),
+            "BENCH_chaos.json".into(),
+        ];
+    }
+
+    let tol = env_tolerance();
+    let mut failures = 0u32;
+    let mut lines = String::new();
+    for path in &args {
+        let (f, line) = check_record(path, tol);
+        failures += f;
+        if let Some(line) = line {
+            line.write(&mut lines);
+            lines.push('\n');
+        }
+    }
+
+    if let Some(parent) = std::path::Path::new(&trend_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&trend_path)
+    {
+        Ok(mut f) => {
+            f.write_all(lines.as_bytes()).expect("append trend log");
+            println!("\nappended {} record(s) to {trend_path}", args.len());
+        }
+        Err(e) => {
+            eprintln!("bench-report: FAIL — cannot open {trend_path}: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench-report: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench-report: all records clean");
+}

@@ -13,9 +13,13 @@
 //! Usage: `chaos_bench [scale] [out-path]` (scale: tiny | small | large |
 //! paper; default tiny, output default `BENCH_chaos.json`). The fault
 //! seed is fixed so every run of this binary reproduces the same faults.
+//! Output is one unified [`BenchRecord`] document: per-rate wall times as
+//! trended metrics, the full sweep table as context.
 
 use dpm_apps::Scale;
-use dpm_bench::{run_matrix, AppResults, ExperimentConfig, MatrixCell, Version};
+use dpm_bench::{
+    run_matrix, AppResults, BenchRecord, ExperimentConfig, GateStatus, MatrixCell, Version,
+};
 use dpm_disksim::{invariants, FaultPlan, RaidConfig};
 use dpm_obs::Json;
 use std::fmt::Write as _;
@@ -118,7 +122,13 @@ fn main() {
          seed {SEED:#x}, rates {RATES:?}, {threads} threads"
     );
 
+    let mut record = BenchRecord::new("chaos_bench", &format!("{scale:?}"), threads);
+    record.metric("cells", num_cells as f64);
+    record.context("seed", Json::U64(SEED));
+
     let mut sweep = Vec::new();
+    let mut total_serial_ms = 0.0;
+    let mut total_parallel_ms = 0.0;
     dpm_exec::with_env_threads(threads, || {
         for rate in RATES {
             let config = ExperimentConfig {
@@ -139,6 +149,8 @@ fn main() {
                 eprintln!("--- parallel ---\n{}", canonical(&parallel));
                 std::process::exit(1);
             }
+            total_serial_ms += serial_ms;
+            total_parallel_ms += parallel_ms;
             let reports = check_invariants(&serial, &config, rate)
                 + check_invariants(&parallel, &config, rate);
 
@@ -185,17 +197,19 @@ fn main() {
         }
     });
 
-    let json = Json::obj(vec![
-        ("name", Json::Str("chaos_bench".into())),
-        ("scale", Json::Str(format!("{scale:?}"))),
-        ("cells", Json::U64(num_cells as u64)),
-        ("threads", Json::U64(threads as u64)),
-        ("seed", Json::U64(SEED)),
-        ("sweep", Json::Arr(sweep)),
-    ]);
-    let mut body = String::new();
-    json.write(&mut body);
-    body.push('\n');
-    std::fs::write(&out_path, body).expect("write BENCH_chaos.json");
+    record.metric("sweep_serial_ms", total_serial_ms);
+    record.metric("sweep_parallel_ms", total_parallel_ms);
+    record.gate(
+        "outputs_identical_all_rates",
+        GateStatus::Pass,
+        format!("serial == parallel byte-for-byte at rates {RATES:?}"),
+    );
+    record.gate(
+        "invariants_clean_all_rates",
+        GateStatus::Pass,
+        "every report passed the simulator invariant checker",
+    );
+    record.context("sweep", Json::Arr(sweep));
+    record.write(&out_path).expect("write BENCH_chaos.json");
     println!("wrote {out_path}");
 }

@@ -1,24 +1,44 @@
-//! Serial-vs-parallel wall-time harness for the `dpm-exec` execution layer.
+//! Serial-vs-parallel wall-time harness for the `dpm-exec` execution layer,
+//! plus the self-profiler's coverage gate.
 //!
-//! Runs the figure-9(a) experiment matrix twice — once pinned to the serial
-//! path, once on the `DPM_THREADS` pool — asserts the two result sets are
-//! byte-identical (modulo run ids and wall times), and records the timings
-//! plus the satellite micro-benchmarks in a machine-readable JSON file so
-//! the perf trajectory is tracked run over run.
+//! Three passes over the figure-9(a) experiment matrix:
 //!
-//! Usage: `parallel_bench [scale] [out-path]` (scale: tiny | small | large | paper;
-//! default tiny, output default `BENCH_parallel.json`). Thread count comes
-//! from `DPM_THREADS` (default 4). On a single-core host the speedup will
-//! hover around 1.0x — the determinism check still runs in full.
+//! 1. **Serial** — pinned to the serial path; the canonical result set.
+//! 2. **Parallel** — on the `DPM_THREADS` pool; must be byte-identical to
+//!    the serial pass (floats compared by bit pattern).
+//! 3. **Profiled** — parallel again with `dpm-prof` enabled; must *still*
+//!    be byte-identical (profiling cannot perturb simulation output), must
+//!    attribute ≥95% of the pass's wall time to named scopes, and exports
+//!    the call tree to `results/PROF_<scale>.json` plus
+//!    flamegraph-collapsed stacks to `results/PROF_<scale>.txt`.
+//!
+//! The speedup gate is honest about the host: when fewer than 4 cores are
+//! available the >1x check is recorded as *skipped* (a 1-core host cannot
+//! demonstrate parallel speedup, only parallel correctness); with ≥4 cores
+//! the parallel pass must beat serial or the run fails.
+//!
+//! Output is one unified [`BenchRecord`] document. Usage:
+//! `parallel_bench [scale] [out-path]` (scale: tiny | small | large |
+//! paper; default tiny, output default `BENCH_parallel.json`). Thread
+//! count comes from `DPM_THREADS` (default 4).
 
 use dpm_apps::Scale;
 use dpm_bench::microbench::bench;
-use dpm_bench::{run_matrix, AppResults, ExperimentConfig, MatrixCell, Version};
+use dpm_bench::{
+    run_matrix, AppResults, BenchRecord, ExperimentConfig, GateStatus, MatrixCell, Version,
+};
 use dpm_layout::Striping;
 use dpm_obs::Json;
 use dpm_poly::{Constraint, LinExpr, Polyhedron, Set};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Below this many host cores the >1x speedup gate is vacuous and skipped.
+const MIN_CORES_FOR_SPEEDUP_GATE: usize = 4;
+
+/// The profiled pass must attribute at least this fraction of its wall
+/// time to named scopes.
+const MIN_PROF_COVERAGE: f64 = 0.95;
 
 fn cells(scale: Scale) -> Vec<MatrixCell> {
     dpm_apps::suite(scale)
@@ -126,16 +146,21 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(4);
-    // Pin the pool width for the parallel pass (and everything the matrix
-    // spawns beneath it) to the figure we are about to report.
+    // Pin the pool width for the parallel passes (and everything the matrix
+    // spawns beneath them) to the figure we are about to report.
     std::env::set_var("DPM_THREADS", threads.to_string());
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let config = ExperimentConfig::default();
     let num_cells = cells(scale).len();
+    let scale_label = format!("{scale:?}");
     println!(
-        "parallel_bench: figure-9(a) matrix at {scale:?} scale, {num_cells} cells, \
+        "parallel_bench: figure-9(a) matrix at {scale_label} scale, {num_cells} cells, \
          {threads} threads (host has {host} core(s))"
     );
+
+    let mut record = BenchRecord::new("parallel_bench", &scale_label, threads);
+    record.metric("cells", num_cells as f64);
+    let mut failures = 0u32;
 
     let t = Instant::now();
     let serial = dpm_exec::serial_scope(|| run_matrix(cells(scale), &config));
@@ -145,46 +170,147 @@ fn main() {
     let t = Instant::now();
     let parallel = run_matrix(cells(scale), &config);
     let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!(
-        "  parallel pass: {parallel_ms:>9.1} ms  ({:.2}x)",
-        serial_ms / parallel_ms
-    );
+    let speedup = serial_ms / parallel_ms;
+    println!("  parallel pass: {parallel_ms:>9.1} ms  ({speedup:.2}x)");
 
-    let identical = canonical(&serial) == canonical(&parallel);
-    if !identical {
+    let reference = canonical(&serial);
+    if reference == canonical(&parallel) {
+        println!("  outputs identical: yes");
+        record.gate(
+            "outputs_identical",
+            GateStatus::Pass,
+            "parallel pass bit-identical to serial",
+        );
+    } else {
         eprintln!("parallel_bench: FAIL — parallel output diverged from serial");
-        eprintln!("--- serial ---\n{}", canonical(&serial));
+        eprintln!("--- serial ---\n{reference}");
         eprintln!("--- parallel ---\n{}", canonical(&parallel));
-        std::process::exit(1);
+        record.gate(
+            "outputs_identical",
+            GateStatus::Fail,
+            "parallel pass diverged from serial",
+        );
+        failures += 1;
     }
-    println!("  outputs identical: yes");
+
+    // Speedup gate: only meaningful when the host can actually run the
+    // pool in parallel. BENCH_parallel.json historically reported
+    // `threads: 4` next to `host_parallelism: 1` and a ~1x "speedup" —
+    // the record now says explicitly which situation it measured.
+    if host < MIN_CORES_FOR_SPEEDUP_GATE {
+        let detail = format!(
+            "host has {host} core(s) < {MIN_CORES_FOR_SPEEDUP_GATE}; \
+             measured {speedup:.2}x is contention, not parallelism"
+        );
+        println!("  speedup gate skipped: {detail}");
+        record.gate("speedup_gt_1", GateStatus::Skipped, detail);
+    } else if speedup > 1.0 {
+        record.gate(
+            "speedup_gt_1",
+            GateStatus::Pass,
+            format!("{speedup:.2}x on {host} cores"),
+        );
+    } else {
+        eprintln!(
+            "parallel_bench: FAIL — {speedup:.2}x speedup on a {host}-core host \
+             (parallel pass must beat serial)"
+        );
+        record.gate(
+            "speedup_gt_1",
+            GateStatus::Fail,
+            format!("{speedup:.2}x on {host} cores"),
+        );
+        failures += 1;
+    }
+
+    // ---- profiled pass -------------------------------------------------
+    dpm_prof::reset();
+    dpm_prof::enable();
+    let t = Instant::now();
+    let profiled = run_matrix(cells(scale), &config);
+    let profiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    let profile = dpm_prof::snapshot();
+    dpm_prof::disable();
+    dpm_prof::reset();
+
+    let profiled_same = reference == canonical(&profiled);
+    let coverage = profile.total_ns() as f64 / (profiled_ms * 1e6);
+    println!(
+        "  profiled pass: {profiled_ms:>9.1} ms  (coverage {:.1}%, identical: {})",
+        coverage * 100.0,
+        if profiled_same { "yes" } else { "NO" }
+    );
+    if profiled_same {
+        record.gate(
+            "profiler_bit_identity",
+            GateStatus::Pass,
+            "profiled pass bit-identical to serial",
+        );
+    } else {
+        eprintln!("parallel_bench: FAIL — enabling the profiler changed simulation output");
+        record.gate(
+            "profiler_bit_identity",
+            GateStatus::Fail,
+            "profiled pass diverged from serial",
+        );
+        failures += 1;
+    }
+    if coverage >= MIN_PROF_COVERAGE {
+        record.gate(
+            "prof_coverage_95pct",
+            GateStatus::Pass,
+            format!("{:.1}% of wall time in named scopes", coverage * 100.0),
+        );
+    } else {
+        eprintln!(
+            "parallel_bench: FAIL — profiler attributed only {:.1}% of the profiled \
+             pass's wall time (need {:.0}%)",
+            coverage * 100.0,
+            MIN_PROF_COVERAGE * 100.0
+        );
+        record.gate(
+            "prof_coverage_95pct",
+            GateStatus::Fail,
+            format!("{:.1}% of wall time in named scopes", coverage * 100.0),
+        );
+        failures += 1;
+    }
+
+    let scale_file = scale_label.to_lowercase();
+    let collapsed_path = format!("results/PROF_{scale_file}.txt");
+    let tree_path = format!("results/PROF_{scale_file}.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(&collapsed_path, profile.to_collapsed()).expect("write collapsed stacks");
+    let mut tree = String::new();
+    profile.to_json().write(&mut tree);
+    tree.push('\n');
+    std::fs::write(&tree_path, tree).expect("write profile tree");
+    println!("  wrote {collapsed_path} and {tree_path}");
 
     let (poly_borrowed_ns, poly_owned_ns) = poly_microbench();
     let (split_alloc_ns, split_scratch_ns) = split_microbench();
 
-    let json = Json::obj(vec![
-        ("name", Json::Str("parallel_bench".into())),
-        ("scale", Json::Str(format!("{scale:?}"))),
-        ("cells", Json::U64(num_cells as u64)),
-        ("threads", Json::U64(threads as u64)),
-        ("host_parallelism", Json::U64(host as u64)),
-        ("serial_ms", Json::F64(serial_ms)),
-        ("parallel_ms", Json::F64(parallel_ms)),
-        ("speedup", Json::F64(serial_ms / parallel_ms)),
-        ("identical_output", Json::Bool(identical)),
-        (
-            "microbench_ns_per_iter",
-            Json::obj(vec![
-                ("poly_subtract_chain_borrowed", Json::F64(poly_borrowed_ns)),
-                ("poly_subtract_chain_owned", Json::F64(poly_owned_ns)),
-                ("split_range_alloc", Json::F64(split_alloc_ns)),
-                ("split_range_into", Json::F64(split_scratch_ns)),
-            ]),
-        ),
-    ]);
-    let mut body = String::new();
-    json.write(&mut body);
-    body.push('\n');
-    std::fs::write(&out_path, body).expect("write BENCH_parallel.json");
+    record.metric("serial_ms", serial_ms);
+    record.metric("parallel_ms", parallel_ms);
+    record.metric("profiled_ms", profiled_ms);
+    record.metric("speedup_x", speedup);
+    record.metric("prof_coverage", coverage.min(1.0));
+    record.metric("poly_subtract_chain_borrowed_ns", poly_borrowed_ns);
+    record.metric("poly_subtract_chain_owned_ns", poly_owned_ns);
+    record.metric("split_range_alloc_ns", split_alloc_ns);
+    record.metric("split_range_into_ns", split_scratch_ns);
+    record.context(
+        "prof_exports",
+        Json::obj(vec![
+            ("collapsed", Json::Str(collapsed_path)),
+            ("tree", Json::Str(tree_path)),
+        ]),
+    );
+    record.write(&out_path).expect("write BENCH_parallel.json");
     println!("wrote {out_path}");
+
+    if failures > 0 {
+        eprintln!("parallel_bench: {failures} failure(s)");
+        std::process::exit(1);
+    }
 }

@@ -16,22 +16,17 @@
 //!    (default `small`), wall-clock recorded — the "does the pipeline scale
 //!    past Tiny now" smoke check.
 //!
-//! Results land in a machine-readable JSON file. When a baseline file is
-//! given, each fresh `microbench_ns_per_iter` entry is compared against the
-//! baseline's entry of the same name and the run fails if it regressed by
-//! more than `DPM_BENCH_TOL`x (default 8 — generous, because CI machines
-//! vary; the gate is for order-of-magnitude regressions, i.e. losing a
-//! closed form, not for noise).
+//! Results land as one unified [`BenchRecord`] document; regression
+//! comparison against `scripts/BENCH_poly_baseline.json` is `bench-report`'s
+//! job, not this bin's.
 //!
-//! Usage: `poly_bench [scale] [out-path] [baseline-path]`
-//! (scale: tiny | small | large | paper; default small, output default
-//! `BENCH_poly.json`, no baseline comparison unless a path is given).
+//! Usage: `poly_bench [scale] [out-path]` (scale: tiny | small | large |
+//! paper; default small, output default `BENCH_poly.json`).
 
 use dpm_apps::Scale;
 use dpm_bench::microbench::{bench, group};
-use dpm_bench::{run_matrix, ExperimentConfig, MatrixCell, Version};
+use dpm_bench::{run_matrix, BenchRecord, ExperimentConfig, GateStatus, MatrixCell, Version};
 use dpm_layout::LayoutMap;
-use dpm_obs::Json;
 use dpm_poly::{Constraint, LinExpr, Polyhedron};
 use std::time::Instant;
 
@@ -68,11 +63,6 @@ fn tri_large() -> Polyhedron {
     ))
 }
 
-struct Micro {
-    name: &'static str,
-    ns: f64,
-}
-
 fn main() {
     dpm_obs::init_from_env();
     let scale = match std::env::args().nth(1).as_deref() {
@@ -84,10 +74,14 @@ fn main() {
     let out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_poly.json".into());
-    let baseline_path = std::env::args().nth(3);
+    let threads: usize = std::env::var("DPM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
 
     let mut failures = 0u32;
-    let mut micros: Vec<Micro> = Vec::new();
+    let mut record = BenchRecord::new("poly_bench", &format!("{scale:?}"), threads);
 
     // ---- counting: closed form vs enumeration -------------------------
     group("count_points at Scale::Large geometry");
@@ -105,6 +99,7 @@ fn main() {
         let enum_tri = bench("poly/count_tri_enumerated", || {
             tri_large().count_points_enumerated()
         });
+        let mut equal = true;
         for (label, got, want) in [
             ("rect closed", rect_large().count_points(), expect_rect),
             (
@@ -122,24 +117,22 @@ fn main() {
             if got != want {
                 eprintln!("poly_bench: FAIL — {label} count {got} != expected {want}");
                 failures += 1;
+                equal = false;
             }
         }
-        micros.push(Micro {
-            name: "poly_count_rect_closed",
-            ns: closed_rect.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "poly_count_rect_enumerated",
-            ns: enum_rect.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "poly_count_tri_closed",
-            ns: closed_tri.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "poly_count_tri_enumerated",
-            ns: enum_tri.ns_per_iter,
-        });
+        record.gate(
+            "count_equivalence",
+            if equal {
+                GateStatus::Pass
+            } else {
+                GateStatus::Fail
+            },
+            "closed-form counts match enumeration at Large geometry",
+        );
+        record.metric("poly_count_rect_closed_ns", closed_rect.ns_per_iter);
+        record.metric("poly_count_rect_enumerated_ns", enum_rect.ns_per_iter);
+        record.metric("poly_count_tri_closed_ns", closed_tri.ns_per_iter);
+        record.metric("poly_count_tri_enumerated_ns", enum_tri.ns_per_iter);
     }
 
     // ---- Q_d footprint construction: closed form vs enumeration -------
@@ -159,6 +152,15 @@ fn main() {
             );
             failures += 1;
         }
+        record.gate(
+            "qd_equivalence",
+            if per_disk_closed == per_disk_enum {
+                GateStatus::Pass
+            } else {
+                GateStatus::Fail
+            },
+            "per-disk closed-form counts match enumeration",
+        );
         // Fresh sets per iteration: the bench measures building the
         // footprints and counting them, the restructurer's actual pattern.
         let closed = bench("core/qd_footprints_closed", || {
@@ -172,14 +174,8 @@ fn main() {
                 .sum::<u64>()
         });
         qd_speedup = enumerated.ns_per_iter / closed.ns_per_iter;
-        micros.push(Micro {
-            name: "core_qd_footprints_closed",
-            ns: closed.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "core_qd_footprints_enumerated",
-            ns: enumerated.ns_per_iter,
-        });
+        record.metric("core_qd_footprints_closed_ns", closed.ns_per_iter);
+        record.metric("core_qd_footprints_enumerated_ns", enumerated.ns_per_iter);
     }
 
     // ---- cached vs uncached repeated queries --------------------------
@@ -197,14 +193,8 @@ fn main() {
             let p = tri_large();
             (p.count_points(), p.is_empty(), p.lexmax())
         });
-        micros.push(Micro {
-            name: "poly_queries_cached",
-            ns: cached.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "poly_queries_uncached",
-            ns: uncached.ns_per_iter,
-        });
+        record.metric("poly_queries_cached_ns", cached.ns_per_iter);
+        record.metric("poly_queries_uncached_ns", uncached.ns_per_iter);
     }
 
     // ---- scheduling engines: bitset vs reference ----------------------
@@ -215,43 +205,69 @@ fn main() {
         let deps = dpm_ir::analyze(&program);
         let fast = dpm_core::restructure_single(&program, &layout, &deps);
         let reference = dpm_core::restructure_single_reference(&program, &layout, &deps);
-        if fast.num_phases() != reference.num_phases()
-            || (0..fast.num_phases()).any(|ph| fast.iters(ph, 0) != reference.iters(ph, 0))
-        {
+        let same = fast.num_phases() == reference.num_phases()
+            && (0..fast.num_phases()).all(|ph| fast.iters(ph, 0) == reference.iters(ph, 0));
+        if !same {
             eprintln!("poly_bench: FAIL — bitset schedule diverged from reference engine");
             failures += 1;
         }
+        record.gate(
+            "scheduler_equivalence",
+            if same {
+                GateStatus::Pass
+            } else {
+                GateStatus::Fail
+            },
+            "bitset schedule bit-identical to reference engine",
+        );
         let bitset = bench("core/schedule_bitset", || {
             dpm_core::restructure_single(&program, &layout, &deps)
         });
         let refeng = bench("core/schedule_reference", || {
             dpm_core::restructure_single_reference(&program, &layout, &deps)
         });
-        micros.push(Micro {
-            name: "core_schedule_bitset",
-            ns: bitset.ns_per_iter,
-        });
-        micros.push(Micro {
-            name: "core_schedule_reference",
-            ns: refeng.ns_per_iter,
-        });
+        record.metric("core_schedule_bitset_ns", bitset.ns_per_iter);
+        record.metric("core_schedule_reference_ns", refeng.ns_per_iter);
     }
 
     // ---- speedup gate -------------------------------------------------
-    let ns_of = |name: &str| micros.iter().find(|m| m.name == name).map_or(0.0, |m| m.ns);
-    let rect_speedup = ns_of("poly_count_rect_enumerated") / ns_of("poly_count_rect_closed");
-    let tri_speedup = ns_of("poly_count_tri_enumerated") / ns_of("poly_count_tri_closed");
-    let cached_speedup = ns_of("poly_queries_uncached") / ns_of("poly_queries_cached");
+    let ns_of = |rec: &BenchRecord, name: &str| {
+        rec.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let rect_speedup = ns_of(&record, "poly_count_rect_enumerated_ns")
+        / ns_of(&record, "poly_count_rect_closed_ns");
+    let tri_speedup =
+        ns_of(&record, "poly_count_tri_enumerated_ns") / ns_of(&record, "poly_count_tri_closed_ns");
+    let cached_speedup =
+        ns_of(&record, "poly_queries_uncached_ns") / ns_of(&record, "poly_queries_cached_ns");
     println!(
         "\nspeedups: rect {rect_speedup:.1}x, tri {tri_speedup:.1}x, \
          qd {qd_speedup:.1}x, cached-queries {cached_speedup:.1}x"
     );
+    record.metric("count_rect_speedup_x", rect_speedup);
+    record.metric("count_tri_speedup_x", tri_speedup);
+    record.metric("qd_footprints_speedup_x", qd_speedup);
+    record.metric("cached_queries_speedup_x", cached_speedup);
     if rect_speedup < 10.0 && qd_speedup < 10.0 {
         eprintln!(
             "poly_bench: FAIL — neither the count_points bench ({rect_speedup:.1}x) \
              nor the Q_d bench ({qd_speedup:.1}x) reached the 10x bar"
         );
+        record.gate(
+            "count_speedup_10x",
+            GateStatus::Fail,
+            format!("rect {rect_speedup:.1}x, qd {qd_speedup:.1}x — both under 10x"),
+        );
         failures += 1;
+    } else {
+        record.gate(
+            "count_speedup_10x",
+            GateStatus::Pass,
+            format!("rect {rect_speedup:.1}x, qd {qd_speedup:.1}x"),
+        );
     }
 
     // ---- figure-9(a) matrix at the requested scale --------------------
@@ -266,90 +282,15 @@ fn main() {
         .map(|r| r.report.app_requests)
         .sum();
     println!("  completed in {matrix_ms:.1} ms ({total_requests} simulated requests)");
+    record.metric("matrix_cells", num_cells as f64);
+    record.metric("matrix_ms", matrix_ms);
+    record.metric("matrix_requests", total_requests as f64);
 
-    // ---- report -------------------------------------------------------
-    let micro_json: Vec<(&str, Json)> = micros.iter().map(|m| (m.name, Json::F64(m.ns))).collect();
-    let json = Json::obj(vec![
-        ("name", Json::Str("poly_bench".into())),
-        ("matrix_scale", Json::Str(format!("{scale:?}"))),
-        ("matrix_cells", Json::U64(num_cells as u64)),
-        ("matrix_ms", Json::F64(matrix_ms)),
-        ("matrix_requests", Json::U64(total_requests)),
-        ("count_rect_speedup", Json::F64(rect_speedup)),
-        ("count_tri_speedup", Json::F64(tri_speedup)),
-        ("qd_footprints_speedup", Json::F64(qd_speedup)),
-        ("cached_queries_speedup", Json::F64(cached_speedup)),
-        ("microbench_ns_per_iter", Json::obj(micro_json)),
-    ]);
-    let mut body = String::new();
-    json.write(&mut body);
-    body.push('\n');
-    std::fs::write(&out_path, &body).expect("write BENCH_poly.json");
+    record.write(&out_path).expect("write BENCH_poly.json");
     println!("wrote {out_path}");
-
-    // ---- baseline comparison ------------------------------------------
-    if let Some(path) = baseline_path {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => failures += compare_baseline(&json, &text, &path),
-            Err(e) => println!("no baseline comparison ({path}: {e})"),
-        }
-    }
 
     if failures > 0 {
         eprintln!("poly_bench: {failures} failure(s)");
         std::process::exit(1);
     }
-}
-
-/// Compares fresh `microbench_ns_per_iter` entries against a baseline
-/// report, returning the number of entries that regressed beyond the
-/// tolerance factor (`DPM_BENCH_TOL`, default 8). Entries present on only
-/// one side are skipped: adding or retiring a bench must not break the
-/// gate.
-fn compare_baseline(fresh: &Json, baseline_text: &str, path: &str) -> u32 {
-    let tol: f64 = std::env::var("DPM_BENCH_TOL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&t| t > 0.0)
-        .unwrap_or(8.0);
-    let baseline = match Json::parse(baseline_text) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("poly_bench: FAIL — baseline {path} is not valid JSON: {e}");
-            return 1;
-        }
-    };
-    let (Some(Json::Obj(fresh_micro)), Some(Json::Obj(base_micro))) = (
-        fresh.get("microbench_ns_per_iter"),
-        baseline.get("microbench_ns_per_iter"),
-    ) else {
-        eprintln!("poly_bench: FAIL — baseline {path} has no microbench_ns_per_iter object");
-        return 1;
-    };
-    let mut regressions = 0u32;
-    println!("\nbaseline comparison vs {path} (tolerance {tol}x):");
-    for (name, value) in fresh_micro {
-        let Some(new_ns) = value.as_f64() else {
-            continue;
-        };
-        let Some(base_ns) = base_micro
-            .iter()
-            .find(|(k, _)| k == name)
-            .and_then(|(_, v)| v.as_f64())
-        else {
-            println!("  {name:<34} (new bench, no baseline entry)");
-            continue;
-        };
-        let ratio = if base_ns > 0.0 { new_ns / base_ns } else { 0.0 };
-        let verdict = if ratio > tol { "REGRESSED" } else { "ok" };
-        println!("  {name:<34} {base_ns:>12.1} -> {new_ns:>12.1} ns/iter ({ratio:.2}x) {verdict}");
-        if ratio > tol {
-            eprintln!(
-                "poly_bench: FAIL — {name} regressed {ratio:.2}x over baseline \
-                 (tolerance {tol}x)"
-            );
-            regressions += 1;
-        }
-    }
-    regressions
 }

@@ -20,8 +20,10 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod record;
 pub mod report;
 
+pub use record::{BenchRecord, GateStatus};
 pub use report::RunReport;
 
 use dpm_apps::BenchApp;
@@ -262,6 +264,7 @@ pub struct MatrixCell {
 pub fn run_matrix(cells: Vec<MatrixCell>, config: &ExperimentConfig) -> Vec<AppResults> {
     let mut sp = dpm_obs::span!("experiment_matrix");
     sp.add("cells", cells.len() as u64);
+    let _prof = dpm_prof::scope("run_matrix");
     dpm_exec::par_map_vec(cells, |_, c| run_app(&c.app, &c.versions, c.procs, config))
 }
 
@@ -273,6 +276,7 @@ pub fn build_schedule(
     shape: ScheduleShape,
     procs: u32,
 ) -> Schedule {
+    let _prof = dpm_prof::scope("build_schedule");
     let transform = match (shape, procs) {
         (ScheduleShape::Plain, 1) => Transform::Original,
         (ScheduleShape::ClusteredS, 1) | (ScheduleShape::ClusteredM, 1) => Transform::DiskReuse,
@@ -303,6 +307,7 @@ pub fn run_app(
     procs: u32,
     config: &ExperimentConfig,
 ) -> AppResults {
+    let _prof = dpm_prof::scope("run_app");
     let program = app.program();
     let layout = LayoutMap::new(&program, config.striping);
     let deps = dpm_ir::analyze(&program);

@@ -1,0 +1,400 @@
+//! The unified, versioned benchmark-record schema.
+//!
+//! Every perf harness (`parallel_bench`, `poly_bench`, `chaos_bench`)
+//! emits one [`BenchRecord`] as its machine-readable output instead of an
+//! ad-hoc JSON shape, so downstream tooling — the `bench-report` trend
+//! gate, plotting scripts — reads one format:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "poly_bench",
+//!   "scale": "Small",
+//!   "threads": 4,
+//!   "host_parallelism": 1,
+//!   "metrics": { "matrix_ms": 812.4, "poly_count_rect_closed_ns": 95.0 },
+//!   "gates": [ { "name": "count_speedup_10x", "status": "pass", "detail": "…" } ],
+//!   "context": { … }
+//! }
+//! ```
+//!
+//! * `metrics` is a flat name → `f64` map of everything worth trending.
+//!   Names carry their unit as a suffix (`_ms`, `_ns`, `_x`); the suffix
+//!   also decides the regression direction — times regress *up*, `_x`
+//!   speedup factors regress *down*.
+//! * `gates` records every pass/fail decision the bin made, including the
+//!   ones it *skipped* (e.g. the parallel speedup gate on a 1-core host),
+//!   so a green run says which claims it actually checked.
+//! * `context` is free-form bench-specific payload (sweep tables, config
+//!   echoes) that is carried along but never gated on.
+//!
+//! Baselines are the same schema: `scripts/BENCH_<name>_baseline.json` is
+//! a previously blessed record, optionally extended with a `tolerances`
+//! object overriding the default per-metric factor.
+
+use dpm_obs::Json;
+use std::io;
+use std::path::Path;
+
+/// Current record schema version. Bump when a field changes meaning;
+/// `bench-report` refuses records from a different major version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Outcome of one self-check a benchmark binary performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Checked and held.
+    Pass,
+    /// Checked and violated (the bin also exits non-zero).
+    Fail,
+    /// Not applicable in this environment; `detail` says why.
+    Skipped,
+}
+
+impl GateStatus {
+    /// Wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateStatus::Pass => "pass",
+            GateStatus::Fail => "fail",
+            GateStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn parse(s: &str) -> Option<GateStatus> {
+        match s {
+            "pass" => Some(GateStatus::Pass),
+            "fail" => Some(GateStatus::Fail),
+            "skipped" => Some(GateStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// One named pass/fail/skip decision.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Stable gate name (`speedup_gt_1`, `outputs_identical`, …).
+    pub name: String,
+    /// What happened.
+    pub status: GateStatus,
+    /// Human-readable explanation (the number checked, or why skipped).
+    pub detail: String,
+}
+
+/// A unified benchmark record under construction.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark binary name (`parallel_bench`, …).
+    pub bench: String,
+    /// Workload scale label (`Tiny`, `Small`, …).
+    pub scale: String,
+    /// Worker threads the run was configured with.
+    pub threads: u64,
+    /// Cores the host actually offers (`available_parallelism`).
+    pub host_parallelism: u64,
+    /// Flat metric map; insertion order is preserved in the output.
+    pub metrics: Vec<(String, f64)>,
+    /// Self-check outcomes.
+    pub gates: Vec<Gate>,
+    /// Bench-specific extra payload.
+    pub context: Vec<(String, Json)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for `bench` at `scale`, capturing the thread
+    /// configuration and the honest host core count.
+    pub fn new(bench: &str, scale: &str, threads: usize) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            threads: threads as u64,
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+            metrics: Vec::new(),
+            gates: Vec::new(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Adds (or overwrites) one trended metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((name.to_string(), value)),
+        }
+    }
+
+    /// Records a gate outcome.
+    pub fn gate(&mut self, name: &str, status: GateStatus, detail: impl Into<String>) {
+        self.gates.push(Gate {
+            name: name.to_string(),
+            status,
+            detail: detail.into(),
+        });
+    }
+
+    /// Attaches a free-form context field.
+    pub fn context(&mut self, key: &str, value: Json) {
+        self.context.push((key.to_string(), value));
+    }
+
+    /// True when any gate failed.
+    pub fn any_gate_failed(&self) -> bool {
+        self.gates.iter().any(|g| g.status == GateStatus::Fail)
+    }
+
+    /// The record as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let metrics: Vec<(String, Json)> = self
+            .metrics
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::F64(*v)))
+            .collect();
+        let gates: Vec<Json> = self
+            .gates
+            .iter()
+            .map(|g| {
+                Json::obj(vec![
+                    ("name", Json::Str(g.name.clone())),
+                    ("status", Json::Str(g.status.as_str().to_string())),
+                    ("detail", Json::Str(g.detail.clone())),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("schema_version", Json::U64(SCHEMA_VERSION)),
+            ("bench", Json::Str(self.bench.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("threads", Json::U64(self.threads)),
+            ("host_parallelism", Json::U64(self.host_parallelism)),
+            ("metrics", Json::Obj(metrics)),
+            ("gates", Json::Arr(gates)),
+        ];
+        if !self.context.is_empty() {
+            fields.push(("context", Json::Obj(self.context.clone())));
+        }
+        Json::obj(fields)
+    }
+
+    /// Parses a record document, verifying the schema version.
+    pub fn from_json(json: &Json) -> Result<BenchRecord, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field {key}"))
+        };
+        let mut rec = BenchRecord {
+            bench: text("bench")?,
+            scale: text("scale")?,
+            threads: json.get("threads").and_then(Json::as_u64).unwrap_or(0),
+            host_parallelism: json
+                .get("host_parallelism")
+                .and_then(Json::as_u64)
+                .unwrap_or(1),
+            metrics: Vec::new(),
+            gates: Vec::new(),
+            context: Vec::new(),
+        };
+        if let Some(Json::Obj(pairs)) = json.get("metrics") {
+            for (name, value) in pairs {
+                if let Some(v) = value.as_f64() {
+                    rec.metrics.push((name.clone(), v));
+                }
+            }
+        }
+        if let Some(Json::Arr(gates)) = json.get("gates") {
+            for g in gates {
+                let (Some(name), Some(status)) = (
+                    g.get("name").and_then(Json::as_str),
+                    g.get("status")
+                        .and_then(Json::as_str)
+                        .and_then(GateStatus::parse),
+                ) else {
+                    return Err("malformed gate entry".into());
+                };
+                rec.gates.push(Gate {
+                    name: name.to_string(),
+                    status,
+                    detail: g
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
+            }
+        }
+        if let Some(Json::Obj(pairs)) = json.get("context") {
+            rec.context = pairs.clone();
+        }
+        Ok(rec)
+    }
+
+    /// Writes the record (one pretty-printed JSON document + newline).
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut body = String::new();
+        self.to_json().write(&mut body);
+        body.push('\n');
+        std::fs::write(path, body)
+    }
+}
+
+/// Direction in which a metric can regress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Times, latencies: regression is the value going *up*.
+    LowerIsBetter,
+    /// Speedups, throughputs: regression is the value going *down*.
+    HigherIsBetter,
+}
+
+/// The regression direction a metric name implies. `_x` suffixed names
+/// (speedup factors) regress downward; everything else — `_ms`, `_ns`,
+/// `_us`, counts — regresses upward.
+pub fn direction_of(name: &str) -> Direction {
+    if name.ends_with("_x") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// One row of a baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` = new metric, not gated).
+    pub baseline: Option<f64>,
+    /// Fresh value.
+    pub fresh: f64,
+    /// fresh/baseline (lower-is-better) or baseline/fresh
+    /// (higher-is-better); > `tolerance` means regression.
+    pub ratio: f64,
+    /// Tolerance factor applied to this metric.
+    pub tolerance: f64,
+    /// Whether the row regressed.
+    pub regressed: bool,
+}
+
+/// Compares `fresh` against a blessed `baseline` record, returning one
+/// [`Delta`] per fresh metric. `default_tol` is the fallback factor
+/// (conventionally `DPM_BENCH_TOL`, default 8 — the gate exists to catch
+/// order-of-magnitude regressions, not scheduler noise); the baseline
+/// document may override it per metric via a top-level `tolerances`
+/// object. Metrics present on only one side never regress: adding or
+/// retiring a bench must not break the gate.
+pub fn compare(fresh: &BenchRecord, baseline: &Json, default_tol: f64) -> Vec<Delta> {
+    let base_metrics = baseline.get("metrics");
+    let overrides = baseline.get("tolerances");
+    fresh
+        .metrics
+        .iter()
+        .map(|(name, value)| {
+            let tolerance = overrides
+                .and_then(|t| t.get(name))
+                .and_then(Json::as_f64)
+                .filter(|&t| t > 0.0)
+                .unwrap_or(default_tol);
+            let base = base_metrics
+                .and_then(|m| m.get(name))
+                .and_then(Json::as_f64);
+            let ratio = match (base, direction_of(name)) {
+                (Some(b), Direction::LowerIsBetter) if b > 0.0 => value / b,
+                (Some(b), Direction::HigherIsBetter) if *value > 0.0 => b / value,
+                _ => 0.0,
+            };
+            Delta {
+                name: name.clone(),
+                baseline: base,
+                fresh: *value,
+                ratio,
+                tolerance,
+                regressed: base.is_some() && ratio > tolerance,
+            }
+        })
+        .collect()
+}
+
+/// The tolerance factor from `DPM_BENCH_TOL` (default 8).
+pub fn env_tolerance() -> f64 {
+    std::env::var("DPM_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &f64| t > 0.0)
+        .unwrap_or(8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        let mut rec = BenchRecord::new("poly_bench", "Small", 4);
+        rec.metric("matrix_ms", 812.5);
+        rec.metric("count_rect_speedup_x", 120.0);
+        rec.gate("count_speedup_10x", GateStatus::Pass, "120.0x >= 10x");
+        rec.gate("speedup_gt_1", GateStatus::Skipped, "host has 1 core");
+        rec.context("seed", Json::U64(7));
+        rec
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = sample();
+        let json = rec.to_json();
+        assert_eq!(json.get("schema_version").and_then(Json::as_u64), Some(1));
+        let back = BenchRecord::from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
+        assert_eq!(back.bench, "poly_bench");
+        assert_eq!(back.metrics, rec.metrics);
+        assert_eq!(back.gates.len(), 2);
+        assert_eq!(back.gates[1].status, GateStatus::Skipped);
+        assert!(!back.any_gate_failed());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::U64(99);
+        }
+        assert!(BenchRecord::from_json(&json).unwrap_err().contains("99"));
+    }
+
+    #[test]
+    fn directions_and_deltas() {
+        assert_eq!(direction_of("matrix_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("speedup_x"), Direction::HigherIsBetter);
+
+        let mut fresh = BenchRecord::new("b", "Tiny", 1);
+        fresh.metric("a_ms", 100.0); // 10x slower than baseline
+        fresh.metric("s_x", 5.0); // 4x less speedup than baseline
+        fresh.metric("new_ms", 1.0); // no baseline entry
+        let baseline = Json::parse(
+            r#"{"metrics": {"a_ms": 10.0, "s_x": 20.0},
+                "tolerances": {"s_x": 2.0}}"#,
+        )
+        .unwrap();
+        let deltas = compare(&fresh, &baseline, 8.0);
+        assert!(deltas[0].regressed, "10x time increase over 8x tolerance");
+        assert!((deltas[0].ratio - 10.0).abs() < 1e-9);
+        assert!(deltas[1].regressed, "4x speedup loss over 2x override");
+        assert!((deltas[1].ratio - 4.0).abs() < 1e-9);
+        assert!(!deltas[2].regressed, "new metric is informational");
+        assert_eq!(deltas[2].baseline, None);
+    }
+}

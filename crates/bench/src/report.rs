@@ -98,6 +98,12 @@ impl RunReport {
                         Json::U64(r.report.degraded_disks() as u64),
                     ),
                     ("obs_run", Json::U64(r.report.obs_run)),
+                    (
+                        "stream",
+                        r.report
+                            .merged_stream_metrics()
+                            .to_json(r.report.makespan_ms * r.report.stream.len() as f64),
+                    ),
                 ])
             })
             .collect();

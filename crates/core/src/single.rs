@@ -104,6 +104,7 @@ fn iter_ready(
 fn compute_masks(program: &Program, layout: &LayoutMap, tables: &[NestTable]) -> Vec<u64> {
     let mut qd = dpm_obs::span!("q_d_compute");
     qd.add("nests", tables.len() as u64);
+    let _prof = dpm_prof::scope("qd_masks");
     let per_nest = dpm_exec::par_map_indexed(tables, |ni, t| {
         let mut buf = [0i64; CompactIter::MAX_DEPTH];
         t.iters
@@ -143,6 +144,7 @@ pub fn restructure_single(
     deps: &DependenceInfo,
 ) -> Schedule {
     let mut sp = dpm_obs::span!("single_cpu_schedule");
+    let _prof = dpm_prof::scope("restructure_single");
     let tables = build_tables(program, deps);
     let total: usize = tables.iter().map(|t| t.iters.len()).sum();
     let num_disks = layout.striping().num_disks();

@@ -4,6 +4,7 @@
 use crate::params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
 use crate::stats::{DiskStats, IdleHistogram, Span, SpanState};
 use dpm_faults::{FaultInjector, RetryPolicy};
+use dpm_prof::DiskStreamMetrics;
 
 /// One contiguous piece of an application request on a single disk.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -70,6 +71,9 @@ pub struct DiskSim {
     /// Whether the stuck-spindle fault has been counted yet (it is a
     /// per-disk condition, counted once on first suppression).
     stuck_reported: bool,
+    /// Streaming metrics (service/spin-up histograms, queue gauge, RPM
+    /// residency) accumulated in O(1) memory from the request stream.
+    stream: DiskStreamMetrics,
 }
 
 impl DiskSim {
@@ -100,6 +104,7 @@ impl DiskSim {
             obs_state: None,
             injector: None,
             stuck_reported: false,
+            stream: DiskStreamMetrics::new(),
         }
     }
 
@@ -177,6 +182,11 @@ impl DiskSim {
         &self.idle_hist
     }
 
+    /// The streaming metric set accumulated so far.
+    pub fn stream_metrics(&self) -> &DiskStreamMetrics {
+        &self.stream
+    }
+
     /// Current spindle speed.
     pub fn rpm(&self) -> u32 {
         self.rpm
@@ -192,6 +202,7 @@ impl DiskSim {
     pub fn service(&mut self, r: &SubRequest) -> ServiceOutcome {
         assert!(!self.finished, "disk already finished");
         assert!(r.len > 0, "sub-request length must be positive");
+        self.stream.queue.on_arrival(r.arrival_ms);
         let gap = r.arrival_ms - self.clock_ms;
         let mut ready_ms = r.arrival_ms;
         let mut stall = 0.0;
@@ -200,6 +211,11 @@ impl DiskSim {
             let extra = self.pass_idle(gap, true);
             ready_ms += extra;
             stall = extra;
+            if extra > 0.0 {
+                // Power-management stall suffered by this request: spin-up
+                // wait or in-flight RPM transition.
+                self.stream.spin_up_us.record_ms(extra);
+            }
         }
         // If the disk was still busy at arrival, service starts when free.
         let start = ready_ms.max(self.clock_ms);
@@ -224,6 +240,7 @@ impl DiskSim {
         // exponential backoff. A request that exhausts its retries is
         // re-queued behind the degraded-disk recovery delay and then
         // forced through — work is never dropped.
+        self.stream.service_us.record_ms(svc);
         let mut elapsed = 0.0;
         let mut attempt = 0u32;
         loop {
@@ -236,6 +253,7 @@ impl DiskSim {
             if !failed {
                 break;
             }
+            let _prof = dpm_prof::scope("fault_retry");
             self.stats.faults += 1;
             let at = self.span_cursor;
             self.emit_fault(dpm_obs::kind::FAULT, "transient_error", at, &[]);
@@ -267,6 +285,7 @@ impl DiskSim {
             }
         }
         let completion = start + elapsed;
+        self.stream.queue.on_completion(completion);
         if sequential {
             self.stats.sequential_requests += 1;
         }
@@ -396,6 +415,7 @@ impl DiskSim {
                 .as_mut()
                 .is_some_and(FaultInjector::spin_up_fails)
             {
+                let _prof = dpm_prof::scope("fault_retry");
                 self.stats.faults += 1;
                 let at = self.span_cursor;
                 self.emit_fault(dpm_obs::kind::FAULT, "spin_up_failure", at, &[]);
@@ -611,6 +631,7 @@ impl DiskSim {
     fn accrue_idle(&mut self, ms: f64) {
         debug_assert!(ms >= -1e-9);
         let ms = ms.max(0.0);
+        self.stream.residency.accrue(self.rpm, ms);
         self.stats.idle_ms += ms;
         self.stats.energy_j +=
             self.members() * self.params.idle_power_at_rpm_w(self.rpm) * ms / 1000.0;
@@ -618,6 +639,7 @@ impl DiskSim {
     }
 
     fn accrue_busy(&mut self, ms: f64) {
+        self.stream.residency.accrue(self.rpm, ms);
         self.stats.busy_ms += ms;
         self.stats.energy_j +=
             self.members() * self.params.active_power_at_rpm_w(self.rpm) * ms / 1000.0;

@@ -161,6 +161,7 @@ impl Simulator {
             } else {
                 None
             },
+            stream: disks.iter().map(|d| d.stream_metrics().clone()).collect(),
             per_disk: disks.into_iter().map(|d| d.stats().clone()).collect(),
             app_requests: trace.len() as u64,
             obs_run,
@@ -179,6 +180,7 @@ impl Simulator {
     /// Panics if the trace's arrivals are not non-decreasing.
     pub fn run(&self, trace: &Trace) -> SimReport {
         let obs_run = dpm_obs::next_run_id();
+        let _prof = dpm_prof::scope("simulate");
         let mut sp = dpm_obs::span!("simulate");
         sp.add("run", obs_run);
         sp.add("app_requests", trace.len() as u64);
@@ -204,6 +206,7 @@ impl Simulator {
     /// The serial reference pass: services every sub-request inline, in
     /// request order, pieces in `(disk, local_byte)` order within a request.
     fn run_serial(&self, trace: &Trace, obs_run: u64) -> SimReport {
+        let _prof = dpm_prof::scope("sim_event_loop");
         let mut disks = self.make_disks(obs_run);
         let mut acc = Accum::default();
         let mut prev_arrival = f64::NEG_INFINITY;
@@ -246,6 +249,7 @@ impl Simulator {
     ///    request's piece outcomes with the same `max`/`+=` order as the
     ///    serial pass, so `makespan`/`io_time`/`response` are bit-identical.
     fn run_sharded(&self, trace: &Trace, threads: usize, obs_run: u64) -> SimReport {
+        let split_prof = dpm_prof::scope("sim_split");
         let n = self.striping.num_disks();
         let mut streams: Vec<Vec<SubRequest>> = vec![Vec::new(); n];
         // Per request: (first piece slot, piece count) into `piece_refs`,
@@ -272,11 +276,13 @@ impl Simulator {
             }
             piece_spans.push((start, piece_refs.len() - start));
         }
+        drop(split_prof);
 
         let pool = dpm_exec::Pool::new(threads);
         let work: Vec<(DiskSim, Vec<SubRequest>)> =
             self.make_disks(obs_run).into_iter().zip(streams).collect();
         let serviced = pool.map_vec(work, |_disk_id, (mut disk, stream)| {
+            let _prof = dpm_prof::scope("sim_event_loop");
             let outcomes: Vec<_> = stream.iter().map(|sub| disk.service(sub)).collect();
             (disk, outcomes)
         });

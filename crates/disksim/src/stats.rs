@@ -2,6 +2,7 @@
 //! the whole-run report with the paper's two headline metrics (disk energy
 //! and disk I/O time).
 
+use dpm_prof::DiskStreamMetrics;
 use std::fmt;
 
 /// Per-disk accounting accumulated by the simulator.
@@ -259,6 +260,11 @@ pub struct SimReport {
     /// events (see [`timelines_from_events`]). Zero for hand-built
     /// reports.
     pub obs_run: u64,
+    /// Per-disk streaming metrics (service-time and spin-up-latency
+    /// histograms, queue-depth gauge, RPM residency), computed
+    /// incrementally with O(1) memory per disk. Empty for hand-built
+    /// reports.
+    pub stream: Vec<DiskStreamMetrics>,
 }
 
 impl SimReport {
@@ -299,6 +305,16 @@ impl SimReport {
             h.merge(d);
         }
         h
+    }
+
+    /// Merged streaming metrics over all disks (exact — histogram merge
+    /// is per-bucket addition). Empty when the report carries none.
+    pub fn merged_stream_metrics(&self) -> DiskStreamMetrics {
+        let mut m = DiskStreamMetrics::new();
+        for d in &self.stream {
+            m.merge(d);
+        }
+        m
     }
 
     /// Total spin-downs across disks.
@@ -603,6 +619,7 @@ mod tests {
             idle_histograms: vec![IdleHistogram::default()],
             app_requests: 0,
             obs_run: 0,
+            stream: Vec::new(),
         };
         let oracle = r.oracle_energy_j(&params);
         let expect = 13.5 * 10.0 + 2.5 * 90.0;
@@ -627,6 +644,7 @@ mod tests {
             idle_histograms: vec![IdleHistogram::default(); 2],
             app_requests: 4,
             obs_run: 0,
+            stream: Vec::new(),
         };
         assert_eq!(r.total_energy_j(), 20.0);
         assert_eq!(r.total_sub_requests(), 6);

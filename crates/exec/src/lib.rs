@@ -225,6 +225,10 @@ fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R +
     let mut sp = dpm_obs::span!("par_map");
     sp.add("items", len as u64);
     sp.add("workers", threads as u64);
+    let _prof = dpm_prof::scope("par_map");
+    // Workers adopt the caller's open scope path, so their profiled time
+    // lands under the scope that issued this map, not a bare root.
+    let ctx = dpm_prof::current_context();
     let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
@@ -232,8 +236,11 @@ fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R +
     thread::scope(|s| {
         for w in 0..threads {
             let (next, panicked, payload, slots) = (&next, &panicked, &payload, &slots);
+            let ctx = ctx.clone();
             s.spawn(move || {
                 IN_WORKER.with(|flag| flag.set(true));
+                let _adopt = ctx.attach();
+                let _wprof = dpm_prof::scope("exec_worker");
                 let mut wsp = dpm_obs::span!("exec_worker");
                 wsp.add("worker", w as u64);
                 loop {
@@ -385,6 +392,23 @@ mod tests {
         assert_eq!(effective_threads(8), 8);
         assert_eq!(effective_threads(0), 1);
         serial_scope(|| assert_eq!(effective_threads(8), 1));
+    }
+
+    #[test]
+    fn profiled_workers_nest_under_caller_scope() {
+        dpm_prof::reset();
+        dpm_prof::enable();
+        {
+            let _outer = dpm_prof::scope("caller");
+            Pool::new(3).map_indexed(&[1u64, 2, 3, 4, 5, 6], |_, &x| x * 2);
+        }
+        dpm_prof::disable();
+        let p = dpm_prof::snapshot();
+        let workers = p
+            .find(&["caller", "par_map", "exec_worker"])
+            .expect("worker frames nest under the issuing scope");
+        assert!(p.node(workers).count >= 1);
+        dpm_prof::reset();
     }
 
     #[test]

@@ -80,11 +80,32 @@ impl Collector {
 }
 
 /// Writes one JSON line per event (see [`Event::to_json_line`] for the
-/// schema). Buffered; call [`crate::flush`] (or drop the registry sink via
-/// [`crate::clear_sinks`]) before reading the file.
+/// schema).
+///
+/// **Line-atomic under parallel execution**: each event is serialized to a
+/// complete line *before* the writer lock is taken, and the whole line goes
+/// to the writer in a single `write_all` under that lock. Clones share the
+/// writer, so the sink can be handed to concurrent producers (one clone per
+/// `dpm_exec` worker) and the output can interleave only at line
+/// granularity — never mid-line.
+///
+/// Buffered; call [`JsonLinesSink::flush`] (or [`crate::flush`], or drop
+/// the registry sink via [`crate::clear_sinks`]) before reading the file.
 pub struct JsonLinesSink<W: Write + Send> {
+    state: Arc<Mutex<SinkState<W>>>,
+}
+
+struct SinkState<W> {
     out: W,
     errored: bool,
+}
+
+impl<W: Write + Send> Clone for JsonLinesSink<W> {
+    fn clone(&self) -> Self {
+        JsonLinesSink {
+            state: Arc::clone(&self.state),
+        }
+    }
 }
 
 impl JsonLinesSink<BufWriter<std::fs::File>> {
@@ -99,37 +120,60 @@ impl<W: Write + Send> JsonLinesSink<W> {
     /// Wraps any writer.
     pub fn new(out: W) -> Self {
         JsonLinesSink {
-            out,
-            errored: false,
+            state: Arc::new(Mutex::new(SinkState {
+                out,
+                errored: false,
+            })),
         }
+    }
+
+    /// Records one event (shared-reference form, so cloned handles on
+    /// worker threads can emit without exclusive access).
+    pub fn record_shared(&self, event: &Event) {
+        // Serialize outside the lock: by the time any byte reaches the
+        // writer the line is complete, so concurrent producers can only
+        // interleave whole lines.
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.errored {
+            return;
+        }
+        if st.out.write_all(line.as_bytes()).is_err() {
+            // Instrumentation must never take the workload down; note the
+            // failure once and go quiet.
+            st.errored = true;
+            eprintln!("dpm-obs: event sink write failed; disabling sink");
+        }
+    }
+
+    /// Explicitly flushes buffered lines to the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.errored {
+            return Ok(());
+        }
+        let result = st.out.flush();
+        if result.is_err() {
+            st.errored = true;
+        }
+        result
     }
 }
 
 impl<W: Write + Send> EventSink for JsonLinesSink<W> {
     fn record(&mut self, event: &Event) {
-        if self.errored {
-            return;
-        }
-        let mut line = event.to_json_line();
-        line.push('\n');
-        if self.out.write_all(line.as_bytes()).is_err() {
-            // Instrumentation must never take the workload down; note the
-            // failure once and go quiet.
-            self.errored = true;
-            eprintln!("dpm-obs: event sink write failed; disabling sink");
-        }
+        self.record_shared(event);
     }
 
     fn flush_sink(&mut self) {
-        if !self.errored && self.out.flush().is_err() {
-            self.errored = true;
-        }
+        let _ = self.flush();
     }
 }
 
 impl<W: Write + Send> Drop for JsonLinesSink<W> {
     fn drop(&mut self) {
-        self.flush_sink();
+        let _ = self.flush();
     }
 }
 
@@ -192,6 +236,56 @@ mod tests {
         }
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(parse_json_lines(&text).unwrap(), events);
+    }
+
+    /// A deliberately hostile writer: one byte per `write` call, so any
+    /// tearing window in the sink shows up as interleaved fragments.
+    struct ByteAtATime(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for ByteAtATime {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let take = buf.len().min(1);
+            self.0.lock().unwrap().extend_from_slice(&buf[..take]);
+            Ok(take)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_is_line_atomic_under_concurrent_producers() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonLinesSink::new(ByteAtATime(Arc::clone(&buf)));
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 100;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        sink.record_shared(
+                            &Event::new(i, kind::COUNTER, "tick")
+                                .field("thread", t)
+                                .field("seq", i),
+                        );
+                    }
+                });
+            }
+        });
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let events = parse_json_lines(&text).expect("no torn lines");
+        assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+        // Every (thread, seq) pair arrived exactly once, in per-thread order.
+        for t in 0..THREADS {
+            let seqs: Vec<u64> = events
+                .iter()
+                .filter(|e| e.num("thread") == Some(t as f64))
+                .map(|e| e.num("seq").unwrap() as u64)
+                .collect();
+            assert_eq!(seqs, (0..PER_THREAD).collect::<Vec<_>>());
+        }
     }
 
     #[test]

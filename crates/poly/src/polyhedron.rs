@@ -521,7 +521,10 @@ impl Polyhedron {
     ///
     /// Panics if the polyhedron is unbounded.
     pub fn count_points(&self) -> u64 {
-        *self.cache.count.get_or_init(|| self.count_impl())
+        *self.cache.count.get_or_init(|| {
+            let _prof = dpm_prof::scope("poly_count");
+            self.count_impl()
+        })
     }
 
     /// Number of integer points by exhaustive scan — the pre-closed-form

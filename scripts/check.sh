@@ -40,21 +40,32 @@ run ./target/release/dpm-analyze tiny results/ANALYZE_tiny.json
 run cargo test -q --offline --release --test fault_determinism
 
 # Serial-vs-parallel harness: asserts the DPM_THREADS pool reproduces the
-# serial figure-9(a) results byte-for-byte and records wall times plus the
-# hot-path microbenches in BENCH_parallel.json (tracked run over run).
+# serial figure-9(a) results byte-for-byte (with the profiler off AND on —
+# profiling must not perturb simulation output), attributes >=95% of the
+# profiled pass's wall time to named scopes (exported to
+# results/PROF_tiny.{txt,json}), and records wall times plus the hot-path
+# microbenches. The >1x speedup gate applies only on hosts with >=4 cores;
+# below that the record says explicitly that the gate was skipped.
 run ./target/release/parallel_bench tiny BENCH_parallel.json
 
 # Closed-form counting and cached projection-chain gate: asserts the
 # closed-form counts match enumeration, requires >=10x on the counting
-# microbench, runs the figure-9(a) matrix at Scale::Small (the first scale
-# past Tiny), and fails on order-of-magnitude regressions vs the checked-in
-# baseline (tolerance via DPM_BENCH_TOL, default 8x).
-run ./target/release/poly_bench small BENCH_poly.json scripts/BENCH_poly_baseline.json
+# microbench, and runs the figure-9(a) matrix at Scale::Small (the first
+# scale past Tiny). Baseline comparison moved to bench-report below.
+run ./target/release/poly_bench small BENCH_poly.json
 
 # Chaos sweep: the figure-9(a) matrix under escalating fault rates with a
 # fixed seed. Asserts serial == parallel byte-for-byte under every plan,
 # re-checks all simulator invariants in release mode, and records the
 # per-rate fault/energy aggregates in BENCH_chaos.json (tracked).
 run ./target/release/chaos_bench tiny BENCH_chaos.json
+
+# Bench-trend regression gate: schema-checks the three BenchRecord files
+# just produced, fails on any failed gate or on metrics regressed beyond
+# DPM_BENCH_TOL (default 8x) vs scripts/BENCH_*_baseline.json, and appends
+# every record to results/BENCH_TREND.jsonl so the perf trajectory
+# accumulates run over run. (The BenchRecord wire format itself is pinned
+# by tests/golden/bench_record.json via the workspace test run above.)
+run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json
 
 echo "All checks passed."

@@ -1,0 +1,82 @@
+//! Golden-schema snapshot for the unified [`BenchRecord`] wire format.
+//!
+//! A fully deterministic record (fixed metrics, gates, context, and host
+//! parallelism) is serialized and compared byte-for-byte against
+//! `tests/golden/bench_record.json`. Any field rename, reorder, or type
+//! change in the schema — the things `bench-report` and external trend
+//! tooling parse — shows up here before it breaks a consumer.
+//!
+//! To regenerate after an intentional schema change (bump
+//! `SCHEMA_VERSION` when meaning changes, not just shape):
+//!
+//! ```text
+//! DPM_UPDATE_GOLDEN=1 cargo test --test bench_record_golden
+//! ```
+
+use dpm_bench::{BenchRecord, GateStatus};
+use dpm_obs::Json;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_record.json")
+}
+
+/// A record exercising every schema feature with pinned values.
+fn sample_record() -> BenchRecord {
+    let mut rec = BenchRecord::new("example_bench", "Tiny", 4);
+    rec.host_parallelism = 1; // pin: the real value varies by host
+    rec.metric("matrix_ms", 123.5);
+    rec.metric("poly_count_rect_closed_ns", 1872.25);
+    rec.metric("speedup_x", 0.99);
+    rec.gate("outputs_identical", GateStatus::Pass, "serial == parallel");
+    rec.gate(
+        "speedup_gt_1",
+        GateStatus::Skipped,
+        "host has 1 core(s) < 4",
+    );
+    rec.context("seed", Json::U64(0xD15C_FA17));
+    rec.context(
+        "nested",
+        Json::obj(vec![("inner", Json::Str("value".into()))]),
+    );
+    rec
+}
+
+#[test]
+fn bench_record_schema_matches_golden() {
+    let mut fresh = String::new();
+    sample_record().to_json().write(&mut fresh);
+    fresh.push('\n');
+
+    let path = golden_path();
+    if std::env::var_os("DPM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &fresh).unwrap();
+        eprintln!("bench_record_golden: regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n\
+             (regenerate with DPM_UPDATE_GOLDEN=1 cargo test --test bench_record_golden)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fresh, golden,
+        "BenchRecord wire format changed. If intentional, bump SCHEMA_VERSION \
+         when field *meaning* changed and regenerate with \
+         DPM_UPDATE_GOLDEN=1 cargo test --test bench_record_golden"
+    );
+}
+
+#[test]
+fn golden_record_round_trips_through_parser() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden exists");
+    let json = Json::parse(&golden).expect("golden parses");
+    let rec = BenchRecord::from_json(&json).expect("golden is a valid BenchRecord");
+    assert_eq!(rec.bench, "example_bench");
+    assert_eq!(rec.metrics.len(), 3);
+    assert_eq!(rec.gates.len(), 2);
+    assert!(!rec.any_gate_failed());
+}

@@ -1,0 +1,90 @@
+//! Profiler bit-identity: enabling `dpm-prof` must not change simulation
+//! output — not by an ulp, not in any counter — at any pool width.
+//!
+//! The profiler only *reads* clocks and writes to its own thread-local
+//! arenas; this test pins that contract by rendering every report of the
+//! Tiny figure-9(a) suite (floats by bit pattern, streaming metrics by
+//! their full debug form) with the profiler off and on at 1, 2, and 8
+//! threads, and requiring all six renderings to be byte-identical.
+
+use dpm_apps::Scale;
+use dpm_bench::{run_matrix, AppResults, ExperimentConfig, MatrixCell, Version};
+use std::fmt::Write as _;
+
+fn cells() -> Vec<MatrixCell> {
+    dpm_apps::suite(Scale::Tiny)
+        .into_iter()
+        .map(|app| MatrixCell {
+            app,
+            versions: Version::single_cpu().to_vec(),
+            procs: 1,
+        })
+        .collect()
+}
+
+/// Canonical rendering with run ids and wall times excluded. Floats are
+/// rendered from their bit patterns; the streaming metrics use `Debug`,
+/// whose shortest-roundtrip float form is also injective — any divergence
+/// flips the string.
+fn canonical(all: &[AppResults]) -> String {
+    let mut out = String::new();
+    for res in all {
+        let _ = writeln!(out, "app={} procs={}", res.app, res.procs);
+        for r in &res.results {
+            let _ = writeln!(
+                out,
+                "  {} requests={} makespan={:016x} io={:016x} resp={:016x} \
+                 energy={:016x} stats={:?} stream={:?}",
+                r.version.label(),
+                r.report.app_requests,
+                r.report.makespan_ms.to_bits(),
+                r.report.total_io_time_ms.to_bits(),
+                r.report.total_response_ms.to_bits(),
+                r.report.total_energy_j().to_bits(),
+                r.trace_stats,
+                r.report.stream,
+            );
+        }
+    }
+    out
+}
+
+fn run_suite(threads: usize, profiled: bool) -> String {
+    if profiled {
+        dpm_prof::reset();
+        dpm_prof::enable();
+    }
+    let results = dpm_exec::with_env_threads(threads, || {
+        run_matrix(cells(), &ExperimentConfig::default())
+    });
+    if profiled {
+        let profile = dpm_prof::snapshot();
+        dpm_prof::disable();
+        dpm_prof::reset();
+        // The profiled run must actually have profiled something, or the
+        // bit-identity claim is vacuous.
+        assert!(
+            profile.find(&["run_matrix"]).is_some(),
+            "profiler enabled but no run_matrix scope captured at {threads} thread(s)"
+        );
+    }
+    canonical(&results)
+}
+
+#[test]
+fn profiler_on_off_bit_identical_at_1_2_8_threads() {
+    let reference = run_suite(1, false);
+    assert!(!reference.is_empty());
+    for threads in [1usize, 2, 8] {
+        let off = run_suite(threads, false);
+        let on = run_suite(threads, true);
+        assert_eq!(
+            off, reference,
+            "profiler-off run at {threads} thread(s) diverged from serial reference"
+        );
+        assert_eq!(
+            on, reference,
+            "profiler-on run at {threads} thread(s) changed simulation output"
+        );
+    }
+}
