@@ -178,6 +178,78 @@ fn main() {
         record.metric("core_qd_footprints_enumerated_ns", enumerated.ns_per_iter);
     }
 
+    // ---- Q_d mask sweep: scratch reuse vs per-call allocation ---------
+    group("iteration_disk_mask sweep (AST nest 0, Small, scratch vs alloc)");
+    let mask_speedup;
+    {
+        let program = dpm_apps::ast(Scale::Small).program();
+        let layout = LayoutMap::new(&program, dpm_apps::paper_striping());
+        let mut iters: Vec<Vec<i64>> = Vec::new();
+        dpm_trace::walk_nest(&program.nests[0], &mut |pt| iters.push(pt.to_vec()));
+        // The pre-scratch hot loop: a fresh coordinate Vec per reference
+        // plus a fresh disk Vec per element, every iteration.
+        let alloc_mask = |pt: &[i64]| -> u64 {
+            let mut mask = 0u64;
+            for stmt in &program.nests[0].body {
+                for r in &stmt.refs {
+                    let coords = r.element_at(pt);
+                    for d in layout.disks_of_element(&program, r.array, &coords) {
+                        mask |= 1 << d;
+                    }
+                }
+            }
+            mask
+        };
+        let mut scratch = Vec::new();
+        let same = iters.iter().all(|pt| {
+            alloc_mask(pt)
+                == dpm_core::iteration_disk_mask_with(&program, &layout, 0, pt, &mut scratch)
+        });
+        if !same {
+            eprintln!("poly_bench: FAIL — scratch disk masks diverge from allocating masks");
+            failures += 1;
+        }
+        record.gate(
+            "qd_mask_scratch_equivalence",
+            if same {
+                GateStatus::Pass
+            } else {
+                GateStatus::Fail
+            },
+            "scratch-buffer disk masks bit-identical to allocating path",
+        );
+        let alloc = bench("core/qd_mask_sweep_alloc", || {
+            iters.iter().fold(0u64, |acc, pt| acc ^ alloc_mask(pt))
+        });
+        let scratch_bench = bench("core/qd_mask_sweep_scratch", || {
+            let mut coords = Vec::new();
+            iters.iter().fold(0u64, |acc, pt| {
+                acc ^ dpm_core::iteration_disk_mask_with(&program, &layout, 0, pt, &mut coords)
+            })
+        });
+        mask_speedup = alloc.ns_per_iter / scratch_bench.ns_per_iter;
+        record.metric("core_qd_mask_sweep_alloc_ns", alloc.ns_per_iter);
+        record.metric("core_qd_mask_sweep_scratch_ns", scratch_bench.ns_per_iter);
+        if mask_speedup < 1.0 {
+            eprintln!(
+                "poly_bench: FAIL — scratch mask sweep regressed vs allocating \
+                 path ({mask_speedup:.2}x)"
+            );
+            record.gate(
+                "qd_mask_scratch_no_regression",
+                GateStatus::Fail,
+                format!("{mask_speedup:.2}x — scratch slower than allocating path"),
+            );
+            failures += 1;
+        } else {
+            record.gate(
+                "qd_mask_scratch_no_regression",
+                GateStatus::Pass,
+                format!("{mask_speedup:.2}x vs allocating path"),
+            );
+        }
+    }
+
     // ---- cached vs uncached repeated queries --------------------------
     group("projection-chain cache (repeated queries, one polyhedron)");
     {
@@ -245,11 +317,13 @@ fn main() {
         ns_of(&record, "poly_queries_uncached_ns") / ns_of(&record, "poly_queries_cached_ns");
     println!(
         "\nspeedups: rect {rect_speedup:.1}x, tri {tri_speedup:.1}x, \
-         qd {qd_speedup:.1}x, cached-queries {cached_speedup:.1}x"
+         qd {qd_speedup:.1}x, mask-scratch {mask_speedup:.1}x, \
+         cached-queries {cached_speedup:.1}x"
     );
     record.metric("count_rect_speedup_x", rect_speedup);
     record.metric("count_tri_speedup_x", tri_speedup);
     record.metric("qd_footprints_speedup_x", qd_speedup);
+    record.metric("qd_mask_scratch_speedup_x", mask_speedup);
     record.metric("cached_queries_speedup_x", cached_speedup);
     if rect_speedup < 10.0 && qd_speedup < 10.0 {
         eprintln!(

@@ -268,6 +268,18 @@ pub fn run_matrix(cells: Vec<MatrixCell>, config: &ExperimentConfig) -> Vec<AppR
     dpm_exec::par_map_vec(cells, |_, c| run_app(&c.app, &c.versions, c.procs, config))
 }
 
+/// The streaming counterpart of [`run_matrix`]: every cell runs through
+/// [`run_app_streamed`], so no trace is ever materialized in memory.
+/// Results are bit-identical to [`run_matrix`] on the same cells.
+pub fn run_matrix_streamed(cells: Vec<MatrixCell>, config: &ExperimentConfig) -> Vec<AppResults> {
+    let mut sp = dpm_obs::span!("experiment_matrix_streamed");
+    sp.add("cells", cells.len() as u64);
+    let _prof = dpm_prof::scope("run_matrix_streamed");
+    dpm_exec::par_map_vec(cells, |_, c| {
+        run_app_streamed(&c.app, &c.versions, c.procs, config)
+    })
+}
+
 /// Builds the schedule for a shape at a processor count.
 pub fn build_schedule(
     program: &Program,
@@ -344,6 +356,101 @@ pub fn run_app(
             version: v,
             report,
             trace_stats: *stats,
+        });
+    }
+    AppResults {
+        app: app.name,
+        procs,
+        results,
+    }
+}
+
+/// A generated trace spilled once through the compact binary codec to a
+/// file in the OS temp directory, replayed per code version. The file is
+/// removed on drop, so a panicking cell cannot leak spill files.
+struct SpilledTrace {
+    shape: ScheduleShape,
+    path: std::path::PathBuf,
+    stats: TraceStats,
+}
+
+impl Drop for SpilledTrace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A process-unique spill-file path: temp dir + pid + counter.
+fn spill_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SPILL_ID: AtomicU64 = AtomicU64::new(0);
+    let id = SPILL_ID.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dpm-spill-{}-{id}.trc", std::process::id()))
+}
+
+/// Runs the requested versions of one application through the streaming
+/// pipeline: each schedule shape's trace is *generated lazily*
+/// ([`TraceGenerator::stream`]), spilled once through the binary codec to a
+/// temp file, and replayed per version with [`Simulator::run_stream`], so
+/// simulation memory is O(disks + request window) regardless of trace
+/// length. The schedule itself is transient — it lives only while its
+/// stream spills, never across a simulation.
+///
+/// Reports and trace statistics are bit-identical to [`run_app`] on the
+/// same inputs: the same [`build_schedule`] order drives both pipelines,
+/// the streamed generator reproduces the batch generator's stable sort
+/// exactly, and the codec round-trips every request bit-for-bit (see
+/// `tests/stream_equivalence.rs`).
+pub fn run_app_streamed(
+    app: &BenchApp,
+    versions: &[Version],
+    procs: u32,
+    config: &ExperimentConfig,
+) -> AppResults {
+    let _prof = dpm_prof::scope("run_app_streamed");
+    let program = app.program();
+    let layout = LayoutMap::new(&program, config.striping);
+    let deps = dpm_ir::analyze(&program);
+    let gen = TraceGenerator::new(&program, &layout, config.trace).with_disk_params(config.disk);
+
+    let mut spills: Vec<SpilledTrace> = Vec::new();
+    let mut results = Vec::new();
+    for &v in versions {
+        let shape = v.shape();
+        if !spills.iter().any(|s| s.shape == shape) {
+            let schedule = build_schedule(&program, &layout, &deps, shape, procs);
+            debug_assert!(schedule.validate_coverage(&program).is_ok());
+            #[cfg(debug_assertions)]
+            {
+                let diags = dpm_analyze::verify_schedule(&program, &deps, &schedule);
+                debug_assert_eq!(
+                    dpm_analyze::error_count(&diags),
+                    0,
+                    "illegal {shape:?} schedule for {}: {diags:?}",
+                    app.name
+                );
+            }
+            let path = spill_path();
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
+            let mut writer = dpm_trace::TraceWriter::new(file);
+            let mut stream = gen.stream(&schedule);
+            writer.write_stream(&mut stream).expect("spill trace");
+            writer.finish().expect("finish trace spill");
+            let stats = stream.stats();
+            spills.push(SpilledTrace { shape, path, stats });
+        }
+        let spill = spills.iter().find(|s| s.shape == shape).unwrap();
+        let sim =
+            Simulator::new(config.disk, v.policy(), config.striping).with_faults(config.faults);
+        let file = std::fs::File::open(&spill.path)
+            .unwrap_or_else(|e| panic!("open spill file {}: {e}", spill.path.display()));
+        let mut reader = dpm_trace::TraceReader::new(file).expect("read trace spill header");
+        let report = sim.run_stream(&mut reader);
+        results.push(VersionResult {
+            version: v,
+            report,
+            trace_stats: spill.stats,
         });
     }
     AppResults {

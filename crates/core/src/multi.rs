@@ -303,8 +303,9 @@ fn region_chunks(
     };
     let num_disks = layout.striping().num_disks();
     let mut chunks = vec![Vec::new(); num_procs as usize];
+    let mut coords = Vec::new();
     dpm_trace::walk_nest(nest, &mut |pt| {
-        let coords = rep.element_at(pt);
+        rep.element_at_into(pt, &mut coords);
         let disk = layout.disk_of_element(program, rep.array, &coords);
         let owner = disk_group_owner(disk, num_disks, num_procs);
         chunks[owner as usize].push(CompactIter::new(ni, pt));

@@ -202,6 +202,32 @@ impl ExecutionOrder for Schedule {
     }
 }
 
+/// Index cursor over one `(phase, proc)` iteration list.
+struct ScheduleCursor<'a> {
+    iters: &'a [CompactIter],
+    idx: usize,
+}
+
+impl dpm_trace::IterCursor for ScheduleCursor<'_> {
+    fn next(&mut self, point: &mut Vec<i64>) -> Option<NestId> {
+        let it = self.iters.get(self.idx)?;
+        self.idx += 1;
+        let mut buf = [0i64; CompactIter::MAX_DEPTH];
+        point.clear();
+        point.extend_from_slice(it.coords_into(&mut buf));
+        Some(it.nest as NestId)
+    }
+}
+
+impl dpm_trace::StreamOrder for Schedule {
+    fn cursor(&self, phase: usize, proc: u32) -> Box<dyn dpm_trace::IterCursor + '_> {
+        Box::new(ScheduleCursor {
+            iters: self.iters(phase, proc),
+            idx: 0,
+        })
+    }
+}
+
 /// The set of disks an iteration touches, as a bitmask (bit `d` set ⇔ the
 /// iteration accesses a byte on disk `d`). Supports up to 64 disks.
 pub fn iteration_disk_mask(
@@ -210,14 +236,25 @@ pub fn iteration_disk_mask(
     nest: NestId,
     iter: &[i64],
 ) -> u64 {
+    iteration_disk_mask_with(program, layout, nest, iter, &mut Vec::new())
+}
+
+/// Scratch-buffer form of [`iteration_disk_mask`] for the Q_d footprint
+/// hot loops: `coords` is reused across calls, making the whole mask
+/// computation allocation-free (subscript evaluation and disk projection
+/// both write into borrowed scratch).
+pub fn iteration_disk_mask_with(
+    program: &Program,
+    layout: &LayoutMap,
+    nest: NestId,
+    iter: &[i64],
+    coords: &mut Vec<i64>,
+) -> u64 {
     let mut mask = 0u64;
     for stmt in &program.nests[nest].body {
         for r in &stmt.refs {
-            let coords = r.element_at(iter);
-            for d in layout.disks_of_element(program, r.array, &coords) {
-                assert!(d < 64, "disk id {d} exceeds the 64-disk mask limit");
-                mask |= 1 << d;
-            }
+            r.element_at_into(iter, coords);
+            mask |= layout.disk_mask_of_element(program, r.array, coords);
         }
     }
     mask
@@ -231,12 +268,19 @@ pub fn mean_disk_run_length(program: &Program, layout: &LayoutMap, schedule: &Sc
     let mut runs = 0u64;
     let mut total = 0u64;
     let mut buf = [0i64; CompactIter::MAX_DEPTH];
+    let mut scratch = Vec::new();
     for phase in 0..schedule.num_phases() {
         for proc in 0..schedule.num_procs {
             let mut last_primary: Option<u32> = None;
             for it in schedule.iters(phase, proc) {
                 let coords = it.coords_into(&mut buf);
-                let mask = iteration_disk_mask(program, layout, it.nest as NestId, coords);
+                let mask = iteration_disk_mask_with(
+                    program,
+                    layout,
+                    it.nest as NestId,
+                    coords,
+                    &mut scratch,
+                );
                 if mask == 0 {
                     continue;
                 }
@@ -308,6 +352,32 @@ mod tests {
         let mut dup = iters;
         dup.push(*dup.last().unwrap());
         assert!(Schedule::single(dup).validate_coverage(&p).is_err());
+    }
+
+    /// A multi-processor, multi-phase schedule streamed through
+    /// `TraceGenerator::stream` yields the batch path's trace and stats
+    /// bit for bit — the hardest merge case (cross-processor arrival ties
+    /// at every barrier).
+    #[test]
+    fn streamed_schedule_matches_batch_generation() {
+        let p = prog();
+        let mut s = Schedule::new(2, 2);
+        dpm_trace::walk_nest(&p.nests[0], &mut |pt| {
+            let phase = usize::from(pt[0] >= 32);
+            let proc = (pt[0] % 2) as u32;
+            s.push(phase, proc, CompactIter::new(0, pt));
+        });
+        let layout = LayoutMap::new(&p, Striping::new(512, 4, 0));
+        let generator =
+            dpm_trace::TraceGenerator::new(&p, &layout, dpm_trace::TraceGenOptions::default());
+        let (trace, stats) = generator.generate(&s);
+        let mut stream = generator.stream(&s);
+        let mut streamed = Vec::new();
+        while let Some(r) = dpm_trace::RequestStream::next_request(&mut stream) {
+            streamed.push(r);
+        }
+        assert_eq!(streamed, trace.requests());
+        assert_eq!(stream.stats(), stats);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! (Figure 4). Dependence-free programs finish in a single round with each
 //! disk visited once — the perfect disk reuse of Figure 2(c).
 
-use crate::schedule::{iteration_disk_mask, CompactIter, Schedule};
+use crate::schedule::{iteration_disk_mask_with, CompactIter, Schedule};
 use dpm_ir::{CrossDep, DependenceInfo, NestId, Program};
 use dpm_layout::LayoutMap;
 
@@ -107,9 +107,18 @@ fn compute_masks(program: &Program, layout: &LayoutMap, tables: &[NestTable]) ->
     let _prof = dpm_prof::scope("qd_masks");
     let per_nest = dpm_exec::par_map_indexed(tables, |ni, t| {
         let mut buf = [0i64; CompactIter::MAX_DEPTH];
+        let mut scratch = Vec::new();
         t.iters
             .iter()
-            .map(|it| iteration_disk_mask(program, layout, ni, it.coords_into(&mut buf)))
+            .map(|it| {
+                iteration_disk_mask_with(
+                    program,
+                    layout,
+                    ni,
+                    it.coords_into(&mut buf),
+                    &mut scratch,
+                )
+            })
             .collect::<Vec<u64>>()
     });
     per_nest.into_iter().flatten().collect()
@@ -388,11 +397,12 @@ pub fn cluster_iterations(
     let num_disks = layout.striping().num_disks() as u32;
     let rot = rotation as u32 % num_disks.max(1);
     let mut buf = [0i64; CompactIter::MAX_DEPTH];
+    let mut scratch = Vec::new();
     let mut keyed: Vec<(u32, CompactIter)> = iters
         .iter()
         .map(|it| {
             let coords = it.coords_into(&mut buf);
-            let mask = iteration_disk_mask(program, layout, nest, coords);
+            let mask = iteration_disk_mask_with(program, layout, nest, coords, &mut scratch);
             let primary = if mask == 0 { 0 } else { mask.trailing_zeros() };
             ((primary + num_disks - rot) % num_disks, *it)
         })
@@ -481,7 +491,7 @@ impl CompactIter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::mean_disk_run_length;
+    use crate::schedule::{iteration_disk_mask, mean_disk_run_length};
     use dpm_layout::Striping;
 
     fn setup(src: &str, striping: Striping) -> (Program, LayoutMap, DependenceInfo) {

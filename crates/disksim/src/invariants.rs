@@ -34,6 +34,7 @@
 use crate::params::{DiskParams, RaidConfig};
 use crate::request::Trace;
 use crate::stats::{SimReport, SpanState};
+use crate::stream::TraceAccounting;
 use dpm_layout::Striping;
 use std::fmt;
 
@@ -248,19 +249,32 @@ pub fn check_trace_accounting(
     trace: &Trace,
     striping: &Striping,
 ) -> Vec<Violation> {
+    let mut acc = TraceAccounting::new(striping.num_disks());
+    let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
+    for r in trace.requests() {
+        striping.split_range_into(r.offset, r.len, &mut pieces);
+        acc.push(r, &pieces);
+    }
+    check_accounting(report, &acc)
+}
+
+/// Streaming form of [`check_trace_accounting`]: compares the report
+/// against per-disk totals accumulated while the request stream was
+/// consumed, so conservation is checkable without a materialized trace to
+/// re-walk. Every streamed run in debug builds goes through this.
+pub fn check_accounting(report: &SimReport, acc: &TraceAccounting) -> Vec<Violation> {
     let mut v = Vec::new();
-    if report.app_requests != trace.len() as u64 {
+    if report.app_requests != acc.app_requests {
         violation(
             &mut v,
             None,
             format!(
-                "report counts {} app requests, trace has {}",
-                report.app_requests,
-                trace.len()
+                "report counts {} app requests, stream carried {}",
+                report.app_requests, acc.app_requests
             ),
         );
     }
-    let n = striping.num_disks();
+    let n = acc.want_requests.len();
     if report.per_disk.len() != n {
         violation(
             &mut v,
@@ -272,34 +286,24 @@ pub fn check_trace_accounting(
         );
         return v;
     }
-    let mut want_requests = vec![0u64; n];
-    let mut want_bytes = vec![0u64; n];
-    let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
-    for r in trace.requests() {
-        striping.split_range_into(r.offset, r.len, &mut pieces);
-        for &(disk, _, len) in &pieces {
-            want_requests[disk] += 1;
-            want_bytes[disk] += len;
-        }
-    }
     for (disk, d) in report.per_disk.iter().enumerate() {
-        if d.requests != want_requests[disk] {
+        if d.requests != acc.want_requests[disk] {
             violation(
                 &mut v,
                 Some(disk),
                 format!(
                     "serviced {} sub-requests, striping projects {} (lost or duplicated work)",
-                    d.requests, want_requests[disk]
+                    d.requests, acc.want_requests[disk]
                 ),
             );
         }
-        if d.bytes != want_bytes[disk] {
+        if d.bytes != acc.want_bytes[disk] {
             violation(
                 &mut v,
                 Some(disk),
                 format!(
                     "serviced {} bytes, striping projects {}",
-                    d.bytes, want_bytes[disk]
+                    d.bytes, acc.want_bytes[disk]
                 ),
             );
         }
@@ -307,9 +311,8 @@ pub fn check_trace_accounting(
     v
 }
 
-/// Runs both checkers and panics with the full violation list if any
-/// invariant fails. This is what debug builds call after every
-/// [`Simulator::run`](crate::Simulator::run).
+/// Runs both checkers against a materialized trace and panics with the
+/// full violation list if any invariant fails.
 ///
 /// # Panics
 ///
@@ -323,6 +326,31 @@ pub fn assert_clean(
 ) {
     let mut v = check_report(report, params, raid);
     v.extend(check_trace_accounting(report, trace, striping));
+    assert!(
+        v.is_empty(),
+        "simulator invariants violated:\n{}",
+        v.iter().map(|x| format!("  - {x}\n")).collect::<String>()
+    );
+}
+
+/// Streaming form of [`assert_clean`]: same report checks, request
+/// conservation judged against the accounting the event loop accumulated.
+/// This is what debug builds run after every
+/// [`Simulator::run_stream`](crate::Simulator::run_stream) — and hence
+/// after every [`Simulator::run`](crate::Simulator::run), whose `&Trace`
+/// path is an adapter over the same loop.
+///
+/// # Panics
+///
+/// Panics when any invariant is violated.
+pub fn assert_clean_streamed(
+    report: &SimReport,
+    params: &DiskParams,
+    raid: &RaidConfig,
+    acc: &TraceAccounting,
+) {
+    let mut v = check_report(report, params, raid);
+    v.extend(check_accounting(report, acc));
     assert!(
         v.is_empty(),
         "simulator invariants violated:\n{}",

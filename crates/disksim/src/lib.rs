@@ -48,6 +48,7 @@ mod params;
 mod request;
 mod sim;
 mod stats;
+mod stream;
 
 pub use disk::{DiskSim, SubRequest};
 pub use dpm_faults::{FaultInjector, FaultPlan, RetryPolicy};
@@ -58,3 +59,4 @@ pub use stats::{
     ascii_timelines, coalesce_spans, timelines_from_events, DiskStats, IdleHistogram, SimReport,
     Span, SpanState,
 };
+pub use stream::{RequestStream, TraceAccounting, TraceStream};

@@ -65,11 +65,17 @@ impl Trace {
     /// times, zero-length transfers — are **rejected** up front rather
     /// than left to trip the simulator's ordering assertion mid-run.
     ///
+    /// Already-sorted input — the common case: the generator emits
+    /// merged-in-order streams, and codec replays preserve order — is
+    /// detected in the validation pass and skips the sort entirely, so no
+    /// scratch allocation or element moves happen on that path.
+    ///
     /// # Panics
     ///
     /// Panics, naming the offending request index, if any arrival time is
     /// NaN/infinite/negative or any length is zero.
     pub fn from_requests(mut requests: Vec<IoRequest>) -> Self {
+        let mut sorted = true;
         for (i, r) in requests.iter().enumerate() {
             assert!(
                 r.arrival_ms.is_finite() && r.arrival_ms >= 0.0,
@@ -77,8 +83,13 @@ impl Trace {
                 r.arrival_ms
             );
             assert!(r.len > 0, "request {i}: length must be positive");
+            if i > 0 && requests[i - 1].arrival_ms.total_cmp(&r.arrival_ms).is_gt() {
+                sorted = false;
+            }
         }
-        requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+        if !sorted {
+            requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+        }
         Trace { requests }
     }
 
@@ -368,5 +379,20 @@ mod tests {
         ]);
         let procs: Vec<u32> = t.requests().iter().map(|r| r.proc_id).collect();
         assert_eq!(procs, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn from_requests_sorted_input_keeps_exact_order() {
+        // Already-sorted input (including equal-arrival runs) must come
+        // back untouched — this is the no-sort fast path the streaming
+        // adapter relies on.
+        let input = vec![
+            req(1.0, 0, 10, 3),
+            req(1.0, 4096, 10, 1),
+            req(2.0, 8192, 10, 2),
+            req(2.0, 0, 10, 0),
+        ];
+        let t = Trace::from_requests(input.clone());
+        assert_eq!(t.requests(), &input[..]);
     }
 }

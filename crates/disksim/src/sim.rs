@@ -3,12 +3,20 @@
 //! stream through its [`DiskSim`], and aggregates energy and I/O-time
 //! statistics.
 
-use crate::disk::{DiskSim, SubRequest};
+use crate::disk::{DiskSim, ServiceOutcome, SubRequest};
 use crate::params::{DiskParams, PowerPolicy, RaidConfig};
 use crate::request::Trace;
 use crate::stats::SimReport;
+use crate::stream::{RequestStream, TraceAccounting, TraceStream};
 use dpm_faults::FaultPlan;
 use dpm_layout::Striping;
+use std::collections::VecDeque;
+
+/// Application requests per streaming window: the bounded unit of work the
+/// sharded pass hands to each disk worker, and the only request-shaped
+/// memory the event loop ever holds. Resident memory is O(disks × window)
+/// regardless of stream length.
+const STREAM_WINDOW: usize = 1024;
 
 /// A configured simulator: disk parameters + power policy + striping.
 ///
@@ -143,7 +151,7 @@ impl Simulator {
         &self,
         disks: Vec<DiskSim>,
         acc: Accum,
-        trace: &Trace,
+        app_requests: u64,
         obs_run: u64,
     ) -> SimReport {
         SimReport {
@@ -163,55 +171,80 @@ impl Simulator {
             },
             stream: disks.iter().map(|d| d.stream_metrics().clone()).collect(),
             per_disk: disks.into_iter().map(|d| d.stats().clone()).collect(),
-            app_requests: trace.len() as u64,
+            app_requests,
             obs_run,
         }
     }
 
-    /// Runs the simulation over a (time-sorted) trace.
-    ///
-    /// Dispatches to a per-disk sharded parallel pass when more than one
-    /// worker thread is in effect (see [`with_exec_threads`](Self::with_exec_threads)
-    /// and `DPM_THREADS`) and the volume has more than one disk; otherwise
-    /// runs the serial reference pass. Both produce bit-identical reports.
+    /// Runs the simulation over a (time-sorted) trace: the thin adapter
+    /// over [`run_stream`](Self::run_stream), feeding the materialized
+    /// requests through the same event loop a live stream would use. The
+    /// two paths are bit-identical by construction (and proven so by
+    /// `tests/stream_equivalence.rs`).
     ///
     /// # Panics
     ///
     /// Panics if the trace's arrivals are not non-decreasing.
     pub fn run(&self, trace: &Trace) -> SimReport {
+        self.run_stream(&mut TraceStream::new(trace))
+    }
+
+    /// Runs the simulation over any [`RequestStream`], pulling one request
+    /// at a time: resident memory is O(disks + window) no matter how long
+    /// the stream is.
+    ///
+    /// Dispatches to a per-disk sharded pass over persistent shard workers
+    /// (see [`dpm_exec::shard_scope`]) when more than one worker thread is
+    /// in effect (see [`with_exec_threads`](Self::with_exec_threads) and
+    /// `DPM_THREADS`) and the volume has more than one disk; otherwise
+    /// runs the serial reference pass. Both produce bit-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream's arrivals are not non-decreasing.
+    pub fn run_stream(&self, stream: &mut dyn RequestStream) -> SimReport {
         let obs_run = dpm_obs::next_run_id();
         let _prof = dpm_prof::scope("simulate");
         let mut sp = dpm_obs::span!("simulate");
         sp.add("run", obs_run);
-        sp.add("app_requests", trace.len() as u64);
         let threads =
             dpm_exec::effective_threads(self.threads.unwrap_or_else(dpm_exec::num_threads));
-        let report = if threads > 1 && self.striping.num_disks() > 1 && !trace.is_empty() {
-            sp.add("workers", threads.min(self.striping.num_disks()) as u64);
-            self.run_sharded(trace, threads, obs_run)
+        let (report, accounting) = if threads > 1 && self.striping.num_disks() > 1 {
+            sp.add("workers", self.striping.num_disks() as u64);
+            self.run_stream_sharded(stream, obs_run)
         } else {
-            self.run_serial(trace, obs_run)
+            self.run_stream_serial(stream, obs_run)
         };
+        sp.add("app_requests", report.app_requests);
         sp.add(
             "sub_requests",
             report.per_disk.iter().map(|d| d.requests).sum(),
         );
         // Debug builds (hence every `cargo test`) verify the conservation
-        // laws after every run; see [`crate::invariants`].
+        // laws after every run; see [`crate::invariants`]. Request
+        // conservation is judged against the accounting gathered while the
+        // stream flowed past — there is no trace to re-walk.
         #[cfg(debug_assertions)]
-        crate::invariants::assert_clean(&report, &self.params, &self.raid, trace, &self.striping);
+        crate::invariants::assert_clean_streamed(&report, &self.params, &self.raid, &accounting);
+        #[cfg(not(debug_assertions))]
+        let _ = &accounting;
         report
     }
 
     /// The serial reference pass: services every sub-request inline, in
     /// request order, pieces in `(disk, local_byte)` order within a request.
-    fn run_serial(&self, trace: &Trace, obs_run: u64) -> SimReport {
+    fn run_stream_serial(
+        &self,
+        stream: &mut dyn RequestStream,
+        obs_run: u64,
+    ) -> (SimReport, TraceAccounting) {
         let _prof = dpm_prof::scope("sim_event_loop");
         let mut disks = self.make_disks(obs_run);
+        let mut accounting = TraceAccounting::new(self.striping.num_disks());
         let mut acc = Accum::default();
         let mut prev_arrival = f64::NEG_INFINITY;
         let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
-        for r in trace.requests() {
+        while let Some(r) = stream.next_request() {
             assert!(
                 r.arrival_ms >= prev_arrival,
                 "trace must be sorted by arrival time"
@@ -220,6 +253,7 @@ impl Simulator {
             let mut completion = r.arrival_ms;
             let mut device_ms = 0.0_f64;
             self.split_request_into(r.offset, r.len, &mut pieces);
+            accounting.push(&r, &pieces);
             for &(disk, local_byte, len) in &pieces {
                 let out = disks[disk].service(&SubRequest {
                     arrival_ms: r.arrival_ms,
@@ -234,81 +268,138 @@ impl Simulator {
         for d in &mut disks {
             d.finish(acc.makespan);
         }
-        self.build_report(disks, acc, trace, obs_run)
+        let app_requests = accounting.app_requests;
+        (
+            self.build_report(disks, acc, app_requests, obs_run),
+            accounting,
+        )
     }
 
-    /// The sharded parallel pass. Three phases:
+    /// The sharded streaming pass: a windowed pipeline over persistent
+    /// per-disk workers.
     ///
-    /// 1. **Split** (serial): cut every request into per-disk sub-request
-    ///    streams, remembering for each request which stream positions its
-    ///    pieces landed at.
-    /// 2. **Service** (parallel): each worker drains whole per-disk streams —
-    ///    a [`DiskSim`] is self-contained, and its outcomes depend only on
-    ///    its own stream order, which matches the serial pass exactly.
-    /// 3. **Join** (serial): replay requests in arrival order, folding each
-    ///    request's piece outcomes with the same `max`/`+=` order as the
-    ///    serial pass, so `makespan`/`io_time`/`response` are bit-identical.
-    fn run_sharded(&self, trace: &Trace, threads: usize, obs_run: u64) -> SimReport {
-        let split_prof = dpm_prof::scope("sim_split");
+    /// The feeder pulls up to [`STREAM_WINDOW`] requests, splits each into
+    /// per-disk sub-request batches (recording each request's piece disks
+    /// in split order), and pushes one batch per disk into that disk's
+    /// shard queue. While the workers service window *k*, the feeder joins
+    /// window *k−1* — replaying its requests in arrival order and folding
+    /// each request's piece outcomes with the same `max`/`+=` order as the
+    /// serial pass — and splits window *k+1*. At most two windows are ever
+    /// in flight, so memory is O(disks × window).
+    ///
+    /// Determinism: each disk is serviced by exactly one worker, and a
+    /// disk's sub-request order (batch order × order within batch) equals
+    /// the serial pass's order, so per-disk outcomes — fault decisions
+    /// included, they are a function of the disk's own decision sequence —
+    /// and the joined aggregates are bit-identical to the serial pass.
+    fn run_stream_sharded(
+        &self,
+        stream: &mut dyn RequestStream,
+        obs_run: u64,
+    ) -> (SimReport, TraceAccounting) {
         let n = self.striping.num_disks();
-        let mut streams: Vec<Vec<SubRequest>> = vec![Vec::new(); n];
-        // Per request: (first piece slot, piece count) into `piece_refs`,
-        // which stores (disk, index within that disk's stream).
-        let mut piece_spans: Vec<(usize, usize)> = Vec::with_capacity(trace.len());
-        let mut piece_refs: Vec<(usize, usize)> = Vec::new();
-        let mut prev_arrival = f64::NEG_INFINITY;
-        let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
-        for r in trace.requests() {
-            assert!(
-                r.arrival_ms >= prev_arrival,
-                "trace must be sorted by arrival time"
-            );
-            prev_arrival = r.arrival_ms;
-            let start = piece_refs.len();
-            self.split_request_into(r.offset, r.len, &mut pieces);
-            for &(disk, local_byte, len) in &pieces {
-                piece_refs.push((disk, streams[disk].len()));
-                streams[disk].push(SubRequest {
-                    arrival_ms: r.arrival_ms,
-                    local_byte,
-                    len,
-                });
-            }
-            piece_spans.push((start, piece_refs.len() - start));
-        }
-        drop(split_prof);
-
-        let pool = dpm_exec::Pool::new(threads);
-        let work: Vec<(DiskSim, Vec<SubRequest>)> =
-            self.make_disks(obs_run).into_iter().zip(streams).collect();
-        let serviced = pool.map_vec(work, |_disk_id, (mut disk, stream)| {
-            let _prof = dpm_prof::scope("sim_event_loop");
-            let outcomes: Vec<_> = stream.iter().map(|sub| disk.service(sub)).collect();
-            (disk, outcomes)
-        });
-        let mut disks = Vec::with_capacity(n);
-        let mut outcomes = Vec::with_capacity(n);
-        for (d, o) in serviced {
-            disks.push(d);
-            outcomes.push(o);
-        }
-
+        let mut accounting = TraceAccounting::new(n);
         let mut acc = Accum::default();
-        for (r, &(start, count)) in trace.requests().iter().zip(&piece_spans) {
-            let mut completion = r.arrival_ms;
-            let mut device_ms = 0.0_f64;
-            for &(disk, idx) in &piece_refs[start..start + count] {
-                let out = &outcomes[disk][idx];
-                completion = completion.max(out.completion_ms);
-                device_ms = device_ms.max(out.stall_ms + out.service_ms);
-            }
-            acc.push(r.arrival_ms, completion, device_ms);
-        }
+
+        // One window awaiting join while the next is in service: capacity
+        // two batches per queue gives the pipeline its single overlap slot
+        // without unbounded buffering.
+        let (mut disks, ()) = dpm_exec::shard_scope(
+            self.make_disks(obs_run),
+            2,
+            |_disk_id, disk: &mut DiskSim, batch: Vec<SubRequest>| {
+                let _prof = dpm_prof::scope("sim_event_loop");
+                batch
+                    .iter()
+                    .map(|sub| disk.service(sub))
+                    .collect::<Vec<ServiceOutcome>>()
+            },
+            |feeder| {
+                let _prof = dpm_prof::scope("sim_split");
+                let mut prev_arrival = f64::NEG_INFINITY;
+                let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
+                let mut batches: Vec<Vec<SubRequest>> = vec![Vec::new(); n];
+                // The window being assembled: per request its arrival and
+                // piece count, plus the flat piece→disk list in split
+                // order (the serial fold order).
+                let mut window = WindowMeta::default();
+                let mut in_flight: VecDeque<WindowMeta> = VecDeque::new();
+                let mut exhausted = false;
+                while !exhausted || !in_flight.is_empty() || !window.arrivals.is_empty() {
+                    // Assemble one window.
+                    while !exhausted && window.arrivals.len() < STREAM_WINDOW {
+                        let Some(r) = stream.next_request() else {
+                            exhausted = true;
+                            break;
+                        };
+                        assert!(
+                            r.arrival_ms >= prev_arrival,
+                            "trace must be sorted by arrival time"
+                        );
+                        prev_arrival = r.arrival_ms;
+                        self.split_request_into(r.offset, r.len, &mut pieces);
+                        accounting.push(&r, &pieces);
+                        window.arrivals.push(r.arrival_ms);
+                        window.piece_counts.push(pieces.len() as u32);
+                        for &(disk, local_byte, len) in &pieces {
+                            window.piece_disks.push(disk as u32);
+                            batches[disk].push(SubRequest {
+                                arrival_ms: r.arrival_ms,
+                                local_byte,
+                                len,
+                            });
+                        }
+                    }
+                    // Ship it (empty per-disk batches included, so the
+                    // join can pop uniformly).
+                    if !window.arrivals.is_empty() {
+                        for (disk, batch) in batches.iter_mut().enumerate() {
+                            feeder.push(disk, std::mem::take(batch));
+                        }
+                        in_flight.push_back(std::mem::take(&mut window));
+                    }
+                    // Join the oldest window once the pipeline holds two
+                    // (or once the stream has run dry).
+                    while in_flight.len() > 1 || (exhausted && !in_flight.is_empty()) {
+                        let meta = in_flight.pop_front().expect("checked non-empty");
+                        let outs: Vec<Vec<ServiceOutcome>> =
+                            (0..n).map(|disk| feeder.pop(disk)).collect();
+                        let mut next_piece = 0usize;
+                        let mut cursors = vec![0usize; n];
+                        for (i, &arrival_ms) in meta.arrivals.iter().enumerate() {
+                            let mut completion = arrival_ms;
+                            let mut device_ms = 0.0_f64;
+                            for _ in 0..meta.piece_counts[i] {
+                                let disk = meta.piece_disks[next_piece] as usize;
+                                next_piece += 1;
+                                let out = &outs[disk][cursors[disk]];
+                                cursors[disk] += 1;
+                                completion = completion.max(out.completion_ms);
+                                device_ms = device_ms.max(out.stall_ms + out.service_ms);
+                            }
+                            acc.push(arrival_ms, completion, device_ms);
+                        }
+                    }
+                }
+            },
+        );
         for d in &mut disks {
             d.finish(acc.makespan);
         }
-        self.build_report(disks, acc, trace, obs_run)
+        let app_requests = accounting.app_requests;
+        (
+            self.build_report(disks, acc, app_requests, obs_run),
+            accounting,
+        )
     }
+}
+
+/// Join metadata for one in-flight window of the sharded streaming pass.
+#[derive(Default)]
+struct WindowMeta {
+    arrivals: Vec<f64>,
+    piece_counts: Vec<u32>,
+    piece_disks: Vec<u32>,
 }
 
 /// The per-request aggregates both passes fold in identical order.

@@ -41,6 +41,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod shard;
+
+pub use shard::{shard_scope, ShardFeeder};
+
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -205,6 +205,31 @@ impl LayoutMap {
         out
     }
 
+    /// Bitmask form of [`disks_of_element`](Self::disks_of_element) for
+    /// footprint hot loops: bit `d` set ⇔ disk `d` holds part of the
+    /// element. Allocation-free; supports up to 64 disks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a touched disk id is ≥ 64.
+    pub fn disk_mask_of_element(&self, program: &Program, array: ArrayId, coords: &[i64]) -> u64 {
+        let decl = &program.arrays[array];
+        let start = self.element_offset(program, array, coords);
+        let end = start + u64::from(decl.elem_bytes) - 1;
+        let first = self.striping.stripe_of_offset(start);
+        let last = self.striping.stripe_of_offset(end);
+        let mut mask = 0u64;
+        for s in first..=last {
+            let d = self.striping.disk_of_stripe(s);
+            assert!(d < 64, "disk id {d} exceeds the 64-disk mask limit");
+            mask |= 1 << d;
+            if mask.count_ones() as usize == self.striping.num_disks() {
+                break;
+            }
+        }
+        mask
+    }
+
     /// Number of elements of `array` that fit in one stripe unit (at least
     /// 1; elements larger than a stripe span stripes instead).
     pub fn elements_per_stripe(&self, program: &Program, array: ArrayId) -> u64 {

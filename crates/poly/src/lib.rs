@@ -42,9 +42,9 @@ mod map;
 mod polyhedron;
 mod set;
 
-pub use codegen::{BoundTerm, ScanLoop, ScanNest, ScanProgram};
+pub use codegen::{BoundTerm, ScanCursor, ScanLoop, ScanNest, ScanProgram};
 pub use constraint::{Constraint, Relation};
 pub use expr::{ceil_div, floor_div, gcd, LinExpr};
 pub use map::AffineMap;
 pub use polyhedron::Polyhedron;
-pub use set::Set;
+pub use set::{Set, SetCursor};

@@ -40,7 +40,14 @@ use dpm_disksim::{DiskParams, IoRequest, RequestKind, Trace};
 use dpm_ir::{AccessKind, NestId, Program};
 use dpm_layout::LayoutMap;
 use dpm_obs::XorShift64Star;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+
+mod codec;
+mod stream;
+
+pub use codec::{TraceReader, TraceWriter, TRACE_MAGIC};
+pub use dpm_disksim::RequestStream;
+pub use stream::{GenStream, IterCursor, NestCursor, StreamOrder};
 
 /// Options controlling trace generation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -276,6 +283,41 @@ struct Pending {
     first_ms: f64,
 }
 
+/// The per-processor reuse window: FIFO eviction order plus a hash set
+/// for O(1) membership. (The linear `VecDeque::contains` scan this
+/// replaces dominated generation time at full scale — window 128 probed
+/// for every block of every access.) Entries are unique — a block is only
+/// inserted after a miss — so the FIFO and the set stay in lockstep and
+/// the hit/miss sequence is unchanged.
+struct ReuseWindow {
+    fifo: VecDeque<u64>,
+    set: HashSet<u64>,
+}
+
+impl ReuseWindow {
+    fn with_capacity(cap: usize) -> ReuseWindow {
+        ReuseWindow {
+            fifo: VecDeque::with_capacity(cap),
+            set: HashSet::with_capacity(cap),
+        }
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.set.contains(&block)
+    }
+
+    /// Records a missed block, evicting the oldest once `cap` is reached.
+    fn insert(&mut self, block: u64, cap: usize) {
+        if self.fifo.len() == cap {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.fifo.push_back(block);
+        self.set.insert(block);
+    }
+}
+
 /// Per-processor execution state during generation.
 struct ProcState {
     clock_ms: f64,
@@ -283,13 +325,15 @@ struct ProcState {
     /// Requests under assembly, one per active stream.
     pending: Vec<Pending>,
     /// Recently-touched blocks (FIFO eviction).
-    recent: VecDeque<u64>,
+    recent: ReuseWindow,
     /// Per-disk recent sequential-stream end positions, mirroring the disk
     /// firmware's detector, for the nominal blocking estimate.
     disk_streams: Vec<VecDeque<u64>>,
     /// Scratch for per-disk request splitting in the blocking estimate
     /// (reused across requests to avoid a per-request allocation).
     split_buf: Vec<(usize, u64, u64)>,
+    /// Scratch for subscript evaluation (reused across accesses).
+    coords_buf: Vec<i64>,
     requests: Vec<IoRequest>,
 }
 
@@ -350,9 +394,10 @@ impl<'p> TraceGenerator<'p> {
                 clock_ms: 0.0,
                 rng: XorShift64Star::new(0x5eed_0000 + proc as u64),
                 pending: Vec::new(),
-                recent: VecDeque::with_capacity(self.options.reuse_window_blocks),
+                recent: ReuseWindow::with_capacity(self.options.reuse_window_blocks),
                 disk_streams: vec![VecDeque::new(); self.layout.striping().num_disks()],
                 split_buf: Vec::new(),
+                coords_buf: Vec::new(),
                 requests: Vec::new(),
             })
             .collect();
@@ -409,10 +454,11 @@ impl<'p> TraceGenerator<'p> {
         let procs: Vec<u32> = (0..nprocs as u32).collect();
         dpm_exec::par_map_indexed(&procs, |_, &proc| {
             let mut mask = 0u64;
+            let mut coords = Vec::new();
             order.for_each_in_phase(phase, proc, &mut |nest, iter| {
                 for stmt in &self.program.nests[nest].body {
                     for r in &stmt.refs {
-                        let coords = r.element_at(iter);
+                        r.element_at_into(iter, &mut coords);
                         let d = self.layout.disk_of_element(self.program, r.array, &coords);
                         mask |= 1 << (d as u64 % 64);
                     }
@@ -432,10 +478,11 @@ impl<'p> TraceGenerator<'p> {
         stats: &mut TraceStats,
     ) {
         let n = &self.program.nests[nest];
+        let mut coords = std::mem::take(&mut st.coords_buf);
         for stmt in &n.body {
             for r in &stmt.refs {
                 stats.element_accesses += 1;
-                let coords = r.element_at(iter);
+                r.element_at_into(iter, &mut coords);
                 let offset = self.layout.element_offset(self.program, r.array, &coords);
                 let len = u64::from(self.program.arrays[r.array].elem_bytes);
                 let kind = match r.kind {
@@ -448,6 +495,7 @@ impl<'p> TraceGenerator<'p> {
             stats.compute_ms += ms;
             st.clock_ms += ms;
         }
+        st.coords_buf = coords;
     }
 
     fn cycles_ms(&self, cycles: u64) -> f64 {
@@ -489,13 +537,10 @@ impl<'p> TraceGenerator<'p> {
             }
             // In the reuse window?
             if self.options.reuse_window_blocks > 0 {
-                if st.recent.contains(&b) {
+                if st.recent.contains(b) {
                     continue;
                 }
-                if st.recent.len() == self.options.reuse_window_blocks {
-                    st.recent.pop_front();
-                }
-                st.recent.push_back(b);
+                st.recent.insert(b, self.options.reuse_window_blocks);
             }
             any_miss = true;
             // Extend a stream whose pending request ends exactly here.

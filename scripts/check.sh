@@ -60,12 +60,18 @@ run ./target/release/poly_bench small BENCH_poly.json
 # per-rate fault/energy aggregates in BENCH_chaos.json (tracked).
 run ./target/release/chaos_bench tiny BENCH_chaos.json
 
-# Bench-trend regression gate: schema-checks the three BenchRecord files
+# Streaming-pipeline gate: generation → codec spill → replay → simulate at
+# Tiny and Small with a counting allocator; hard-fails unless peak heap is
+# flat across a 16x request growth (O(disks + window) memory) and the
+# codec stays within 16 bytes/request.
+run ./target/release/stream_bench BENCH_stream.json
+
+# Bench-trend regression gate: schema-checks the four BenchRecord files
 # just produced, fails on any failed gate or on metrics regressed beyond
 # DPM_BENCH_TOL (default 8x) vs scripts/BENCH_*_baseline.json, and appends
 # every record to results/BENCH_TREND.jsonl so the perf trajectory
 # accumulates run over run. (The BenchRecord wire format itself is pinned
 # by tests/golden/bench_record.json via the workspace test run above.)
-run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json
+run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json BENCH_stream.json
 
 echo "All checks passed."
