@@ -11,9 +11,18 @@
 //! 7. relaxed array↔file mappings — §2's unevaluated one-to-many and
 //!    many-to-one options, with the compiler re-deriving the disk map.
 //!
+//! The bin runs fully streamed: layout sweeps (1–2) go through
+//! [`run_matrix_streamed`] with a per-point [`ExperimentConfig`], and the
+//! policy/RAID/fusion/mapping sweeps (3–7) spill each distinct
+//! (program, layout, transform) trace once through the `DPMTRC01` codec
+//! ([`SpilledTrace`]) and replay it per sweep point — one generation
+//! amortized across every policy variant, and no trace ever materialized
+//! in memory.
+//!
 //! Usage: `ablations [scale] [app]` (default small AST).
 
 use dpm_apps::Scale;
+use dpm_bench::{run_matrix_streamed, ExperimentConfig, MatrixCell, SpilledTrace, Version};
 use dpm_core::{apply_transform, fuse_program, Transform};
 use dpm_disksim::{
     DiskParams, DrpmConfig, PowerPolicy, RaidConfig, SimReport, Simulator, TpmConfig,
@@ -22,44 +31,29 @@ use dpm_ir::Program;
 use dpm_layout::{FileMapping, LayoutMap, Striping};
 use dpm_trace::{TraceGenOptions, TraceGenerator};
 
-fn simulate(
-    program: &Program,
-    striping: Striping,
-    transform: Transform,
-    policy: PowerPolicy,
-    raid: RaidConfig,
-) -> SimReport {
-    simulate_with_layout(
-        program,
-        LayoutMap::new(program, striping),
-        transform,
-        policy,
-        raid,
-    )
-}
-
-fn simulate_with_layout(
-    program: &Program,
-    layout: LayoutMap,
-    transform: Transform,
-    policy: PowerPolicy,
-    raid: RaidConfig,
-) -> SimReport {
-    let striping = *layout.striping();
+/// Spills the trace for one (program, layout, transform) point; replayed
+/// per policy/RAID point below.
+fn spill(program: &Program, layout: &LayoutMap, transform: Transform) -> SpilledTrace {
     let deps = dpm_ir::analyze(program);
-    let schedule = apply_transform(program, &layout, &deps, transform);
+    let schedule = apply_transform(program, layout, &deps, transform);
     let gen = TraceGenerator::new(
         program,
-        &layout,
+        layout,
         TraceGenOptions {
-            max_request_bytes: striping.stripe_unit(),
+            max_request_bytes: layout.striping().stripe_unit(),
             ..TraceGenOptions::default()
         },
     );
-    let (trace, _) = gen.generate(&schedule);
-    Simulator::new(DiskParams::default(), policy, striping)
-        .with_raid(raid)
-        .run(&trace)
+    SpilledTrace::spill(&gen, &schedule)
+}
+
+fn replay(
+    spill: &SpilledTrace,
+    striping: Striping,
+    policy: PowerPolicy,
+    raid: RaidConfig,
+) -> SimReport {
+    spill.replay(&Simulator::new(DiskParams::default(), policy, striping).with_raid(raid))
 }
 
 fn saving(base: &SimReport, v: &SimReport) -> String {
@@ -67,6 +61,31 @@ fn saving(base: &SimReport, v: &SimReport) -> String {
         "{:+.2}%",
         100.0 * (1.0 - v.total_energy_j() / base.total_energy_j())
     )
+}
+
+/// Runs `Base` and `T-TPM-s` through the streaming matrix pipeline under
+/// a layout-specific config and returns `(base, t_tpm_s)` reports. The
+/// `ClusteredS`-at-1-proc schedule is exactly `Transform::DiskReuse`, so
+/// this matches the direct simulation the bin used before streaming.
+fn layout_point(app: &dpm_apps::BenchApp, striping: Striping) -> (SimReport, SimReport) {
+    let config = ExperimentConfig {
+        striping,
+        trace: TraceGenOptions {
+            max_request_bytes: striping.stripe_unit(),
+            ..TraceGenOptions::default()
+        },
+        ..ExperimentConfig::default()
+    };
+    let cells = vec![MatrixCell {
+        app: app.clone(),
+        versions: vec![Version::Base, Version::TTpmS],
+        procs: 1,
+    }];
+    let mut res = run_matrix_streamed(cells, &config);
+    let mut results = res.remove(0).results;
+    let t = results.remove(1).report;
+    let base = results.remove(0).report;
+    (base, t)
 }
 
 fn main() {
@@ -83,17 +102,15 @@ fn main() {
     let single = RaidConfig::single();
     let tpm = PowerPolicy::Tpm(TpmConfig::proactive());
 
-    // Sweep points are independent (app, layout, policy) cells, so each
-    // sweep fans out on the `DPM_THREADS` pool and prints its rows in the
-    // original parameter order.
+    // Sweep points are independent cells, so each sweep fans out on the
+    // persistent `DPM_THREADS` pool and prints its rows in the original
+    // parameter order.
 
-    // 1. Stripe-unit sweep.
+    // 1. Stripe-unit sweep (per-point layout → per-point streamed matrix).
     println!("1) stripe-unit sweep (T-TPM-s saving vs same-layout Base):");
     let sus = [8u64 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
     for (su, row) in dpm_exec::par_map_indexed(&sus, |_, &su| {
-        let s = Striping::new(su, 8, 0);
-        let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
-        let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+        let (base, t) = layout_point(&app, Striping::new(su, 8, 0));
         saving(&base, &t)
     })
     .into_iter()
@@ -109,19 +126,24 @@ fn main() {
     for (disks, row) in factors
         .iter()
         .zip(dpm_exec::par_map_indexed(&factors, |_, &disks| {
-            let s = Striping::new(32 << 10, disks, 0);
-            let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
-            let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+            let (base, t) = layout_point(&app, Striping::new(32 << 10, disks, 0));
             saving(&base, &t)
         }))
     {
         println!("   {disks:>2} disks: {row}");
     }
 
-    // 3. TPM timeout sweep.
-    println!("3) TPM spin-down timeout sweep (Table 1 break-even = 15.2 s):");
+    // Sweeps 3–6 share the paper-default layout: generate the Original
+    // and DiskReuse traces exactly once each, then replay them under
+    // every policy/RAID point.
     let s = Striping::paper_default();
-    let base = simulate(&program, s, Transform::Original, PowerPolicy::None, single);
+    let layout = LayoutMap::new(&program, s);
+    let base_spill = spill(&program, &layout, Transform::Original);
+    let reuse_spill = spill(&program, &layout, Transform::DiskReuse);
+    let base = replay(&base_spill, s, PowerPolicy::None, single);
+
+    // 3. TPM timeout sweep (one spill, one replay per timeout).
+    println!("3) TPM spin-down timeout sweep (Table 1 break-even = 15.2 s):");
     let mults = [1.0, 2.0, 4.0];
     for (mult, row) in mults
         .iter()
@@ -130,13 +152,7 @@ fn main() {
                 spin_down_timeout_ms: 15_200.0 * mult,
                 proactive: true,
             };
-            let t = simulate(
-                &program,
-                s,
-                Transform::DiskReuse,
-                PowerPolicy::Tpm(cfg),
-                single,
-            );
+            let t = replay(&reuse_spill, s, PowerPolicy::Tpm(cfg), single);
             format!(
                 "{} (degr {:+.2}%)",
                 saving(&base, &t),
@@ -151,7 +167,7 @@ fn main() {
         );
     }
 
-    // 4. DRPM minimum-level sweep.
+    // 4. DRPM minimum-level sweep (same spill, replayed again).
     println!("4) DRPM minimum RPM sweep (T-DRPM-s):");
     let rpms = [3_000u32, 6_000, 9_000, 12_000];
     for (min_rpm, row) in rpms
@@ -162,20 +178,15 @@ fn main() {
                 proactive: true,
                 ..DrpmConfig::default()
             };
-            let t = simulate(
-                &program,
-                s,
-                Transform::DiskReuse,
-                PowerPolicy::Drpm(cfg),
-                single,
-            );
+            let t = replay(&reuse_spill, s, PowerPolicy::Drpm(cfg), single);
             saving(&base, &t)
         }))
     {
         println!("   min {min_rpm:>6} rpm: {row}");
     }
 
-    // 5. RAID-level sub-striping: savings should be similar (§7.1).
+    // 5. RAID-level sub-striping: savings should be similar (§7.1). RAID
+    // only changes the simulator, so both spills replay unchanged.
     println!("5) RAID-0 sub-striping inside each I/O node (normalized savings):");
     let member_counts = [1u32, 2, 4];
     for (members, row) in
@@ -187,8 +198,8 @@ fn main() {
                 } else {
                     RaidConfig::raid0(members, 8 << 10)
                 };
-                let b = simulate(&program, s, Transform::Original, PowerPolicy::None, raid);
-                let t = simulate(&program, s, Transform::DiskReuse, tpm, raid);
+                let b = replay(&base_spill, s, PowerPolicy::None, raid);
+                let t = replay(&reuse_spill, s, tpm, raid);
                 format!(
                     "saving {}  (base energy {:.0} J)",
                     saving(&b, &t),
@@ -201,6 +212,7 @@ fn main() {
 
     // 7. Relaxed array↔file mappings (§2's unevaluated options). The
     // compiler reads whatever layout is exposed, so clustering adapts.
+    // Layouts differ per mapping, so each point spills its own pair.
     println!("7) relaxed array-file mappings (T-TPM-s saving vs matching Base):");
     let groups: Vec<Vec<usize>> = vec![(0..program.arrays.len()).collect()];
     let mappings = vec![
@@ -215,26 +227,17 @@ fn main() {
         ),
     ];
     for (label, row) in dpm_exec::par_map_vec(mappings, |_, (label, mapping)| {
-        let b = simulate_with_layout(
-            &program,
-            LayoutMap::with_mapping(&program, s, &mapping),
-            Transform::Original,
-            PowerPolicy::None,
-            single,
-        );
-        let t = simulate_with_layout(
-            &program,
-            LayoutMap::with_mapping(&program, s, &mapping),
-            Transform::DiskReuse,
-            tpm,
-            single,
-        );
+        let layout = LayoutMap::with_mapping(&program, s, &mapping);
+        let b_spill = spill(&program, &layout, Transform::Original);
+        let t_spill = spill(&program, &layout, Transform::DiskReuse);
+        let b = replay(&b_spill, s, PowerPolicy::None, single);
+        let t = replay(&t_spill, s, tpm, single);
         (label, saving(&b, &t))
     }) {
         println!("   {label:<24}: {row}");
     }
 
-    // 6. Loop fusion baseline.
+    // 6. Loop fusion baseline (its own program, so its own spill).
     println!("6) classic loop fusion vs disk-reuse restructuring (TPM):");
     let fused = fuse_program(&program);
     println!(
@@ -242,8 +245,10 @@ fn main() {
         program.nests.len(),
         fused.nests.len()
     );
-    let f = simulate(&fused, s, Transform::Original, tpm, single);
-    let t = simulate(&program, s, Transform::DiskReuse, tpm, single);
+    let fused_layout = LayoutMap::new(&fused, s);
+    let fused_spill = spill(&fused, &fused_layout, Transform::Original);
+    let f = replay(&fused_spill, s, tpm, single);
+    let t = replay(&reuse_spill, s, tpm, single);
     println!("   fused original order: {}", saving(&base, &f));
     println!("   disk-reuse restructured: {}", saving(&base, &t));
 }

@@ -365,11 +365,13 @@ pub fn run_app(
     }
 }
 
-/// A generated trace spilled once through the compact binary codec to a
-/// file in the OS temp directory, replayed per code version. The file is
+/// A generated trace spilled once through the compact `DPMTRC01` binary
+/// codec to a file in the OS temp directory, then replayed any number of
+/// times without regenerating it — the spill-once/replay-many backbone of
+/// every streamed bin ([`run_app_streamed`] replays one spill per code
+/// version; `ablations` replays one per policy/RAID point). The file is
 /// removed on drop, so a panicking cell cannot leak spill files.
-struct SpilledTrace {
-    shape: ScheduleShape,
+pub struct SpilledTrace {
     path: std::path::PathBuf,
     stats: TraceStats,
 }
@@ -377,6 +379,43 @@ struct SpilledTrace {
 impl Drop for SpilledTrace {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl SpilledTrace {
+    /// Generates `schedule`'s trace lazily ([`TraceGenerator::stream`])
+    /// and spills it through the binary codec, so no full trace is ever
+    /// materialized in memory. The schedule can be dropped afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS temp directory refuses the spill file.
+    pub fn spill(gen: &TraceGenerator<'_>, schedule: &Schedule) -> SpilledTrace {
+        let _prof = dpm_prof::scope("trace_spill");
+        let path = spill_path();
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
+        let mut writer = dpm_trace::TraceWriter::new(file);
+        let mut stream = gen.stream(schedule);
+        writer.write_stream(&mut stream).expect("spill trace");
+        writer.finish().expect("finish trace spill");
+        let stats = stream.stats();
+        SpilledTrace { path, stats }
+    }
+
+    /// Generation statistics captured while spilling.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Replays the spilled trace through `sim` via
+    /// [`Simulator::run_stream`]; bit-identical to simulating the
+    /// materialized trace (the codec round-trips every request).
+    pub fn replay(&self, sim: &Simulator) -> dpm_disksim::SimReport {
+        let file = std::fs::File::open(&self.path)
+            .unwrap_or_else(|e| panic!("open spill file {}: {e}", self.path.display()));
+        let mut reader = dpm_trace::TraceReader::new(file).expect("read trace spill header");
+        sim.run_stream(&mut reader)
     }
 }
 
@@ -413,11 +452,11 @@ pub fn run_app_streamed(
     let deps = dpm_ir::analyze(&program);
     let gen = TraceGenerator::new(&program, &layout, config.trace).with_disk_params(config.disk);
 
-    let mut spills: Vec<SpilledTrace> = Vec::new();
+    let mut spills: Vec<(ScheduleShape, SpilledTrace)> = Vec::new();
     let mut results = Vec::new();
     for &v in versions {
         let shape = v.shape();
-        if !spills.iter().any(|s| s.shape == shape) {
+        if !spills.iter().any(|(s, _)| *s == shape) {
             let schedule = build_schedule(&program, &layout, &deps, shape, procs);
             debug_assert!(schedule.validate_coverage(&program).is_ok());
             #[cfg(debug_assertions)]
@@ -430,27 +469,15 @@ pub fn run_app_streamed(
                     app.name
                 );
             }
-            let path = spill_path();
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
-            let mut writer = dpm_trace::TraceWriter::new(file);
-            let mut stream = gen.stream(&schedule);
-            writer.write_stream(&mut stream).expect("spill trace");
-            writer.finish().expect("finish trace spill");
-            let stats = stream.stats();
-            spills.push(SpilledTrace { shape, path, stats });
+            spills.push((shape, SpilledTrace::spill(&gen, &schedule)));
         }
-        let spill = spills.iter().find(|s| s.shape == shape).unwrap();
+        let (_, spill) = spills.iter().find(|(s, _)| *s == shape).unwrap();
         let sim =
             Simulator::new(config.disk, v.policy(), config.striping).with_faults(config.faults);
-        let file = std::fs::File::open(&spill.path)
-            .unwrap_or_else(|e| panic!("open spill file {}: {e}", spill.path.display()));
-        let mut reader = dpm_trace::TraceReader::new(file).expect("read trace spill header");
-        let report = sim.run_stream(&mut reader);
         results.push(VersionResult {
             version: v,
-            report,
-            trace_stats: spill.stats,
+            report: spill.replay(&sim),
+            trace_stats: spill.stats(),
         });
     }
     AppResults {

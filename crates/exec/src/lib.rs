@@ -1,20 +1,29 @@
 //! # dpm-exec — zero-dependency parallel execution
 //!
-//! A std-only scoped thread pool with an *ordered* parallel map: results
-//! always come back in input order, so every caller stays bit-for-bit
-//! deterministic no matter how many worker threads serviced the queue.
-//! The workspace's experiment matrix (app × version cells), the sharded
-//! disk simulator, and the compiler's per-disk candidate-set computation
-//! all run through it.
+//! A std-only *persistent work-stealing pool* with an *ordered* parallel
+//! map: results always come back in input order, so every caller stays
+//! bit-for-bit deterministic no matter how many worker threads serviced
+//! the queue or how chunks migrated between them. The workspace's
+//! experiment matrix (app × version cells), the sharded disk simulator,
+//! and the compiler's per-disk candidate-set computation all run through
+//! it.
 //!
 //! Design points:
 //!
-//! * **No external dependencies.** Workers are `std::thread::scope`
-//!   threads over a shared atomic work queue; the whole workspace stays
-//!   offline-buildable.
+//! * **No external dependencies.** One lazily-initialized global worker
+//!   set (threads spawn on first demand and then persist, parked on a
+//!   condvar when idle); the whole workspace stays offline-buildable.
+//! * **Work stealing, not static splits.** A map partitions its index
+//!   space into one range per participant; each participant claims
+//!   geometrically shrinking chunks off its own range and steals the
+//!   tail half of the fullest victim when it runs dry, so a skewed cell
+//!   no longer serializes the whole map on the unluckiest worker. See
+//!   [`stats`] for steal/idle counters.
 //! * **`DPM_THREADS` env control.** [`num_threads`] reads `DPM_THREADS`
 //!   (unset or `0` → `std::thread::available_parallelism()`); `1` forces
-//!   the serial path everywhere.
+//!   the serial path everywhere. Width is per-map: the global set grows
+//!   to the largest width requested and idle workers cost nothing, so
+//!   [`Pool`] values are just width selectors.
 //! * **Determinism.** [`Pool::map_indexed`] / [`par_map_indexed`] write
 //!   each result into its input's slot, so the output `Vec` is identical
 //!   to a serial `map` — only wall-clock order differs. With one thread
@@ -29,26 +38,29 @@
 //!   matrix of `p` cells never spawns `p²` threads when the stages it
 //!   calls are themselves parallelized.
 //! * **Observability.** Each parallel map opens a `par_map` span
-//!   (`items`, `workers`) and each worker an `exec_worker` span
-//!   (`worker` id, `claimed` counter) via `dpm-obs`; verbose mode
-//!   additionally emits `exec_queue_depth` gauge events per claim.
+//!   (`items`, `workers`, `steals`, `chunks`) and each participant an
+//!   `exec_worker` span (`worker` slot, `claimed` counter, `busy_ns`)
+//!   via `dpm-obs`; verbose mode additionally emits `exec_queue_depth`
+//!   gauge events per chunk claim.
 //!
 //! ```
 //! let squares = dpm_exec::par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]); // input order, always
 //! ```
 
-#![forbid(unsafe_code)]
+// The persistent pool needs lifetime-erased task pointers (the same trick
+// `std::thread::scope` uses internally); all `unsafe` is confined to
+// `pool.rs` behind a documented blocking protocol.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
 mod shard;
 
+pub use pool::{stats, ExecStats};
 pub use shard::{shard_scope, ShardFeeder};
 
-use std::any::Any;
 use std::cell::Cell;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -127,10 +139,16 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
-/// A scoped thread pool of a fixed width. The pool owns no long-lived
-/// threads: each map spawns scoped workers over an atomic work queue and
-/// joins them before returning, so borrowed inputs need no `'static`
-/// bound and a finished map leaves nothing running.
+/// A width selector over the global persistent worker set. Maps dispatch
+/// onto long-lived pool workers (spawned on first demand, parked when
+/// idle) with the calling thread participating as worker 0, so borrowed
+/// inputs need no `'static` bound and a finished map leaves nothing
+/// *running* — just parked threads ready for the next map.
+///
+/// Constructing a `Pool` is free: prefer the free functions
+/// [`par_map_indexed`] / [`par_map_vec`] (environment-sized width) at
+/// call sites; `Pool::new(n)` remains for tests and benches that pin an
+/// explicit width.
 #[derive(Clone, Copy, Debug)]
 pub struct Pool {
     threads: usize,
@@ -213,9 +231,10 @@ pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(usize, T) -> R + 
     Pool::from_env().map_vec(items, f)
 }
 
-/// The shared engine: `len` jobs drawn from an atomic queue by up to
-/// `threads` scoped workers, results written into per-index slots so the
-/// output order equals the input order.
+/// The shared engine: `len` jobs executed by up to `threads` participants
+/// of the persistent work-stealing pool (the caller is participant 0),
+/// results written into per-index slots so the output order equals the
+/// input order regardless of which participant ran which chunk.
 fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
     if len == 0 {
         return Vec::new();
@@ -230,65 +249,15 @@ fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R +
     sp.add("items", len as u64);
     sp.add("workers", threads as u64);
     let _prof = dpm_prof::scope("par_map");
-    // Workers adopt the caller's open scope path, so their profiled time
-    // lands under the scope that issued this map, not a bare root.
-    let ctx = dpm_prof::current_context();
-    let next = AtomicUsize::new(0);
-    let panicked = AtomicBool::new(false);
-    let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
-    thread::scope(|s| {
-        for w in 0..threads {
-            let (next, panicked, payload, slots) = (&next, &panicked, &payload, &slots);
-            let ctx = ctx.clone();
-            s.spawn(move || {
-                IN_WORKER.with(|flag| flag.set(true));
-                let _adopt = ctx.attach();
-                let _wprof = dpm_prof::scope("exec_worker");
-                let mut wsp = dpm_obs::span!("exec_worker");
-                wsp.add("worker", w as u64);
-                loop {
-                    if panicked.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    if dpm_obs::verbose() {
-                        dpm_obs::emit(
-                            dpm_obs::kind::GAUGE,
-                            "exec_queue_depth",
-                            &[
-                                ("value", (len.saturating_sub(i + 1) as u64).into()),
-                                ("worker", (w as u64).into()),
-                            ],
-                        );
-                    }
-                    match catch_unwind(AssertUnwindSafe(|| job(i))) {
-                        Ok(r) => {
-                            *slots[i].lock().expect("exec result slot poisoned") = Some(r);
-                            wsp.incr("claimed");
-                        }
-                        Err(p) => {
-                            // Keep the *first* payload; later panics (and
-                            // still-queued jobs) are dropped once the flag
-                            // is up.
-                            let mut slot = payload.lock().expect("exec panic slot poisoned");
-                            if slot.is_none() {
-                                *slot = Some(p);
-                            }
-                            panicked.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                }
-            });
-        }
-    });
-    if let Some(p) = payload.into_inner().expect("exec panic slot poisoned") {
-        resume_unwind(p);
-    }
+    let task = |i: usize| {
+        let r = job(i);
+        *slots[i].lock().expect("exec result slot poisoned") = Some(r);
+    };
+    // Blocks until every helper detached; re-raises the first item panic.
+    let report = pool::run_map(threads, len, &task);
+    sp.add("steals", report.steals);
+    sp.add("chunks", report.chunks);
     slots
         .into_iter()
         .map(|m| {
@@ -302,7 +271,8 @@ fn run_indexed<R: Send>(threads: usize, len: usize, job: &(impl Fn(usize) -> R +
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_come_back_in_input_order() {

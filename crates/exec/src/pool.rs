@@ -1,0 +1,799 @@
+//! The persistent work-stealing worker set behind every parallel map and
+//! shard scope in the workspace.
+//!
+//! Earlier revisions spawned `std::thread::scope` workers per map and one
+//! thread per shard per scope; at Tiny scale the spawn/join cost rivals
+//! the work itself (`BENCH_parallel.json` recorded 0.90x "speedup"). This
+//! module replaces both with one lazily-initialized global worker set:
+//!
+//! * **Map jobs** ([`run_map`]) partition `0..len` into one index range
+//!   per participant (the caller is participant 0). Each participant
+//!   claims geometrically shrinking chunks off the *head* of its own
+//!   range; a participant whose range is empty steals the *tail half* of
+//!   the fullest victim range with a single CAS. Skewed items therefore
+//!   migrate to idle workers instead of serializing on the static split.
+//! * **Leases** ([`run_lease`]) hand `count` workers to a shard scope for
+//!   its whole duration — the streaming simulator's per-disk workers no
+//!   longer cost a spawn/join per `run_stream` call.
+//! * **Workers never die.** They park on a condvar when the injector is
+//!   empty, so an idle process holds no CPU; parked time is accounted in
+//!   [`stats`].
+//!
+//! # Why this module contains `unsafe`
+//!
+//! Persistent workers outlive any single map call, but map closures
+//! borrow the caller's stack (result slots, the user's `f`). The crate
+//! bridges that gap the same way `std::thread::scope` does internally:
+//! the job closure is published as a lifetime-erased raw pointer and the
+//! caller **blocks until every participant has detached** before its
+//! frame can unwind. Concretely, for both job kinds:
+//!
+//! * the pointer is only dereferenced between a successful attach
+//!   (`active += 1` / lease-slot claim, under a lock) and the matching
+//!   detach (`active -= 1` / `finished += 1`, under the same lock);
+//! * the publisher closes the job to new attachers, then waits under
+//!   that lock until the attach count drains to zero (maps) or every
+//!   lease slot has finished — only then can the borrowed frame unwind,
+//!   panic included (`catch_unwind` backstops keep the wait on every
+//!   path).
+//!
+//! All `unsafe` is confined to this module and consists solely of the
+//! lifetime-erasing transmute behind [`TaskPtr`] (one per job kind);
+//! every call through the erased reference is guarded by the protocol
+//! above.
+
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Instant;
+
+use crate::IN_WORKER;
+
+/// Hard cap on workers the *map* path will ever spawn; leases may exceed
+/// it (they spawn their exact deficit) so shard scopes keep their
+/// one-worker-per-shard guarantee.
+const MAX_MAP_WORKERS: usize = 256;
+
+/// A participant claims `remaining / GRAIN_DIV` items (min 1) per grab
+/// from its own range: big strides while a range is fat (low contention),
+/// single items near the end (fine-grained finish).
+const GRAIN_DIV: u32 = 8;
+
+// ---------------------------------------------------------------------------
+// Global counters (monotonic; snapshot via `stats()`).
+// ---------------------------------------------------------------------------
+
+static STAT_MAPS: AtomicU64 = AtomicU64::new(0);
+static STAT_LEASES: AtomicU64 = AtomicU64::new(0);
+static STAT_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static STAT_STEALS: AtomicU64 = AtomicU64::new(0);
+static STAT_BUSY_NS: AtomicU64 = AtomicU64::new(0);
+static STAT_PARKED_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonic snapshot of the global pool's activity counters, for
+/// benches that report steal/idle statistics. Subtract two snapshots
+/// (see [`ExecStats::since`]) to meter one region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Parallel maps dispatched onto the pool (serial fallbacks excluded).
+    pub maps: u64,
+    /// Shard leases granted to `shard_scope` (scoped fallbacks excluded).
+    pub leases: u64,
+    /// Index-range chunks claimed by participants (own-range grabs).
+    pub chunks: u64,
+    /// Successful steals (tail half of a victim's range migrated).
+    pub steals: u64,
+    /// Nanoseconds participants spent executing map items.
+    pub busy_ns: u64,
+    /// Nanoseconds workers spent parked waiting for work.
+    pub parked_ns: u64,
+    /// Worker threads alive in the global set (not a delta).
+    pub workers: u64,
+}
+
+impl ExecStats {
+    /// Counter deltas since `earlier` (`workers` stays absolute).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            maps: self.maps - earlier.maps,
+            leases: self.leases - earlier.leases,
+            chunks: self.chunks - earlier.chunks,
+            steals: self.steals - earlier.steals,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            parked_ns: self.parked_ns - earlier.parked_ns,
+            workers: self.workers,
+        }
+    }
+}
+
+/// Current [`ExecStats`] snapshot for the global worker set.
+pub fn stats() -> ExecStats {
+    let workers = set()
+        .injector
+        .lock()
+        .expect("exec injector poisoned")
+        .workers as u64;
+    ExecStats {
+        maps: STAT_MAPS.load(Ordering::Relaxed),
+        leases: STAT_LEASES.load(Ordering::Relaxed),
+        chunks: STAT_CHUNKS.load(Ordering::Relaxed),
+        steals: STAT_STEALS.load(Ordering::Relaxed),
+        busy_ns: STAT_BUSY_NS.load(Ordering::Relaxed),
+        parked_ns: STAT_PARKED_NS.load(Ordering::Relaxed),
+        workers,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime-erased task pointers.
+// ---------------------------------------------------------------------------
+
+/// A borrowed `&(dyn Fn(usize) + Sync)` with its lifetime erased so it
+/// can live inside an `Arc`'d job shared with persistent workers.
+///
+/// # Safety protocol
+///
+/// The pointee lives on the publisher's stack. A call through
+/// [`TaskPtr::get`] is legal only between a successful attach and the
+/// matching detach (both under the job's lock); the publisher blocks
+/// until all attachers detach before its frame can unwind. See the
+/// module docs. (`Send`/`Sync` come for free: a `&T` of a `Sync`
+/// pointee is both.)
+struct TaskPtr(&'static (dyn Fn(usize) + Sync));
+
+impl TaskPtr {
+    /// # Safety
+    ///
+    /// The caller must keep `task` alive until every [`TaskPtr::get`]
+    /// caller has detached per the module protocol.
+    unsafe fn erase(task: &(dyn Fn(usize) + Sync)) -> TaskPtr {
+        // SAFETY: lifetime-only transmute of a fat reference; validity
+        // rests on the caller's blocking protocol.
+        TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        })
+    }
+
+    fn get(&self) -> &(dyn Fn(usize) + Sync) {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map jobs: range claiming and stealing.
+// ---------------------------------------------------------------------------
+
+/// Packs an index range as `start << 32 | end` in one CAS-able word.
+#[inline]
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+struct MapSync {
+    /// Helpers granted so far (lifetime total; never exceeds `width - 1`).
+    helpers: usize,
+    /// Participants currently inside `participate` (excluding the caller,
+    /// who tracks itself). The publisher waits for this to drain.
+    active: usize,
+    /// Set by the publisher before it waits; blocks new attachers so no
+    /// helper can attach after the drain check passes.
+    closed: bool,
+}
+
+struct MapJob {
+    task: TaskPtr,
+    /// One packed range per participant slot (0 = caller). Disjoint by
+    /// construction; every transition is a CAS that either consumes the
+    /// head (a claim) or splits off the tail (a steal), so intervals are
+    /// never duplicated or lost, and a consumed interval can never be
+    /// re-observed (executed indices never re-enter a live range) —
+    /// which is what makes the single-word CAS ABA-free.
+    ranges: Vec<AtomicU64>,
+    sync: Mutex<MapSync>,
+    drained: Condvar,
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The publisher's open profiler path; helpers replay it as ghost
+    /// frames so their time nests under the issuing scope.
+    ctx: dpm_prof::ProfContext,
+    steals: AtomicU64,
+    chunks: AtomicU64,
+}
+
+/// Per-map counters returned to `run_indexed` for its `par_map` span.
+pub(crate) struct MapReport {
+    pub steals: u64,
+    pub chunks: u64,
+}
+
+impl MapJob {
+    fn new(task: TaskPtr, len: usize, width: usize, ctx: dpm_prof::ProfContext) -> MapJob {
+        let ranges = (0..width)
+            .map(|w| {
+                let start = (w * len / width) as u32;
+                let end = ((w + 1) * len / width) as u32;
+                AtomicU64::new(pack(start, end))
+            })
+            .collect();
+        MapJob {
+            task,
+            ranges,
+            sync: Mutex::new(MapSync {
+                helpers: 0,
+                active: 0,
+                closed: false,
+            }),
+            drained: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+            ctx,
+            steals: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        }
+    }
+
+    /// Total items not yet claimed by anyone.
+    fn remaining(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|r| {
+                let (s, e) = unpack(r.load(Ordering::Relaxed));
+                u64::from(e.saturating_sub(s))
+            })
+            .sum()
+    }
+
+    /// Grants a helper slot if the job still wants help. Returns the
+    /// participant slot index.
+    fn try_attach(&self) -> Option<usize> {
+        if self.poisoned.load(Ordering::Relaxed) || self.remaining() == 0 {
+            return None;
+        }
+        let mut sync = self.sync.lock().expect("exec map sync poisoned");
+        if sync.closed || sync.helpers + 1 >= self.ranges.len() {
+            return None;
+        }
+        sync.helpers += 1;
+        sync.active += 1;
+        Some(sync.helpers) // slot 0 is the caller
+    }
+
+    fn detach(&self) {
+        let mut sync = self.sync.lock().expect("exec map sync poisoned");
+        sync.active -= 1;
+        if sync.active == 0 {
+            drop(sync);
+            self.drained.notify_all();
+        }
+    }
+
+    /// Claims the next chunk off the head of `slot`'s own range.
+    fn claim_own(&self, slot: usize) -> Option<(usize, usize)> {
+        let r = &self.ranges[slot];
+        loop {
+            let cur = r.load(Ordering::Acquire);
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = ((e - s) / GRAIN_DIV).max(1);
+            if r.compare_exchange_weak(cur, pack(s + take, e), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((s as usize, (s + take) as usize));
+            }
+        }
+    }
+
+    /// Steals the tail half of the fullest victim range into `slot`'s own
+    /// (empty) range, then claims from it. The owner-install is safe
+    /// because only `slot` itself ever *installs* into `ranges[slot]`;
+    /// everyone else may only CAS-shrink a non-empty value.
+    fn steal_into(&self, slot: usize) -> Option<(usize, usize)> {
+        loop {
+            let mut best: Option<(usize, u64, u32, u32)> = None;
+            for (v, r) in self.ranges.iter().enumerate() {
+                if v == slot {
+                    continue;
+                }
+                let cur = r.load(Ordering::Acquire);
+                let (s, e) = unpack(cur);
+                if s < e && best.is_none_or(|(_, _, bs, be)| e - s > be - bs) {
+                    best = Some((v, cur, s, e));
+                }
+            }
+            let (victim, cur, s, e) = best?;
+            let mid = s + (e - s) / 2; // victim keeps the head half
+            if self.ranges[victim]
+                .compare_exchange(cur, pack(s, mid), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.ranges[slot].store(pack(mid, e), Ordering::Release);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                STAT_STEALS.fetch_add(1, Ordering::Relaxed);
+                return self.claim_own(slot);
+            }
+            // Lost the race; rescan for a new victim.
+        }
+    }
+
+    fn poison_with(&self, p: Box<dyn Any + Send>) {
+        let mut slot = self.payload.lock().expect("exec panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        drop(slot);
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The claim/steal/execute loop shared by the caller (slot 0) and every
+/// helper. Item panics are caught, poison the job, and stop everyone.
+fn participate(job: &MapJob, slot: usize) {
+    let _prof = dpm_prof::scope("exec_worker");
+    let mut wsp = dpm_obs::span!("exec_worker");
+    wsp.add("worker", slot as u64);
+    // In the attach/detach window — the publisher cannot unwind past
+    // `run_map` until we detach (module protocol).
+    let task = job.task.get();
+    let started = Instant::now();
+    loop {
+        if job.poisoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some((start, end)) = job.claim_own(slot).or_else(|| job.steal_into(slot)) else {
+            break;
+        };
+        job.chunks.fetch_add(1, Ordering::Relaxed);
+        STAT_CHUNKS.fetch_add(1, Ordering::Relaxed);
+        wsp.incr("claimed");
+        if dpm_obs::verbose() {
+            dpm_obs::emit(
+                dpm_obs::kind::GAUGE,
+                "exec_queue_depth",
+                &[
+                    ("value", job.remaining().into()),
+                    ("worker", (slot as u64).into()),
+                ],
+            );
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for i in start..end {
+                if job.poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                task(i);
+            }
+        }));
+        if let Err(p) = run {
+            job.poison_with(p);
+            break;
+        }
+    }
+    let elapsed = started.elapsed().as_nanos() as u64;
+    STAT_BUSY_NS.fetch_add(elapsed, Ordering::Relaxed);
+    wsp.add("busy_ns", elapsed);
+}
+
+// ---------------------------------------------------------------------------
+// Leases: dedicated workers for shard scopes.
+// ---------------------------------------------------------------------------
+
+struct LeaseSync {
+    /// Shard slots handed to workers so far (`< count` means pending).
+    taken: usize,
+    /// Shard bodies that have returned. The publisher waits for
+    /// `finished == count`.
+    finished: usize,
+}
+
+struct LeaseJob {
+    body: TaskPtr,
+    count: usize,
+    sync: Mutex<LeaseSync>,
+    done: Condvar,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl LeaseJob {
+    fn finish_one(&self) {
+        let mut sync = self.sync.lock().expect("exec lease sync poisoned");
+        sync.finished += 1;
+        if sync.finished == self.count {
+            drop(sync);
+            self.done.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The injector and worker threads.
+// ---------------------------------------------------------------------------
+
+struct Injector {
+    /// Published map jobs, oldest first. The publisher removes its own
+    /// entry; the scan also retires exhausted ones lazily.
+    maps: Vec<Arc<MapJob>>,
+    /// Published leases, oldest first. Scanned *before* maps: a partially
+    /// allocated shard scope is a pipeline waiting to start, so free
+    /// workers must always serve the earliest pending lease first (this
+    /// FIFO priority plus spawn-the-deficit-at-publish is the deadlock-
+    /// freedom argument — see `publish_lease`).
+    leases: Vec<Arc<LeaseJob>>,
+    /// Workers currently parked in `wait` below. Exact, not advisory:
+    /// every transition happens under this lock, which is what lets
+    /// `publish_lease` count genuinely free workers.
+    idle: usize,
+    /// Worker threads ever spawned (they never exit).
+    workers: usize,
+}
+
+struct WorkerSet {
+    injector: Mutex<Injector>,
+    work_ready: Condvar,
+}
+
+enum Work {
+    Map(Arc<MapJob>, usize),
+    Lease(Arc<LeaseJob>, usize),
+}
+
+static SET: OnceLock<WorkerSet> = OnceLock::new();
+
+fn set() -> &'static WorkerSet {
+    SET.get_or_init(|| WorkerSet {
+        injector: Mutex::new(Injector {
+            maps: Vec::new(),
+            leases: Vec::new(),
+            idle: 0,
+            workers: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+/// Spawns one detached worker. Returns false if the OS refused the
+/// thread (callers degrade gracefully: maps run caller-only, leases fall
+/// back to scoped threads).
+fn spawn_worker(set: &'static WorkerSet, id: usize) -> bool {
+    thread::Builder::new()
+        .name(format!("dpm-exec-{id}"))
+        .spawn(move || worker_main(set))
+        .is_ok()
+}
+
+fn worker_main(set: &'static WorkerSet) {
+    IN_WORKER.with(|flag| flag.set(true));
+    loop {
+        let work = {
+            let mut inj = set.injector.lock().expect("exec injector poisoned");
+            loop {
+                inj.leases
+                    .retain(|l| l.sync.lock().expect("exec lease sync poisoned").taken < l.count);
+                if let Some(lease) = inj.leases.first().cloned() {
+                    let slot = {
+                        let mut sync = lease.sync.lock().expect("exec lease sync poisoned");
+                        sync.taken += 1;
+                        sync.taken - 1
+                    };
+                    break Work::Lease(lease, slot);
+                }
+                inj.maps.retain(|j| {
+                    !j.sync.lock().expect("exec map sync poisoned").closed && j.remaining() > 0
+                });
+                if let Some((job, slot)) = inj
+                    .maps
+                    .iter()
+                    .find_map(|j| j.try_attach().map(|slot| (j.clone(), slot)))
+                {
+                    break Work::Map(job, slot);
+                }
+                inj.idle += 1;
+                let parked = Instant::now();
+                inj = set.work_ready.wait(inj).expect("exec injector poisoned");
+                STAT_PARKED_NS.fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                inj.idle -= 1;
+            }
+        };
+        match work {
+            Work::Map(job, slot) => {
+                let adopt = job.ctx.attach();
+                participate(&job, slot);
+                drop(adopt);
+                job.detach();
+            }
+            Work::Lease(lease, slot) => {
+                // The publisher waits for `finished == count` before
+                // returning, and we increment `finished` only after the
+                // body returns — the pointee outlives this call.
+                let body = lease.body.get();
+                let run = catch_unwind(AssertUnwindSafe(|| body(slot)));
+                if let Err(p) = run {
+                    let mut pay = lease
+                        .payload
+                        .lock()
+                        .expect("exec lease panic slot poisoned");
+                    if pay.is_none() {
+                        *pay = Some(p);
+                    }
+                }
+                lease.finish_one();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public (crate) entry points.
+// ---------------------------------------------------------------------------
+
+/// Runs `task(i)` for every `i in 0..len` across up to `width`
+/// participants (the caller plus `width - 1` pool helpers), with range
+/// stealing. Blocks until every attached helper has detached; re-raises
+/// the first item panic on the caller's thread.
+///
+/// Callers guarantee `width >= 2` and `2 <= len <= u32::MAX` (the serial
+/// path lives in `run_indexed`).
+pub(crate) fn run_map(width: usize, len: usize, task: &(dyn Fn(usize) + Sync)) -> MapReport {
+    assert!(len <= u32::MAX as usize, "map too large for packed ranges");
+    let set = set();
+    STAT_MAPS.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: `run_map` blocks below until every attacher detaches
+    // before this frame can unwind (drain wait under `job.sync`).
+    let erased = unsafe { TaskPtr::erase(task) };
+    let job = Arc::new(MapJob::new(erased, len, width, dpm_prof::current_context()));
+    {
+        let mut inj = set.injector.lock().expect("exec injector poisoned");
+        // Top the set up toward `width - 1` helpers; failure is fine (the
+        // caller still executes everything itself).
+        while inj.workers < (width - 1).min(MAX_MAP_WORKERS) {
+            if !spawn_worker(set, inj.workers) {
+                break;
+            }
+            inj.workers += 1;
+        }
+        inj.maps.push(job.clone());
+    }
+    set.work_ready.notify_all();
+
+    // The caller is participant 0 and counts as a worker for the
+    // duration (nested maps inside items degrade to serial, exactly as
+    // they do on helper threads).
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    {
+        let _reset = Reset(IN_WORKER.with(|w| w.replace(true)));
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| participate(&job, 0))) {
+            // `participate` already catches item panics; this backstop
+            // keeps the drain-wait on any unexpected unwind so helpers
+            // can never outlive the borrowed task.
+            job.poison_with(p);
+        }
+    }
+
+    {
+        let mut inj = set.injector.lock().expect("exec injector poisoned");
+        inj.maps.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    let mut sync = job.sync.lock().expect("exec map sync poisoned");
+    sync.closed = true;
+    while sync.active > 0 {
+        sync = job.drained.wait(sync).expect("exec map sync poisoned");
+    }
+    drop(sync);
+
+    if let Some(p) = job.payload.lock().expect("exec panic slot poisoned").take() {
+        resume_unwind(p);
+    }
+    debug_assert_eq!(job.remaining(), 0, "map drained without poison");
+    MapReport {
+        steals: job.steals.load(Ordering::Relaxed),
+        chunks: job.chunks.load(Ordering::Relaxed),
+    }
+}
+
+/// Leases `count` pool workers to run `body(0..count)` while `mid` (the
+/// feeder) runs on the calling thread; used by `shard_scope`. Returns
+/// `mid`'s output and the first body panic, after *all* bodies finished.
+///
+/// Deadlock freedom: the publish below happens under the injector lock,
+/// where `idle` is exact; it spawns `count - idle` fresh workers before
+/// the lease becomes visible, so total free-or-new supply covers the
+/// lease. Combined with lease-before-map FIFO scan priority in
+/// `worker_main`, the earliest pending lease always reaches its full
+/// allocation, completes, and frees its workers for the next one. If a
+/// spawn fails, nothing is published and the caller gets `None` back via
+/// the scoped-thread fallback inside.
+pub(crate) fn run_lease<O>(
+    count: usize,
+    body: &(dyn Fn(usize) + Sync),
+    mid: impl FnOnce() -> O,
+) -> (O, Option<Box<dyn Any + Send>>) {
+    if count == 0 {
+        return (mid(), None);
+    }
+    let set = set();
+    // SAFETY: `run_lease` blocks below until `finished == count` before
+    // this frame can unwind, on the panic path included.
+    let lease = Arc::new(LeaseJob {
+        body: unsafe { TaskPtr::erase(body) },
+        count,
+        sync: Mutex::new(LeaseSync {
+            taken: 0,
+            finished: 0,
+        }),
+        done: Condvar::new(),
+        payload: Mutex::new(None),
+    });
+    let published = {
+        let mut inj = set.injector.lock().expect("exec injector poisoned");
+        let deficit = count.saturating_sub(inj.idle);
+        let mut ok = true;
+        for _ in 0..deficit {
+            if !spawn_worker(set, inj.workers) {
+                ok = false;
+                break;
+            }
+            inj.workers += 1;
+        }
+        if ok {
+            inj.leases.push(lease.clone());
+        }
+        ok
+        // Extra workers spawned before a failure simply park; they are
+        // not torn down.
+    };
+    if !published {
+        return run_lease_scoped(count, body, mid);
+    }
+    STAT_LEASES.fetch_add(1, Ordering::Relaxed);
+    set.work_ready.notify_all();
+
+    let fed = catch_unwind(AssertUnwindSafe(mid));
+
+    let mut sync = lease.sync.lock().expect("exec lease sync poisoned");
+    while sync.finished < count {
+        sync = lease.done.wait(sync).expect("exec lease sync poisoned");
+    }
+    drop(sync);
+    let payload = lease
+        .payload
+        .lock()
+        .expect("exec lease panic slot poisoned")
+        .take();
+    match fed {
+        Ok(o) => (o, payload),
+        // The feeder contract catches its own panics; if one escapes
+        // anyway it outranks a body payload (which gets dropped here).
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// Fallback when the OS refuses new threads: the legacy one-scoped-
+/// thread-per-shard layout, same observable semantics as a lease.
+fn run_lease_scoped<O>(
+    count: usize,
+    body: &(dyn Fn(usize) + Sync),
+    mid: impl FnOnce() -> O,
+) -> (O, Option<Box<dyn Any + Send>>) {
+    let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let fed = thread::scope(|scope| {
+        for shard in 0..count {
+            let payload = &payload;
+            scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(shard))) {
+                    let mut pay = payload.lock().expect("exec lease panic slot poisoned");
+                    if pay.is_none() {
+                        *pay = Some(p);
+                    }
+                }
+            });
+        }
+        catch_unwind(AssertUnwindSafe(mid))
+    });
+    let payload = payload
+        .into_inner()
+        .expect("exec lease panic slot poisoned");
+    match fed {
+        Ok(o) => (o, payload),
+        Err(p) => resume_unwind(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn ranges_pack_and_unpack() {
+        for (s, e) in [(0u32, 0u32), (0, 1), (7, 19), (u32::MAX - 1, u32::MAX)] {
+            assert_eq!(unpack(pack(s, e)), (s, e));
+        }
+    }
+
+    #[test]
+    fn stealing_covers_every_index_exactly_once() {
+        // A pinned-slow first range forces the other participants to
+        // steal; the hit counters prove exactly-once execution anyway.
+        let hits: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+        let task = |i: usize| {
+            if i == 0 {
+                thread::sleep(Duration::from_millis(20));
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        let report = run_map(4, hits.len(), &task);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(
+            report.chunks >= 4,
+            "geometric claiming produces many chunks"
+        );
+    }
+
+    #[test]
+    fn workers_persist_across_maps() {
+        let before = stats();
+        let task = |_i: usize| {};
+        run_map(3, 64, &task);
+        let mid = stats();
+        run_map(3, 64, &task);
+        let after = stats();
+        assert!(mid.workers >= 1, "map spawned persistent workers");
+        assert_eq!(
+            after.workers, mid.workers,
+            "second map reuses the worker set"
+        );
+        assert_eq!(after.since(&before).maps, 2);
+    }
+
+    #[test]
+    fn lease_runs_every_slot_once_and_reports_panics() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let body = |s: usize| {
+            hits[s].fetch_add(1, Ordering::Relaxed);
+            if s == 1 {
+                panic!("lease body 1");
+            }
+        };
+        let (mid_out, payload) = run_lease(3, &body, || 42);
+        assert_eq!(mid_out, 42);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let p = payload.expect("body panic captured");
+        assert_eq!(p.downcast_ref::<&str>().copied(), Some("lease body 1"));
+    }
+
+    #[test]
+    fn empty_lease_runs_feeder_inline() {
+        let (out, payload) = run_lease(0, &|_| unreachable!(), || "fed");
+        assert_eq!(out, "fed");
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn scoped_fallback_matches_lease_semantics() {
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let body = |s: usize| {
+            hits[s].fetch_add(1, Ordering::Relaxed);
+        };
+        let (out, payload) = run_lease_scoped(4, &body, || 7u32);
+        assert_eq!(out, 7);
+        assert!(payload.is_none());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

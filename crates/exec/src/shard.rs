@@ -1,15 +1,21 @@
-//! Persistent per-shard workers over bounded queues: the streaming
-//! counterpart of [`Pool::map_vec`](crate::Pool::map_vec).
+//! Per-shard workers over bounded queues: the streaming counterpart of
+//! [`Pool::map_vec`](crate::Pool::map_vec).
 //!
-//! A parallel map re-spawns workers per call, which is fine when each call
-//! carries a whole batch but ruinous for a pipeline that hands out one
-//! item at a time. [`shard_scope`] instead keeps one worker per shard
-//! alive for the duration of a feeding closure; the feeder pushes items
-//! to shards and pops their outcomes back **in submission order per
-//! shard**, which is exactly the contract a serial-order join needs: the
-//! sharded disk simulator pushes each request's per-disk pieces as they
-//! arrive off the trace stream and joins completions in arrival order,
-//! never holding more than its in-flight window.
+//! A parallel map hands out whole batches, which is wrong for a pipeline
+//! that produces one item at a time. [`shard_scope`] instead dedicates
+//! one worker per shard for the duration of a feeding closure; the
+//! feeder pushes items to shards and pops their outcomes back **in
+//! submission order per shard**, which is exactly the contract a
+//! serial-order join needs: the sharded disk simulator pushes each
+//! request's per-disk pieces as they arrive off the trace stream and
+//! joins completions in arrival order, never holding more than its
+//! in-flight window.
+//!
+//! The workers come from the crate's persistent pool via a *lease*
+//! (`pool::run_lease`): each `run_stream` call borrows `shards` parked
+//! threads instead of paying a spawn/join per call, and returns them
+//! when the feeder finishes. If the OS refuses to grow the pool, the
+//! scope transparently falls back to one scoped thread per shard.
 //!
 //! Determinism: each shard is serviced by exactly one worker, so a
 //! shard's outcomes depend only on its own item sequence — wall-clock
@@ -21,9 +27,8 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
-use std::thread;
 
-use crate::IN_WORKER;
+use crate::pool;
 
 /// A bounded MPSC-ish channel; both ends block, and an abort flag wakes
 /// everyone so a panic on either side cannot deadlock the scope join.
@@ -163,8 +168,9 @@ impl<T, R> ShardFeeder<'_, T, R> {
 /// per shard (the disk simulator guarantees this by capping its in-flight
 /// request window at `capacity`).
 ///
-/// This is a raw primitive: it always spawns `states.len()` threads, so
-/// callers decide *whether* to shard (e.g. fall back to a serial loop
+/// This is a raw primitive: it always dedicates `states.len()` workers
+/// (leased from the persistent pool, or scoped threads as a fallback),
+/// so callers decide *whether* to shard (e.g. fall back to a serial loop
 /// when [`effective_threads`](crate::effective_threads) says 1). Workers
 /// are marked as pool workers, so parallel maps issued from inside `work`
 /// run serially (depth-1 parallelism, as everywhere in this crate).
@@ -194,54 +200,51 @@ where
         states.into_iter().map(|s| Mutex::new(Some(s))).collect();
     let ctx = dpm_prof::current_context();
 
-    let fed = thread::scope(|scope| {
-        for shard in 0..shards {
-            let (ins, outs, worker_panic, state_slots) = (&ins, &outs, &worker_panic, &state_slots);
-            let (work, ctx) = (&work, ctx.clone());
-            scope.spawn(move || {
-                IN_WORKER.with(|flag| flag.set(true));
-                // Profiled time lands under the scope that opened the
-                // shard scope, mirroring the pool workers.
-                let _adopt = ctx.attach();
-                let _prof = dpm_prof::scope("shard_worker");
-                let mut sp = dpm_obs::span!("shard_worker");
-                sp.add("shard", shard as u64);
-                let mut state = state_slots[shard]
-                    .lock()
-                    .expect("shard state slot poisoned")
-                    .take()
-                    .expect("shard state taken twice");
-                while let Ok(Some(item)) = ins[shard].pop() {
-                    match catch_unwind(AssertUnwindSafe(|| work(shard, &mut state, item))) {
-                        Ok(r) => {
-                            sp.incr("items");
-                            if outs[shard].push(r).is_err() {
-                                break;
-                            }
-                        }
-                        Err(p) => {
-                            // First payload wins; abort every queue so the
-                            // feeder and sibling workers unblock.
-                            let mut slot = worker_panic.lock().expect("shard panic slot poisoned");
-                            if slot.is_none() {
-                                *slot = Some(p);
-                            }
-                            drop(slot);
-                            for c in ins.iter() {
-                                c.abort();
-                            }
-                            for c in outs.iter() {
-                                c.abort();
-                            }
-                            break;
-                        }
+    // Runs on a leased pool worker (IN_WORKER already set) or, in the
+    // scoped fallback, on a thread the pool marks before calling us.
+    let body = |shard: usize| {
+        // Profiled time lands under the scope that opened the shard
+        // scope, mirroring the pool's map workers.
+        let _adopt = ctx.attach();
+        let _prof = dpm_prof::scope("shard_worker");
+        let mut sp = dpm_obs::span!("shard_worker");
+        sp.add("shard", shard as u64);
+        let mut state = state_slots[shard]
+            .lock()
+            .expect("shard state slot poisoned")
+            .take()
+            .expect("shard state taken twice");
+        while let Ok(Some(item)) = ins[shard].pop() {
+            match catch_unwind(AssertUnwindSafe(|| work(shard, &mut state, item))) {
+                Ok(r) => {
+                    sp.incr("items");
+                    if outs[shard].push(r).is_err() {
+                        break;
                     }
                 }
-                *state_slots[shard]
-                    .lock()
-                    .expect("shard state slot poisoned") = Some(state);
-            });
+                Err(p) => {
+                    // First payload wins; abort every queue so the
+                    // feeder and sibling workers unblock.
+                    let mut slot = worker_panic.lock().expect("shard panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                    drop(slot);
+                    for c in ins.iter() {
+                        c.abort();
+                    }
+                    for c in outs.iter() {
+                        c.abort();
+                    }
+                    break;
+                }
+            }
         }
+        *state_slots[shard]
+            .lock()
+            .expect("shard state slot poisoned") = Some(state);
+    };
+    let (fed, lease_panic) = pool::run_lease(shards, &body, || {
         let mut feeder = ShardFeeder {
             ins: &ins,
             outs: &outs,
@@ -249,7 +252,7 @@ where
         let fed = catch_unwind(AssertUnwindSafe(|| feed(&mut feeder)));
         if fed.is_err() {
             // A panicking feeder can leave workers blocked pushing into
-            // full outcome queues; abort so the scope join can't hang.
+            // full outcome queues; abort so the lease join can't hang.
             for c in &ins {
                 c.abort();
             }
@@ -268,6 +271,12 @@ where
         .into_inner()
         .expect("shard panic slot poisoned")
     {
+        resume_unwind(p);
+    }
+    if let Some(p) = lease_panic {
+        // Backstop: a shard body panicked *outside* its work-item catch
+        // (e.g. a poisoned state slot). Ordinary work panics land in
+        // `worker_panic` above.
         resume_unwind(p);
     }
     let out = match fed {

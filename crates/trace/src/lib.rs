@@ -384,11 +384,10 @@ impl<'p> TraceGenerator<'p> {
         sp.add("phases", order.num_phases() as u64);
         // Within a phase the processors are independent (they synchronize
         // only at phase boundaries), so each phase fans the per-processor
-        // streams out to the pool. `map_vec` returns states in processor
-        // order, and per-processor stat deltas are merged in that same
-        // order, so any thread count (including 1) produces identical
-        // traces and stats.
-        let pool = dpm_exec::Pool::from_env();
+        // streams out to the global persistent pool. `par_map_vec`
+        // returns states in processor order, and per-processor stat
+        // deltas are merged in that same order, so any thread count
+        // (including 1) produces identical traces and stats.
         let mut states: Vec<ProcState> = (0..nprocs)
             .map(|proc| ProcState {
                 clock_ms: 0.0,
@@ -410,7 +409,7 @@ impl<'p> TraceGenerator<'p> {
             // contention, while a naive parallelization in which every
             // processor sweeps every disk pays the full factor.
             let masks = self.phase_disk_masks(order, phase);
-            let ran = pool.map_vec(std::mem::take(&mut states), |proc, mut st| {
+            let ran = dpm_exec::par_map_vec(std::mem::take(&mut states), |proc, mut st| {
                 let contention = contention_factor(&masks, proc);
                 let mut delta = TraceStats::default();
                 order.for_each_in_phase(phase, proc as u32, &mut |nest, iter| {

@@ -6,8 +6,15 @@
 //! tests pin that contract at several thread counts, and check that worker
 //! panics propagate instead of vanishing.
 
+use std::sync::Mutex;
+
 use disk_reuse::prelude::*;
 use dpm_disksim::RaidConfig;
+
+/// Serializes the tests that mutate `DPM_THREADS`: the process environment
+/// is global, so two such tests running on concurrent harness threads
+/// would race each other's pool-width configuration.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// A small multi-nest program whose arrays stripe across several disks —
 /// enough work that the sharded simulator actually engages all workers.
@@ -126,12 +133,13 @@ fn sharded_simulator_matches_serial_with_raid_substriping() {
 /// and trace generation read `DPM_THREADS` through the pool. The schedule
 /// and trace must be identical at 1, 2 and 8 threads.
 ///
-/// This is the only test that touches the `DPM_THREADS` environment
-/// variable; every other test in this binary pins its thread count
-/// explicitly, so the mutation cannot leak into a concurrently running
-/// test's configuration.
+/// Holds [`ENV_LOCK`] while mutating `DPM_THREADS`; every other test in
+/// this binary either pins its thread count explicitly or takes the same
+/// lock, so the mutation cannot leak into a concurrently running test's
+/// configuration.
 #[test]
 fn restructure_and_trace_deterministic_across_thread_counts() {
+    let _env = ENV_LOCK.lock().expect("env lock poisoned");
     let program = test_program();
     let layout = LayoutMap::new(&program, test_striping());
     let deps = analyze(&program);
@@ -213,4 +221,126 @@ fn parallel_map_preserves_input_order() {
         });
         assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
     }
+}
+
+/// Hostile schedule for the work-stealing pool: one cell near the front
+/// of the index space is orders of magnitude slower than the rest, so
+/// the participant that claims it stalls and every other range gets
+/// stolen out from under it. The float outputs must still land bitwise
+/// identical to the serial pass at every pool width.
+#[test]
+fn stealing_matches_serial_with_pinned_slow_cell() {
+    let items: Vec<u64> = (0..256).collect();
+    let cell = |i: usize, &x: &u64| -> f64 {
+        if i == 5 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // Non-associative float chain: any evaluation-order drift would
+        // flip low-order bits and fail the comparison below.
+        (0..64).fold(x as f64, |acc, k| acc * 1.000_1 + (k as f64) * 0.1)
+    };
+    let serial: Vec<u64> = dpm_exec::serial_scope(|| {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| cell(i, x).to_bits())
+            .collect()
+    });
+    for threads in [1usize, 2, 8] {
+        let parallel: Vec<u64> = dpm_exec::Pool::new(threads)
+            .map_indexed(&items, cell)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(
+            serial, parallel,
+            "pinned-slow-cell map diverged at {threads} threads"
+        );
+    }
+}
+
+/// The full experiment pipeline under a deliberately skewed matrix: the
+/// paper-scale app in one cell dwarfs the tiny-scale cells around it, so
+/// the matrix fan-out cannot be balanced by an even split. Results must
+/// be identical however wide the pool is.
+#[test]
+fn skewed_matrix_deterministic_across_thread_counts() {
+    use dpm_bench::{run_matrix, ExperimentConfig, MatrixCell, Version};
+    let _env = ENV_LOCK.lock().expect("env lock poisoned");
+    let cells = || -> Vec<MatrixCell> {
+        let mut v: Vec<MatrixCell> = ["AST", "FFT", "Cholesky"]
+            .iter()
+            .map(|name| MatrixCell {
+                app: dpm_apps::by_name(name, dpm_apps::Scale::Tiny).expect("app"),
+                versions: vec![Version::Base, Version::TTpmS],
+                procs: 1,
+            })
+            .collect();
+        // The skew: one cell at Small scale among Tiny ones.
+        v[0].app = dpm_apps::by_name("AST", dpm_apps::Scale::Small).expect("app");
+        v
+    };
+    let config = ExperimentConfig::default();
+    let canonical = |results: Vec<dpm_bench::AppResults>| -> Vec<(String, u64, u64)> {
+        results
+            .into_iter()
+            .flat_map(|app| {
+                app.results.into_iter().map(move |r| {
+                    (
+                        format!("{}/{:?}", app.app, r.version),
+                        r.report.makespan_ms.to_bits(),
+                        r.report.total_energy_j().to_bits(),
+                    )
+                })
+            })
+            .collect()
+    };
+    std::env::set_var("DPM_THREADS", "1");
+    let baseline = canonical(run_matrix(cells(), &config));
+    for threads in ["2", "8"] {
+        std::env::set_var("DPM_THREADS", threads);
+        assert_eq!(
+            baseline,
+            canonical(run_matrix(cells(), &config)),
+            "DPM_THREADS={threads}: skewed matrix diverged"
+        );
+    }
+    std::env::remove_var("DPM_THREADS");
+}
+
+/// Depth-1 nesting through the lease path: each `shard_scope` worker is
+/// a leased pool worker, so a parallel map issued *inside* a shard body
+/// must degrade to the serial path (no recursive stealing) and produce
+/// the same bits as a fully serial evaluation.
+#[test]
+fn nested_map_inside_shard_scope_matches_serial() {
+    let inner = |seed: u64| -> Vec<u64> {
+        let items: Vec<u64> = (0..32).map(|i| seed + i).collect();
+        dpm_exec::par_map_indexed(&items, |i, &x| {
+            (0..16).fold(x as f64 + i as f64, |acc, k| acc * 1.01 + k as f64)
+        })
+        .into_iter()
+        .map(f64::to_bits)
+        .collect()
+    };
+    let serial: Vec<Vec<u64>> =
+        dpm_exec::serial_scope(|| (0..4u64).map(|s| inner(s * 100)).collect());
+    let (outs, ()) = dpm_exec::shard_scope(
+        vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+        4,
+        |_, state: &mut Vec<Vec<u64>>, seed: u64| state.push(inner(seed)),
+        |feeder| {
+            for s in 0..4u64 {
+                feeder.push(s as usize, s * 100);
+            }
+            for s in 0..4 {
+                feeder.pop(s);
+            }
+        },
+    );
+    let nested: Vec<Vec<u64>> = outs.into_iter().map(|mut v| v.remove(0)).collect();
+    assert_eq!(
+        serial, nested,
+        "nested shard_scope map diverged from serial"
+    );
 }
