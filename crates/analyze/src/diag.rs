@@ -89,6 +89,16 @@ pub enum DiagCode {
     /// Arrays in one §6 affinity class vote for different distribution
     /// dimensions, so no single unification satisfies the class.
     AffinityMismatch,
+    /// A tier placement plan maps the same array to a tier more than once
+    /// or overlaps byte ranges across tiers.
+    PlacementDuplicate,
+    /// A tier placement plan leaves part of an array's bytes unplaced.
+    PlacementMissing,
+    /// A placement entry's byte range is not stripe-unit aligned, so a
+    /// stripe would straddle a disk-class boundary.
+    PlacementStraddle,
+    /// The bytes placed on a tier exceed the tier's capacity.
+    PlacementCapacity,
     /// `Program::validate` failed (dangling ids, rank mismatches, …).
     Malformed,
     /// The symbolic verifier declined and defers to the exact engine.
@@ -120,6 +130,10 @@ impl DiagCode {
             DiagCode::UnusedArray => "W_UNUSED_ARRAY",
             DiagCode::EmptyNest => "W_EMPTY_NEST",
             DiagCode::AffinityMismatch => "W_AFFINITY_MISMATCH",
+            DiagCode::PlacementDuplicate => "E_PLACEMENT_DUP",
+            DiagCode::PlacementMissing => "E_PLACEMENT_MISSING",
+            DiagCode::PlacementStraddle => "E_PLACEMENT_STRADDLE",
+            DiagCode::PlacementCapacity => "E_PLACEMENT_CAPACITY",
             DiagCode::Malformed => "E_MALFORMED",
             DiagCode::NeedsExact => "I_NEEDS_EXACT",
             DiagCode::Suppressed => "I_SUPPRESSED",

@@ -47,6 +47,7 @@
 pub mod diag;
 pub mod footprint;
 pub mod lint;
+pub mod placement;
 pub mod report;
 pub mod symbolic;
 pub mod verify;
@@ -56,6 +57,7 @@ pub use diag::{
 };
 pub use footprint::{footprint_contains, static_volume_footprint};
 pub use lint::lint_program;
+pub use placement::{array_demands, static_access_counts, verify_placement};
 pub use report::{analyze_suite, SuiteReport};
 pub use symbolic::{verify_disk_major, SymbolicOutcome};
 pub use verify::verify_schedule;

@@ -1,0 +1,420 @@
+//! Tier placement verification and static access-frequency analysis.
+//!
+//! The energy-aware placement pass assigns array byte ranges to disk
+//! tiers; this module is its correctness oracle. [`verify_placement`]
+//! proves a [`PlacementPlan`] legal against a [`TierTopology`] — every
+//! array's bytes covered exactly once, no stripe straddling a disk-class
+//! boundary, no tier over capacity — and rejects anything else with a
+//! stable diagnostic code. [`static_access_counts`] supplies the
+//! compiler-side heat signal: closed-form per-array access counts from
+//! the polyhedral iteration-space model, no enumeration and no trace.
+
+use crate::diag::{DiagCode, DiagSink, Diagnostic, Location};
+use dpm_ir::Program;
+use dpm_layout::{ArrayDemand, LayoutMap, PlacementPlan, TierTopology};
+
+/// Closed-form per-array static access counts: for each nest, the number
+/// of iterations (counted symbolically from the iteration-space
+/// polyhedron) times the number of references to the array in the nest
+/// body. This is the paper's compile-time access-frequency knowledge —
+/// exact for the affine programs of the suite, computed without running
+/// or enumerating anything.
+pub fn static_access_counts(program: &Program) -> Vec<u64> {
+    let mut counts = vec![0u64; program.arrays.len()];
+    for nest in &program.nests {
+        let iters = nest.iteration_space().count_points();
+        for r in nest.all_refs() {
+            counts[r.array] += iters;
+        }
+    }
+    counts
+}
+
+/// Bundles [`static_access_counts`] with the layout's rounded file sizes
+/// into the per-array demand records the placement builders consume.
+pub fn array_demands(program: &Program, layout: &LayoutMap) -> Vec<ArrayDemand> {
+    static_access_counts(program)
+        .into_iter()
+        .enumerate()
+        .map(|(array, heat)| ArrayDemand {
+            bytes: layout.file_len(array),
+            heat,
+        })
+        .collect()
+}
+
+/// Verifies that `plan` is a legal placement of `layout`'s files onto
+/// `topo`. Returns every finding (empty = provably legal):
+///
+/// * `E_MALFORMED` — an entry names an unknown array or tier, or has an
+///   empty byte range; such entries are excluded from the other checks.
+/// * `E_PLACEMENT_STRADDLE` — an entry boundary is not stripe-unit
+///   aligned (its final stripe would straddle two disk classes).
+/// * `E_PLACEMENT_DUP` — two entries cover the same byte of an array.
+/// * `E_PLACEMENT_MISSING` — some byte of an array has no placement.
+/// * `E_PLACEMENT_CAPACITY` — the rows a tier must allocate (each entry
+///   rounded up to whole stripe rows, as the tiered allocator does)
+///   exceed the tier's capacity.
+pub fn verify_placement(
+    program: &Program,
+    layout: &LayoutMap,
+    topo: &TierTopology,
+    plan: &PlacementPlan,
+) -> Vec<Diagnostic> {
+    let mut sink = DiagSink::new();
+    let su = topo.stripe_unit();
+    let num_arrays = layout.num_files();
+    let name = |a: usize| program.arrays.get(a).map_or("?", |d| d.name.as_str());
+
+    // Well-formedness; malformed entries drop out of the later checks.
+    let mut by_array: Vec<Vec<(u64, u64, usize)>> = vec![Vec::new(); num_arrays];
+    let mut rows_used = vec![0u64; topo.num_tiers()];
+    for e in &plan.entries {
+        if e.array >= num_arrays {
+            sink.push(Diagnostic::new(
+                DiagCode::Malformed,
+                Location::none(),
+                format!("placement entry names unknown array {}", e.array),
+            ));
+            continue;
+        }
+        let loc = Location::array(e.array);
+        if e.tier >= topo.num_tiers() {
+            sink.push(Diagnostic::new(
+                DiagCode::Malformed,
+                loc,
+                format!(
+                    "entry for array {} names unknown tier {} ({} tiers)",
+                    name(e.array),
+                    e.tier,
+                    topo.num_tiers()
+                ),
+            ));
+            continue;
+        }
+        if e.byte_lo >= e.byte_hi {
+            sink.push(Diagnostic::new(
+                DiagCode::Malformed,
+                loc,
+                format!(
+                    "entry for array {} has empty byte range {}..{}",
+                    name(e.array),
+                    e.byte_lo,
+                    e.byte_hi
+                ),
+            ));
+            continue;
+        }
+        let len = layout.file_len(e.array);
+        if e.byte_lo % su != 0 || (e.byte_hi % su != 0 && e.byte_hi != len) {
+            sink.push(Diagnostic::new(
+                DiagCode::PlacementStraddle,
+                loc,
+                format!(
+                    "entry for array {} at {}..{} splits a {su}-byte stripe \
+                     across a class boundary",
+                    name(e.array),
+                    e.byte_lo,
+                    e.byte_hi
+                ),
+            ));
+            continue;
+        }
+        rows_used[e.tier] += (e.byte_hi - e.byte_lo).div_ceil(topo.row_bytes(e.tier));
+        by_array[e.array].push((e.byte_lo, e.byte_hi, e.tier));
+    }
+
+    // Coverage: each array's [0, file_len) exactly once across tiers.
+    for (array, entries) in by_array.iter_mut().enumerate() {
+        let len = layout.file_len(array);
+        let loc = Location::array(array);
+        entries.sort_unstable();
+        let mut covered = 0u64;
+        for &(lo, hi, tier) in entries.iter() {
+            if lo < covered {
+                sink.push(Diagnostic::new(
+                    DiagCode::PlacementDuplicate,
+                    loc,
+                    format!(
+                        "array {}: bytes {lo}..{} placed more than once \
+                         (tier {tier} overlaps an earlier entry)",
+                        name(array),
+                        covered.min(hi)
+                    ),
+                ));
+            } else if lo > covered {
+                sink.push(Diagnostic::new(
+                    DiagCode::PlacementMissing,
+                    loc,
+                    format!(
+                        "array {}: bytes {covered}..{lo} have no placement",
+                        name(array)
+                    ),
+                ));
+            }
+            covered = covered.max(hi);
+        }
+        if covered < len {
+            sink.push(Diagnostic::new(
+                DiagCode::PlacementMissing,
+                loc,
+                format!(
+                    "array {}: bytes {covered}..{len} have no placement",
+                    name(array)
+                ),
+            ));
+        } else if covered > len {
+            sink.push(Diagnostic::new(
+                DiagCode::Malformed,
+                loc,
+                format!(
+                    "array {}: placement extends to byte {covered} past the \
+                     {len}-byte file",
+                    name(array)
+                ),
+            ));
+        }
+    }
+
+    // Capacity: row-rounded bytes per tier, the tiered allocator's cost.
+    for (tier, &rows) in rows_used.iter().enumerate() {
+        let need = rows * topo.row_bytes(tier);
+        let cap = topo.tier_capacity_bytes(tier);
+        if need > cap {
+            sink.push(Diagnostic::new(
+                DiagCode::PlacementCapacity,
+                Location::none(),
+                format!("tier {tier}: plan needs {need} B of {cap} B capacity"),
+            ));
+        }
+    }
+
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_ir::parse_program;
+    use dpm_layout::{PlacementEntry, Striping, TierRange};
+
+    fn setup() -> (Program, LayoutMap, TierTopology) {
+        let p = parse_program(
+            "program t;
+             array A[64][64] : f64;
+             array B[32][64] : f64;
+             array C[16][64] : f64;
+             nest L { for i = 0 .. 15 { for j = 0 .. 63 {
+                 C[i][j] = A[i][j] + A[i+1][j] + B[i][j]; } } }",
+        )
+        .unwrap();
+        let m = LayoutMap::new(&p, Striping::new(1024, 4, 0));
+        let topo = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1 << 20,
+                },
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1 << 30,
+                },
+            ],
+        );
+        (p, m, topo)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn access_counts_are_closed_form_exact() {
+        let (p, m, _) = setup();
+        let counts = static_access_counts(&p);
+        // 16 × 64 iterations; A referenced twice per iteration.
+        assert_eq!(counts, vec![2 * 16 * 64, 16 * 64, 16 * 64]);
+        let d = array_demands(&p, &m);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].heat, 2 * 16 * 64);
+        assert_eq!(d[0].bytes, m.file_len(0));
+    }
+
+    #[test]
+    fn legal_plans_verify_clean() {
+        let (p, m, topo) = setup();
+        let demands = array_demands(&p, &m);
+        for plan in [
+            PlacementPlan::greedy(&topo, &demands).unwrap(),
+            PlacementPlan::round_robin(&topo, &demands).unwrap(),
+            PlacementPlan::uniform(1, &demands.iter().map(|d| d.bytes).collect::<Vec<_>>()),
+        ] {
+            let diags = verify_placement(&p, &m, &topo, &plan);
+            assert!(diags.is_empty(), "{:?}", codes(&diags));
+        }
+    }
+
+    #[test]
+    fn duplicate_coverage_is_rejected() {
+        let (p, m, topo) = setup();
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let mut plan = PlacementPlan::uniform(1, &sizes);
+        // Array 2 placed whole on tier 1 *and* tier 0.
+        plan.entries.push(PlacementEntry {
+            array: 2,
+            byte_lo: 0,
+            byte_hi: sizes[2],
+            tier: 0,
+        });
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::PlacementDuplicate),
+            "{:?}",
+            codes(&diags)
+        );
+        assert_eq!(diags[0].code.as_str(), "E_PLACEMENT_DUP");
+    }
+
+    #[test]
+    fn missing_coverage_is_rejected() {
+        let (p, m, topo) = setup();
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let mut plan = PlacementPlan::uniform(1, &sizes);
+        plan.entries.remove(1);
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::PlacementMissing),
+            "{:?}",
+            codes(&diags)
+        );
+        // A mid-file gap is also caught.
+        let gappy = PlacementPlan {
+            entries: vec![
+                PlacementEntry {
+                    array: 0,
+                    byte_lo: 0,
+                    byte_hi: 1024,
+                    tier: 0,
+                },
+                PlacementEntry {
+                    array: 0,
+                    byte_lo: 2048,
+                    byte_hi: sizes[0],
+                    tier: 1,
+                },
+                PlacementEntry {
+                    array: 1,
+                    byte_lo: 0,
+                    byte_hi: sizes[1],
+                    tier: 1,
+                },
+                PlacementEntry {
+                    array: 2,
+                    byte_lo: 0,
+                    byte_hi: sizes[2],
+                    tier: 1,
+                },
+            ],
+        };
+        let diags = verify_placement(&p, &m, &topo, &gappy);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::PlacementMissing),
+            "{:?}",
+            codes(&diags)
+        );
+    }
+
+    #[test]
+    fn stripe_straddle_is_rejected() {
+        let (p, m, topo) = setup();
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let plan = PlacementPlan {
+            entries: vec![
+                PlacementEntry {
+                    array: 0,
+                    byte_lo: 0,
+                    byte_hi: 1536, // mid-stripe cut
+                    tier: 0,
+                },
+                PlacementEntry {
+                    array: 0,
+                    byte_lo: 1536,
+                    byte_hi: sizes[0],
+                    tier: 1,
+                },
+                PlacementEntry {
+                    array: 1,
+                    byte_lo: 0,
+                    byte_hi: sizes[1],
+                    tier: 1,
+                },
+                PlacementEntry {
+                    array: 2,
+                    byte_lo: 0,
+                    byte_hi: sizes[2],
+                    tier: 1,
+                },
+            ],
+        };
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::PlacementStraddle),
+            "{:?}",
+            codes(&diags)
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_is_rejected() {
+        let (p, m, topo) = setup();
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        // Tiny tier 0: one stripe row (2 KiB) of capacity total.
+        let tiny = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1024,
+                },
+                topo.tiers()[1],
+            ],
+        );
+        let plan = PlacementPlan::uniform(0, &sizes);
+        let diags = verify_placement(&p, &m, &tiny, &plan);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::PlacementCapacity),
+            "{:?}",
+            codes(&diags)
+        );
+    }
+
+    #[test]
+    fn malformed_entries_are_flagged_not_crashed() {
+        let (p, m, topo) = setup();
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let mut plan = PlacementPlan::uniform(1, &sizes);
+        plan.entries.push(PlacementEntry {
+            array: 99,
+            byte_lo: 0,
+            byte_hi: 1024,
+            tier: 0,
+        });
+        plan.entries.push(PlacementEntry {
+            array: 0,
+            byte_lo: 0,
+            byte_hi: 1024,
+            tier: 7,
+        });
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.code == DiagCode::Malformed)
+                .count()
+                >= 2,
+            "{:?}",
+            codes(&diags)
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Mutation tests for the tier placement verifier: every builder-emitted
+//! plan for the Tiny suite verifies clean, and each seeded illegal edit
+//! is rejected with its own stable diagnostic code.
+//!
+//! Mutation operators, per the issue:
+//! * place an array on two tiers (duplicate coverage) → `E_PLACEMENT_DUP`;
+//! * drop an array's placement → `E_PLACEMENT_MISSING`;
+//! * cut an entry mid-stripe across a class boundary →
+//!   `E_PLACEMENT_STRADDLE`;
+//! * shrink a tier until the plan overflows it → `E_PLACEMENT_CAPACITY`.
+
+use dpm_analyze::{array_demands, verify_placement, DiagCode, Diagnostic};
+use dpm_apps::{suite, Scale};
+use dpm_ir::Program;
+use dpm_layout::{LayoutMap, PlacementEntry, PlacementPlan, Striping, TierRange, TierTopology};
+
+/// A two-tier topology roomy enough for every Tiny app: 2 fast disks and
+/// 6 capacity disks, flat-compatible 32 KiB stripe unit.
+fn topo() -> TierTopology {
+    TierTopology::new(
+        32 * 1024,
+        vec![
+            TierRange {
+                disks: 2,
+                capacity_bytes: 1 << 30,
+            },
+            TierRange {
+                disks: 6,
+                capacity_bytes: 1 << 32,
+            },
+        ],
+    )
+}
+
+fn apps() -> Vec<(Program, LayoutMap)> {
+    suite(Scale::Tiny)
+        .iter()
+        .map(|app| {
+            let p = app.program();
+            let m = LayoutMap::new(&p, Striping::paper_default());
+            (p, m)
+        })
+        .collect()
+}
+
+fn has_code(diags: &[Diagnostic], code: DiagCode) -> bool {
+    diags.iter().any(|d| d.code == code)
+}
+
+/// Every plan the builders emit — greedy (compiler-guided), round-robin
+/// (heuristic), and uniform (flat) — verifies clean on every Tiny app.
+#[test]
+fn builder_plans_verify_clean_across_tiny_suite() {
+    let topo = topo();
+    for (p, m) in apps() {
+        let demands = array_demands(&p, &m);
+        let sizes: Vec<u64> = demands.iter().map(|d| d.bytes).collect();
+        let plans = [
+            PlacementPlan::greedy(&topo, &demands).unwrap(),
+            PlacementPlan::round_robin(&topo, &demands).unwrap(),
+            PlacementPlan::uniform(1, &sizes),
+        ];
+        for plan in plans {
+            let diags = verify_placement(&p, &m, &topo, &plan);
+            assert!(diags.is_empty(), "{}: {:?}", p.name, diags);
+        }
+    }
+}
+
+/// Duplicating an array's placement onto a second tier trips
+/// `E_PLACEMENT_DUP` on every app.
+#[test]
+fn duplicated_array_rejected_everywhere() {
+    let topo = topo();
+    let mut rejected = 0;
+    for (p, m) in apps() {
+        let demands = array_demands(&p, &m);
+        let mut plan = PlacementPlan::greedy(&topo, &demands).unwrap();
+        let e = plan.entries[0];
+        plan.entries.push(PlacementEntry {
+            tier: (e.tier + 1) % topo.num_tiers(),
+            ..e
+        });
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            has_code(&diags, DiagCode::PlacementDuplicate),
+            "{}: {:?}",
+            p.name,
+            diags
+        );
+        rejected += 1;
+    }
+    assert_eq!(rejected, 6);
+}
+
+/// Dropping an array's placement trips `E_PLACEMENT_MISSING` on every app.
+#[test]
+fn missing_array_rejected_everywhere() {
+    let topo = topo();
+    let mut rejected = 0;
+    for (p, m) in apps() {
+        let demands = array_demands(&p, &m);
+        let mut plan = PlacementPlan::greedy(&topo, &demands).unwrap();
+        plan.entries.remove(0);
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            has_code(&diags, DiagCode::PlacementMissing),
+            "{}: {:?}",
+            p.name,
+            diags
+        );
+        rejected += 1;
+    }
+    assert_eq!(rejected, 6);
+}
+
+/// Splitting an entry mid-stripe — so one stripe's bytes land on two disk
+/// classes — trips `E_PLACEMENT_STRADDLE` on every app.
+#[test]
+fn straddling_entry_rejected_everywhere() {
+    let topo = topo();
+    let su = topo.stripe_unit();
+    let mut rejected = 0;
+    for (p, m) in apps() {
+        let demands = array_demands(&p, &m);
+        let mut plan = PlacementPlan::greedy(&topo, &demands).unwrap();
+        // Cut the first whole-array entry at half a stripe unit.
+        let e = plan.entries[0];
+        assert!(e.byte_hi - e.byte_lo > su, "{}: array too small", p.name);
+        let cut = e.byte_lo + su / 2;
+        plan.entries[0].byte_hi = cut;
+        plan.entries.push(PlacementEntry {
+            array: e.array,
+            byte_lo: cut,
+            byte_hi: e.byte_hi,
+            tier: (e.tier + 1) % topo.num_tiers(),
+        });
+        let diags = verify_placement(&p, &m, &topo, &plan);
+        assert!(
+            has_code(&diags, DiagCode::PlacementStraddle),
+            "{}: {:?}",
+            p.name,
+            diags
+        );
+        rejected += 1;
+    }
+    assert_eq!(rejected, 6);
+}
+
+/// A plan that overflows a starved tier trips `E_PLACEMENT_CAPACITY` on
+/// every app.
+#[test]
+fn capacity_overflow_rejected_everywhere() {
+    // One stripe row of fast capacity: no Tiny app fits whole.
+    let starved = TierTopology::new(
+        32 * 1024,
+        vec![
+            TierRange {
+                disks: 2,
+                capacity_bytes: 32 * 1024,
+            },
+            TierRange {
+                disks: 6,
+                capacity_bytes: 1 << 32,
+            },
+        ],
+    );
+    let mut rejected = 0;
+    for (p, m) in apps() {
+        let sizes: Vec<u64> = (0..m.num_files()).map(|a| m.file_len(a)).collect();
+        let plan = PlacementPlan::uniform(0, &sizes);
+        let diags = verify_placement(&p, &m, &starved, &plan);
+        assert!(
+            has_code(&diags, DiagCode::PlacementCapacity),
+            "{}: {:?}",
+            p.name,
+            diags
+        );
+        rejected += 1;
+    }
+    assert_eq!(rejected, 6);
+}
+
+/// The four rejection codes are pairwise distinct and stable.
+#[test]
+fn rejection_codes_are_distinct_and_stable() {
+    let strings = [
+        DiagCode::PlacementDuplicate.as_str(),
+        DiagCode::PlacementMissing.as_str(),
+        DiagCode::PlacementStraddle.as_str(),
+        DiagCode::PlacementCapacity.as_str(),
+    ];
+    assert_eq!(
+        strings,
+        [
+            "E_PLACEMENT_DUP",
+            "E_PLACEMENT_MISSING",
+            "E_PLACEMENT_STRADDLE",
+            "E_PLACEMENT_CAPACITY",
+        ]
+    );
+    for (i, a) in strings.iter().enumerate() {
+        for b in &strings[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -5,26 +5,31 @@
 //! Two restructured applications share the 8-disk system; their merged
 //! trace is simulated and the savings compared against each running alone.
 //!
+//! Every trace is generated lazily and spilled once through the binary
+//! codec ([`SpilledTrace`]), then replayed per power policy — including
+//! the shared-system row, whose merge is streamed
+//! ([`SpilledTrace::merge`]) instead of materializing both traces.
+//!
 //! Usage: `shared_system [scale] [appA] [appB]` (default small AST Cholesky).
 
 use dpm_apps::Scale;
-use dpm_bench::ExperimentConfig;
+use dpm_bench::{ExperimentConfig, SpilledTrace};
 use dpm_core::{apply_transform, Transform};
-use dpm_disksim::{DrpmConfig, PowerPolicy, Simulator, Trace};
+use dpm_disksim::{DrpmConfig, PowerPolicy, Simulator};
 use dpm_layout::LayoutMap;
 use dpm_trace::TraceGenerator;
 
-fn build_trace(name: &str, scale: Scale, config: &ExperimentConfig) -> Trace {
+fn spill_app(name: &str, scale: Scale, config: &ExperimentConfig) -> SpilledTrace {
     let app = dpm_apps::by_name(name, scale).expect("unknown app");
-    trace_of(&app.program(), config)
+    spill_of(&app.program(), config)
 }
 
-fn trace_of(program: &dpm_ir::Program, config: &ExperimentConfig) -> Trace {
+fn spill_of(program: &dpm_ir::Program, config: &ExperimentConfig) -> SpilledTrace {
     let layout = LayoutMap::new(program, config.striping);
     let deps = dpm_ir::analyze(program);
     let schedule = apply_transform(program, &layout, &deps, Transform::DiskReuse);
     let gen = TraceGenerator::new(program, &layout, config.trace);
-    gen.generate(&schedule).0
+    SpilledTrace::spill(&gen, &schedule)
 }
 
 fn main() {
@@ -37,8 +42,8 @@ fn main() {
     let a = std::env::args().nth(2).unwrap_or_else(|| "AST".into());
     let b = std::env::args().nth(3).unwrap_or_else(|| "Cholesky".into());
     let config = ExperimentConfig::default();
-    let ta = build_trace(&a, scale, &config);
-    let tb = build_trace(&b, scale, &config);
+    let sa = spill_app(&a, scale, &config);
+    let sb = spill_app(&b, scale, &config);
 
     let base = Simulator::new(config.disk, PowerPolicy::None, config.striping);
     let tpm = Simulator::new(
@@ -47,26 +52,27 @@ fn main() {
         config.striping,
     );
 
+    // The shared-system row merges the two spills without materializing
+    // either trace; the OS-coordinated row is §2's suggested extension:
+    // the compiler's disk-usage knowledge for *both* applications feeds
+    // one global restructuring — implemented by clustering their union.
+    let merged = SpilledTrace::merge(&[&sa, &sb], 0.0);
+    let coordinated = {
+        let pa = dpm_apps::by_name(&a, scale).unwrap().program();
+        let pb = dpm_apps::by_name(&b, scale).unwrap().program();
+        let union = dpm_ir::concat_programs(&pa, &pb);
+        spill_of(&union, &config)
+    };
+
     println!("shared-system study ({a} + {b}, {scale:?} scale, T-DRPM-s traces)\n");
-    for (label, trace) in [
-        (format!("{a} alone"), ta.clone()),
-        (format!("{b} alone"), tb.clone()),
-        (
-            format!("{a} + {b} concurrently"),
-            Trace::merged(&[ta.clone(), tb.clone()], 0.0),
-        ),
-        (format!("{a} + {b} OS-coordinated"), {
-            // §2's suggested OS extension: the compiler's disk-usage
-            // knowledge for *both* applications feeds one global
-            // restructuring — implemented by clustering their union.
-            let pa = dpm_apps::by_name(&a, scale).unwrap().program();
-            let pb = dpm_apps::by_name(&b, scale).unwrap().program();
-            let union = dpm_ir::concat_programs(&pa, &pb);
-            trace_of(&union, &config)
-        }),
+    for (label, spill) in [
+        (format!("{a} alone"), &sa),
+        (format!("{b} alone"), &sb),
+        (format!("{a} + {b} concurrently"), &merged),
+        (format!("{a} + {b} OS-coordinated"), &coordinated),
     ] {
-        let rb = base.run(&trace);
-        let rt = tpm.run(&trace);
+        let rb = spill.replay(&base);
+        let rt = spill.replay(&tpm);
         println!(
             "{label:<28} energy {:>9.0} J → {:>9.0} J  (saving {:+.2}%)  speed-changes {}",
             rb.total_energy_j(),

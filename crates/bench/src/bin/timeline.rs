@@ -12,8 +12,8 @@
 //! Usage: `timeline [scale] [app]` (default small AST).
 
 use dpm_apps::Scale;
-use dpm_bench::ExperimentConfig;
-use dpm_core::{apply_transform, Transform};
+use dpm_bench::{ExperimentConfig, SpilledTrace};
+use dpm_core::{apply_transform, Schedule, Transform};
 use dpm_disksim::{
     ascii_timelines, timelines_from_events, DrpmConfig, PowerPolicy, Simulator, TpmConfig,
 };
@@ -58,11 +58,18 @@ fn main() {
             PowerPolicy::Drpm(DrpmConfig::proactive()),
         ),
     ];
+    // Spill each transform's trace once through the binary codec and
+    // replay it per policy: the two Original-code rows share one spill,
+    // and no trace is ever materialized in memory.
+    let mut spills: Vec<(Transform, SpilledTrace)> = Vec::new();
     for (label, transform, policy) in runs {
-        let schedule = apply_transform(&program, &layout, &deps, transform);
-        let (trace, _) = gen.generate(&schedule);
+        if !spills.iter().any(|(t, _)| *t == transform) {
+            let schedule: Schedule = apply_transform(&program, &layout, &deps, transform);
+            spills.push((transform, SpilledTrace::spill(&gen, &schedule)));
+        }
+        let (_, spill) = spills.iter().find(|(t, _)| *t == transform).unwrap();
         let sim = Simulator::new(config.disk, policy, config.striping);
-        let report = sim.run(&trace);
+        let report = spill.replay(&sim);
         println!(
             "\n{label} — {:.0} J over {:.0} s (rebuilt from run {} of the event stream)",
             report.total_energy_j(),

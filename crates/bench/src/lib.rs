@@ -22,9 +22,14 @@
 pub mod microbench;
 pub mod record;
 pub mod report;
+pub mod tier;
 
 pub use record::{BenchRecord, GateStatus};
 pub use report::RunReport;
+pub use tier::{
+    run_tier_app, run_tier_suite, tier_axis_enabled, tier_sweep_json, TierAppResults, TierScenario,
+    TierScenarioResult, TierSweepConfig,
+};
 
 use dpm_apps::BenchApp;
 use dpm_core::{apply_transform, Assignment, Schedule, Transform};
@@ -417,6 +422,100 @@ impl SpilledTrace {
         let mut reader = dpm_trace::TraceReader::new(file).expect("read trace spill header");
         sim.run_stream(&mut reader)
     }
+
+    /// The streaming counterpart of [`Trace::merged`]: merges several
+    /// spilled traces into one shared-system spill without materializing
+    /// any of them. Part `k`'s arrivals are shifted by `k * stagger_ms`,
+    /// its offsets relocated past the previous parts' address ranges, and
+    /// its processor ids renumbered into a disjoint range — the same
+    /// relocation rules as the materialized merge, and the k-way merge
+    /// (ties broken by part index) reproduces `from_requests`' stable
+    /// sort, so replaying the result is bit-identical to simulating
+    /// `Trace::merged` of the materialized parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spill file cannot be reopened or the merged spill
+    /// cannot be written.
+    pub fn merge(parts: &[&SpilledTrace], stagger_ms: f64) -> SpilledTrace {
+        use dpm_disksim::RequestStream;
+        let _prof = dpm_prof::scope("trace_spill_merge");
+        // Pass 1: each part's address-range and processor-id extents, which
+        // set the *next* part's relocation bases (exactly `Trace::merged`).
+        let mut shifts = Vec::with_capacity(parts.len());
+        let mut base_offset = 0u64;
+        let mut base_proc = 0u32;
+        let mut stats = TraceStats::default();
+        for (k, part) in parts.iter().enumerate() {
+            let mut reader = part.reader();
+            let mut max_end = 0u64;
+            let mut max_proc = 0u32;
+            while let Some(r) = reader.next_request() {
+                max_end = max_end.max(r.offset + r.len);
+                max_proc = max_proc.max(r.proc_id);
+            }
+            shifts.push((base_offset, base_proc, stagger_ms * k as f64));
+            base_offset += max_end;
+            base_proc += max_proc + 1;
+            let s = part.stats();
+            stats.element_accesses += s.element_accesses;
+            stats.cache_hits += s.cache_hits;
+            stats.requests += s.requests;
+            stats.bytes += s.bytes;
+            stats.compute_ms += s.compute_ms;
+            stats.io_block_ms += s.io_block_ms;
+        }
+        // Pass 2: k-way merge of the shifted streams. Each part is sorted
+        // by arrival, so taking the minimum head (lowest part index on
+        // ties) emits the stable-sorted concatenation.
+        let path = spill_path();
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
+        let mut writer = dpm_trace::TraceWriter::new(file);
+        let mut readers: Vec<_> = parts.iter().map(|p| p.reader()).collect();
+        let mut heads: Vec<Option<dpm_disksim::IoRequest>> = readers
+            .iter_mut()
+            .zip(&shifts)
+            .map(|(r, &(off, proc, t))| r.next_request().map(|q| shift_request(q, off, proc, t)))
+            .collect();
+        loop {
+            let next = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(k, h)| h.as_ref().map(|r| (k, r.arrival_ms)))
+                .min_by(|(ka, ta), (kb, tb)| ta.total_cmp(tb).then(ka.cmp(kb)));
+            let Some((k, _)) = next else { break };
+            let r = heads[k].take().expect("head present");
+            writer.write(&r).expect("write merged spill");
+            let (off, proc, t) = shifts[k];
+            heads[k] = readers[k]
+                .next_request()
+                .map(|q| shift_request(q, off, proc, t));
+        }
+        writer.finish().expect("finish merged spill");
+        SpilledTrace { path, stats }
+    }
+
+    /// Reopens the spill for another streaming pass.
+    fn reader(&self) -> dpm_trace::TraceReader<std::fs::File> {
+        let file = std::fs::File::open(&self.path)
+            .unwrap_or_else(|e| panic!("open spill file {}: {e}", self.path.display()));
+        dpm_trace::TraceReader::new(file).expect("read trace spill header")
+    }
+}
+
+/// Applies one merge part's relocation: time stagger, address-range
+/// relocation, processor renumbering.
+fn shift_request(
+    mut r: dpm_disksim::IoRequest,
+    offset: u64,
+    proc: u32,
+    stagger_ms: f64,
+) -> dpm_disksim::IoRequest {
+    r.arrival_ms += stagger_ms;
+    r.offset += offset;
+    r.proc_id += proc;
+    r
 }
 
 /// A process-unique spill-file path: temp dir + pid + counter.

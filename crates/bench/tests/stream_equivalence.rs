@@ -113,6 +113,57 @@ fn jittered_arrivals_identical() {
     }
 }
 
+/// The streaming shared-system merge (`SpilledTrace::merge`) reproduces
+/// the materialized `Trace::merged` bit for bit: same relocations, same
+/// stable-sorted arrival order, so the simulator reports are identical —
+/// with and without a stagger between the applications.
+#[test]
+fn streaming_merge_matches_materialized_merge() {
+    let config = ExperimentConfig::default();
+    let mut traces = Vec::new();
+    let mut spills = Vec::new();
+    for name in ["AST", "Cholesky"] {
+        let app = dpm_apps::by_name(name, Scale::Tiny).unwrap();
+        let program = app.program();
+        let layout = dpm_layout::LayoutMap::new(&program, config.striping);
+        let deps = dpm_ir::analyze(&program);
+        let schedule = dpm_bench::build_schedule(
+            &program,
+            &layout,
+            &deps,
+            dpm_bench::ScheduleShape::ClusteredS,
+            1,
+        );
+        let gen = dpm_trace::TraceGenerator::new(&program, &layout, config.trace);
+        traces.push(gen.generate(&schedule).0);
+        spills.push(dpm_bench::SpilledTrace::spill(&gen, &schedule));
+    }
+    let sim =
+        dpm_disksim::Simulator::new(config.disk, dpm_disksim::PowerPolicy::None, config.striping);
+    for stagger_ms in [0.0, 40.0] {
+        let materialized = dpm_disksim::Trace::merged(&traces, stagger_ms);
+        let mut direct = sim.run(&materialized);
+        let merged = dpm_bench::SpilledTrace::merge(&[&spills[0], &spills[1]], stagger_ms);
+        let mut replayed = merged.replay(&sim);
+        direct.obs_run = 0;
+        replayed.obs_run = 0;
+        assert_eq!(
+            format!("{direct:?}"),
+            format!("{replayed:?}"),
+            "stagger {stagger_ms} ms: streamed merge diverged from Trace::merged"
+        );
+        // The merged spill's stats are the per-part sums.
+        assert_eq!(
+            merged.stats().requests,
+            spills[0].stats().requests + spills[1].stats().requests
+        );
+        assert_eq!(
+            merged.stats().bytes,
+            spills[0].stats().bytes + spills[1].stats().bytes
+        );
+    }
+}
+
 /// The codec spill is exact: a trace written through `TraceWriter` and
 /// read back through `TraceReader` replays request-for-request, including
 /// float bit patterns, and simulating the replay matches simulating the

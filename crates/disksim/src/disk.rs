@@ -16,6 +16,12 @@ pub struct SubRequest {
     pub local_byte: u64,
     /// Length in bytes.
     pub len: u64,
+    /// Whether this transfer is tier-migration traffic. Serviced exactly
+    /// like application I/O (busy time and energy accrue normally) but
+    /// counted in [`DiskStats::migration_requests`] /
+    /// [`DiskStats::migration_bytes`] so application-request conservation
+    /// stays exact.
+    pub migration: bool,
 }
 
 /// What servicing one sub-request cost.
@@ -286,12 +292,17 @@ impl DiskSim {
         }
         let completion = start + elapsed;
         self.stream.queue.on_completion(completion);
-        if sequential {
+        if sequential && !r.migration {
             self.stats.sequential_requests += 1;
         }
         stall += elapsed - svc;
-        self.stats.requests += 1;
-        self.stats.bytes += r.len;
+        if r.migration {
+            self.stats.migration_requests += 1;
+            self.stats.migration_bytes += r.len;
+        } else {
+            self.stats.requests += 1;
+            self.stats.bytes += r.len;
+        }
         self.clock_ms = completion;
         // Timeout accounting: response past the plan's budget is counted
         // (and reported) but never cancelled — the trace-driven model has
@@ -723,6 +734,7 @@ mod tests {
             arrival_ms: t,
             local_byte: byte,
             len,
+            migration: false,
         }
     }
 

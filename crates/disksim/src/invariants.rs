@@ -31,7 +31,7 @@
 //! users and the chaos benchmark call [`check_report`] /
 //! [`check_trace_accounting`] explicitly.
 
-use crate::params::{DiskParams, RaidConfig};
+use crate::params::{DiskParams, RaidConfig, TierConfig};
 use crate::request::Trace;
 use crate::stats::{SimReport, SpanState};
 use crate::stream::TraceAccounting;
@@ -70,6 +70,162 @@ fn tol(scale: f64) -> f64 {
 /// Returns every violation found; an empty vector means the report is
 /// consistent.
 pub fn check_report(report: &SimReport, params: &DiskParams, raid: &RaidConfig) -> Vec<Violation> {
+    check_report_params(report, raid, &|_| *params)
+}
+
+/// Class-aware form of [`check_report`] for heterogeneous runs: each
+/// disk is judged against its own tier's parameter set, energy
+/// conservation is re-asserted *per tier* (not just per disk), the
+/// report's per-tier aggregates must match a recomputation from the
+/// per-disk counters, and migration byte accounting must balance (each
+/// recorded move reads and writes its logical bytes exactly once).
+pub fn check_report_tiered(
+    report: &SimReport,
+    config: &TierConfig,
+    raid: &RaidConfig,
+) -> Vec<Violation> {
+    let mut v = check_report_params(report, raid, &|disk| *config.params_of_disk(disk));
+    if report.per_disk.len() != config.num_disks() {
+        violation(
+            &mut v,
+            None,
+            format!(
+                "report covers {} disks, tier config has {}",
+                report.per_disk.len(),
+                config.num_disks()
+            ),
+        );
+        return v;
+    }
+    let members = f64::from(raid.members);
+    let nt = config.num_tiers();
+    for t in 0..nt {
+        let lo = config.first_disk(t);
+        let slice = &report.per_disk[lo..lo + config.tiers()[t].disks];
+        let p = &config.tiers()[t].class.params;
+        // Per-tier energy conservation: the tier's total energy must lie
+        // within the summed per-disk bounds under the tier's own class
+        // parameters.
+        let mut tier_lo = 0.0;
+        let mut tier_hi = 0.0;
+        let energy: f64 = slice.iter().map(|d| d.energy_j).sum();
+        for d in slice {
+            let spinning_s = (d.busy_ms + d.idle_ms + d.transition_ms) / 1000.0;
+            let standby_s = d.standby_ms / 1000.0;
+            let lumps = p.spin_down_energy_j * d.spin_downs as f64
+                + p.spin_up_energy_j * (d.spin_ups + d.faults) as f64;
+            tier_lo += members * p.standby_power_w * (spinning_s + standby_s);
+            tier_hi +=
+                members * (p.active_power_w * spinning_s + p.standby_power_w * standby_s + lumps);
+        }
+        if energy < tier_lo - tol(tier_lo) || energy > tier_hi + tol(tier_hi) {
+            violation(
+                &mut v,
+                None,
+                format!(
+                    "tier {t} energy {energy} J outside conservation bounds \
+                     [{tier_lo}, {tier_hi}] J"
+                ),
+            );
+        }
+    }
+    match &report.tiers {
+        Some(tr) => {
+            if tr.per_tier.len() != nt {
+                violation(
+                    &mut v,
+                    None,
+                    format!(
+                        "tier report covers {} tiers, config has {nt}",
+                        tr.per_tier.len()
+                    ),
+                );
+                return v;
+            }
+            for (t, ts) in tr.per_tier.iter().enumerate() {
+                let lo = config.first_disk(t);
+                let slice = &report.per_disk[lo..lo + config.tiers()[t].disks];
+                if ts.class != config.tiers()[t].class.name || ts.disks != config.tiers()[t].disks {
+                    violation(
+                        &mut v,
+                        None,
+                        format!(
+                            "tier {t} summary says {}x{}, config says {}x{}",
+                            ts.disks,
+                            ts.class,
+                            config.tiers()[t].disks,
+                            config.tiers()[t].class.name
+                        ),
+                    );
+                }
+                let energy: f64 = slice.iter().map(|d| d.energy_j).sum();
+                if (ts.energy_j - energy).abs() > tol(energy) {
+                    violation(
+                        &mut v,
+                        None,
+                        format!(
+                            "tier {t} summary energy {} J, per-disk counters sum to {energy} J",
+                            ts.energy_j
+                        ),
+                    );
+                }
+                let mig_req: u64 = slice.iter().map(|d| d.migration_requests).sum();
+                let mig_bytes: u64 = slice.iter().map(|d| d.migration_bytes).sum();
+                if ts.migration_requests != mig_req || ts.migration_bytes != mig_bytes {
+                    violation(
+                        &mut v,
+                        None,
+                        format!(
+                            "tier {t} summary migration {}req/{}B, counters say \
+                             {mig_req}req/{mig_bytes}B",
+                            ts.migration_requests, ts.migration_bytes
+                        ),
+                    );
+                }
+            }
+            // Migration byte balance: every recorded move reads its bytes
+            // off the source tier and writes them onto the destination, so
+            // the per-disk migration bytes must total exactly twice the
+            // event bytes.
+            let event_bytes: u64 = tr.events.iter().map(|e| e.bytes).sum();
+            let moved = report.total_migration_bytes();
+            if moved != 2 * event_bytes {
+                violation(
+                    &mut v,
+                    None,
+                    format!(
+                        "disks moved {moved} migration bytes, events account for \
+                         2x{event_bytes}"
+                    ),
+                );
+            }
+            for e in &tr.events {
+                if e.from_tier >= nt || e.to_tier >= nt || e.from_tier == e.to_tier {
+                    violation(
+                        &mut v,
+                        None,
+                        format!(
+                            "migration event for array {} names bad tiers {}->{}",
+                            e.array, e.from_tier, e.to_tier
+                        ),
+                    );
+                }
+            }
+        }
+        None => {
+            violation(&mut v, None, "tiered run is missing its tier report".into());
+        }
+    }
+    v
+}
+
+/// The per-disk invariants with a per-disk parameter lookup (identical
+/// parameters in the flat world, the tier's class in the tiered one).
+fn check_report_params(
+    report: &SimReport,
+    raid: &RaidConfig,
+    params_of: &dyn Fn(usize) -> DiskParams,
+) -> Vec<Violation> {
     let mut v = Vec::new();
     let makespan = report.makespan_ms;
     if !makespan.is_finite() || makespan < 0.0 {
@@ -88,6 +244,7 @@ pub fn check_report(report: &SimReport, params: &DiskParams, raid: &RaidConfig) 
     }
     let members = f64::from(raid.members);
     for (disk, d) in report.per_disk.iter().enumerate() {
+        let params = params_of(disk);
         let times = [d.busy_ms, d.idle_ms, d.standby_ms, d.transition_ms];
         if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
             violation(
@@ -350,6 +507,30 @@ pub fn assert_clean_streamed(
     acc: &TraceAccounting,
 ) {
     let mut v = check_report(report, params, raid);
+    v.extend(check_accounting(report, acc));
+    assert!(
+        v.is_empty(),
+        "simulator invariants violated:\n{}",
+        v.iter().map(|x| format!("  - {x}\n")).collect::<String>()
+    );
+}
+
+/// Tier-aware form of [`assert_clean_streamed`]: what debug builds run
+/// after every heterogeneous [`Simulator::run_stream`](crate::Simulator)
+/// — per-disk invariants under each disk's own class parameters, per-tier
+/// energy conservation, tier-report consistency, migration byte balance,
+/// and request conservation.
+///
+/// # Panics
+///
+/// Panics when any invariant is violated.
+pub fn assert_clean_streamed_tiered(
+    report: &SimReport,
+    config: &TierConfig,
+    raid: &RaidConfig,
+    acc: &TraceAccounting,
+) {
+    let mut v = check_report_tiered(report, config, raid);
     v.extend(check_accounting(report, acc));
     assert!(
         v.is_empty(),

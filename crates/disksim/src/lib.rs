@@ -52,11 +52,14 @@ mod stream;
 
 pub use disk::{DiskSim, SubRequest};
 pub use dpm_faults::{FaultInjector, FaultPlan, RetryPolicy};
-pub use params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
+pub use params::{
+    DiskClass, DiskParams, DrpmConfig, MigrationConfig, PowerPolicy, RaidConfig, Tier, TierConfig,
+    TpmConfig,
+};
 pub use request::{IoRequest, RequestKind, Trace, TraceParseError, TRACE_BLOCK_BYTES};
 pub use sim::Simulator;
 pub use stats::{
-    ascii_timelines, coalesce_spans, timelines_from_events, DiskStats, IdleHistogram, SimReport,
-    Span, SpanState,
+    ascii_timelines, coalesce_spans, timelines_from_events, DiskStats, IdleHistogram,
+    MigrationEvent, SimReport, Span, SpanState, TierReport, TierStats,
 };
 pub use stream::{RequestStream, TraceAccounting, TraceStream};

@@ -222,6 +222,241 @@ impl DrpmConfig {
     }
 }
 
+/// A named disk class: one Table-1-style parameter set plus the usable
+/// capacity of a single disk of the class. Tiers of a heterogeneous array
+/// are built from classes; every disk of a tier shares its class's
+/// parameters and power model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskClass {
+    /// Human-readable class name (shows up in reports and diagnostics).
+    pub name: &'static str,
+    /// The class's physical/service/power parameters.
+    pub params: DiskParams,
+    /// Usable capacity of one disk of this class, in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DiskClass {
+    /// The paper's performance class: IBM Ultrastar 36Z15 (Table 1).
+    pub fn performance() -> Self {
+        DiskClass {
+            name: "perf",
+            params: DiskParams::ultrastar_36z15(),
+            capacity_bytes: 36 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A 7 200 RPM nearline class: slower and higher-latency than the
+    /// Ultrastar, but far cheaper to keep spinning and far cheaper to spin
+    /// down (break-even ≈ 4.5 s vs ≈ 16 s), so cold data parked here lets
+    /// TPM/DRPM actually engage.
+    pub fn nearline() -> Self {
+        DiskClass {
+            name: "nearline",
+            params: DiskParams {
+                avg_seek_ms: 8.5,
+                avg_rotation_ms: 8.33,
+                transfer_mb_s: 30.0,
+                max_rpm: 7_200,
+                active_power_w: 8.0,
+                idle_power_w: 5.3,
+                standby_power_w: 0.8,
+                spin_down_energy_j: 6.0,
+                spin_down_ms: 1_000.0,
+                spin_up_energy_j: 20.0,
+                spin_up_ms: 6_000.0,
+                cache_bytes: 8 * 1024 * 1024,
+            },
+            capacity_bytes: 250 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A 5 400 RPM archive class: the coldest, most spin-down-friendly
+    /// tier (break-even ≈ 2.9 s).
+    pub fn archive() -> Self {
+        DiskClass {
+            name: "archive",
+            params: DiskParams {
+                avg_seek_ms: 12.0,
+                avg_rotation_ms: 11.1,
+                transfer_mb_s: 20.0,
+                max_rpm: 5_400,
+                active_power_w: 6.0,
+                idle_power_w: 3.8,
+                standby_power_w: 0.6,
+                spin_down_energy_j: 4.0,
+                spin_down_ms: 800.0,
+                spin_up_energy_j: 12.0,
+                spin_up_ms: 4_000.0,
+                cache_bytes: 8 * 1024 * 1024,
+            },
+            capacity_bytes: 500 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+/// One tier of a heterogeneous array: `disks` identical disks of `class`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tier {
+    /// The disk class backing this tier.
+    pub class: DiskClass,
+    /// Number of disks in the tier.
+    pub disks: usize,
+}
+
+/// A heterogeneous array: tiers of disk classes, in tier order (tier 0 is
+/// the performance tier by convention). Global disk ids run contiguously
+/// through the tiers, so `tier_of_disk`/`params_of_disk` are cheap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierConfig {
+    stripe_unit: u64,
+    tiers: Vec<Tier>,
+}
+
+impl TierConfig {
+    /// Creates a tier configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_unit == 0`, `tiers` is empty, or a tier has no
+    /// disks.
+    pub fn new(stripe_unit: u64, tiers: Vec<Tier>) -> Self {
+        assert!(stripe_unit > 0, "stripe unit must be positive");
+        assert!(!tiers.is_empty(), "need at least one tier");
+        for (t, tier) in tiers.iter().enumerate() {
+            assert!(tier.disks > 0, "tier {t} has no disks");
+        }
+        TierConfig { stripe_unit, tiers }
+    }
+
+    /// A homogeneous "array of one class" — the flat world expressed as a
+    /// single tier. With an identity placement this must reproduce the
+    /// flat simulator bit for bit.
+    pub fn single_class(stripe_unit: u64, class: DiskClass, disks: usize) -> Self {
+        TierConfig::new(stripe_unit, vec![Tier { class, disks }])
+    }
+
+    /// The canonical heterogeneous testbed: half the disks performance
+    /// class, half nearline, at the paper's stripe unit.
+    pub fn perf_nearline(stripe_unit: u64, perf_disks: usize, nearline_disks: usize) -> Self {
+        TierConfig::new(
+            stripe_unit,
+            vec![
+                Tier {
+                    class: DiskClass::performance(),
+                    disks: perf_disks,
+                },
+                Tier {
+                    class: DiskClass::nearline(),
+                    disks: nearline_disks,
+                },
+            ],
+        )
+    }
+
+    /// Stripe unit in bytes (shared by every tier).
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
+    }
+
+    /// The tiers, in tier order.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total number of disks across all tiers.
+    pub fn num_disks(&self) -> usize {
+        self.tiers.iter().map(|t| t.disks).sum()
+    }
+
+    /// Global id of the first disk of `tier`.
+    pub fn first_disk(&self, tier: usize) -> usize {
+        self.tiers[..tier].iter().map(|t| t.disks).sum()
+    }
+
+    /// The tier owning global disk `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range.
+    pub fn tier_of_disk(&self, disk: usize) -> usize {
+        let mut lo = 0;
+        for (t, tier) in self.tiers.iter().enumerate() {
+            if disk < lo + tier.disks {
+                return t;
+            }
+            lo += tier.disks;
+        }
+        panic!("disk {disk} out of range ({} disks)", self.num_disks());
+    }
+
+    /// The parameter set of global disk `disk`.
+    pub fn params_of_disk(&self, disk: usize) -> &DiskParams {
+        &self.tiers[self.tier_of_disk(disk)].class.params
+    }
+
+    /// The capacity/count skeleton of this array for the placement layer
+    /// (`dpm-layout` cannot see disk classes; it only needs geometry).
+    pub fn topology(&self) -> dpm_layout::TierTopology {
+        dpm_layout::TierTopology::new(
+            self.stripe_unit,
+            self.tiers
+                .iter()
+                .map(|t| dpm_layout::TierRange {
+                    disks: t.disks,
+                    capacity_bytes: t.class.capacity_bytes,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for TierConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe_unit={}B", self.stripe_unit)?;
+        for tier in &self.tiers {
+            write!(f, ", {}x{}", tier.disks, tier.class.name)?;
+        }
+        Ok(())
+    }
+}
+
+/// Online hot/cold migration policy knobs: windowed per-array access
+/// counters drive seeded-deterministic promote/demote decisions at window
+/// boundaries, with the moved bytes charged to the energy model as real
+/// disk traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationConfig {
+    /// Application requests per observation window; decisions happen at
+    /// window boundaries only.
+    pub window_requests: u64,
+    /// Seed of the policy's tie-breaking/hysteresis stream. Same seed ⇒
+    /// same promote/demote sequence, at any thread count.
+    pub seed: u64,
+    /// At most this many moves (promotions or demotions) per boundary.
+    pub max_moves_per_window: u32,
+    /// Promote only when the candidate's window count exceeds the
+    /// fast-tier coldest resident's count by this factor (hysteresis
+    /// against ping-ponging).
+    pub promote_margin: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            window_requests: 256,
+            seed: 0x7157_5EED,
+            max_moves_per_window: 1,
+            promote_margin: 2.0,
+        }
+    }
+}
+
 /// RAID-level striping *inside* one I/O node (§2's second striping level,
 /// invisible to the compiler). The node's disks spin and transfer in
 /// lock-step: a request's chunks are dealt round-robin, service time is

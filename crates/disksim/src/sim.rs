@@ -4,12 +4,13 @@
 //! statistics.
 
 use crate::disk::{DiskSim, ServiceOutcome, SubRequest};
-use crate::params::{DiskParams, PowerPolicy, RaidConfig};
+use crate::params::{DiskParams, MigrationConfig, PowerPolicy, RaidConfig, TierConfig};
 use crate::request::Trace;
-use crate::stats::SimReport;
+use crate::stats::{MigrationEvent, SimReport, TierReport, TierStats};
 use crate::stream::{RequestStream, TraceAccounting, TraceStream};
 use dpm_faults::FaultPlan;
-use dpm_layout::Striping;
+use dpm_layout::{MigrationMove, Striping, TieredVolume};
+use dpm_obs::XorShift64Star;
 use std::collections::VecDeque;
 
 /// Application requests per streaming window: the bounded unit of work the
@@ -48,6 +49,17 @@ pub struct Simulator {
     timelines: bool,
     threads: Option<usize>,
     faults: FaultPlan,
+    tiers: Option<TierSetup>,
+}
+
+/// The heterogeneous-array configuration armed by
+/// [`Simulator::with_tiers`]: disk classes per tier plus the placed
+/// volume, and optionally the online migration policy.
+#[derive(Clone, Debug)]
+struct TierSetup {
+    config: TierConfig,
+    volume: TieredVolume,
+    migration: Option<MigrationConfig>,
 }
 
 impl Simulator {
@@ -62,7 +74,75 @@ impl Simulator {
             timelines: false,
             threads: None,
             faults: FaultPlan::zero(),
+            tiers: None,
         }
+    }
+
+    /// Runs over a heterogeneous tiered array instead of the flat striping:
+    /// each disk takes its tier's class parameters, addressing goes through
+    /// the placed [`TieredVolume`] (the flat striping is ignored for
+    /// splitting), and the report carries per-tier aggregates. A
+    /// single-class configuration with a whole-array file-order placement
+    /// is bit-identical to the flat simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` and `volume` disagree on geometry.
+    #[must_use]
+    pub fn with_tiers(mut self, config: TierConfig, volume: TieredVolume) -> Self {
+        assert_eq!(
+            &config.topology(),
+            volume.topology(),
+            "tier config and placed volume disagree on geometry"
+        );
+        self.tiers = Some(TierSetup {
+            config,
+            volume,
+            migration: None,
+        });
+        self
+    }
+
+    /// Arms the online hot/cold migration policy (windowed per-array
+    /// access counters, seeded-deterministic promote/demote at window
+    /// boundaries, moved bytes charged to the energy model as real disk
+    /// traffic). Decisions are taken in the split stage, so the sequence
+    /// is identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`with_tiers`](Self::with_tiers) was called first.
+    #[must_use]
+    pub fn with_migration(mut self, cfg: MigrationConfig) -> Self {
+        self.tiers
+            .as_mut()
+            .expect("with_migration requires with_tiers")
+            .migration = Some(cfg);
+        self
+    }
+
+    /// The tier configuration in effect, if any.
+    pub fn tier_config(&self) -> Option<&TierConfig> {
+        self.tiers.as_ref().map(|t| &t.config)
+    }
+
+    /// Disks in the simulated array (tier-aware).
+    fn num_disks(&self) -> usize {
+        self.tiers
+            .as_ref()
+            .map_or(self.striping.num_disks(), |t| t.config.num_disks())
+    }
+
+    fn make_router(&self) -> Option<TierRouter> {
+        self.tiers.as_ref().map(|t| TierRouter {
+            volume: t.volume.clone(),
+            migration: t.migration,
+            rng: XorShift64Star::new(t.migration.map_or(0, |m| m.seed)),
+            counts: Vec::new(),
+            seen: 0,
+            processed: 0,
+            events: Vec::new(),
+        })
     }
 
     /// Arms a deterministic fault plan. The zero plan (the default) takes
@@ -132,9 +212,13 @@ impl Simulator {
     }
 
     fn make_disks(&self, obs_run: u64) -> Vec<DiskSim> {
-        (0..self.striping.num_disks())
+        (0..self.num_disks())
             .map(|disk| {
-                let mut d = DiskSim::with_raid(self.params, self.policy, self.raid);
+                let params = self
+                    .tiers
+                    .as_ref()
+                    .map_or(self.params, |t| *t.config.params_of_disk(disk));
+                let mut d = DiskSim::with_raid(params, self.policy, self.raid);
                 d.set_obs_identity(obs_run, disk);
                 if self.timelines {
                     d.record_timeline();
@@ -153,26 +237,55 @@ impl Simulator {
         acc: Accum,
         app_requests: u64,
         obs_run: u64,
+        events: Vec<MigrationEvent>,
     ) -> SimReport {
+        let idle_histograms = disks.iter().map(|d| d.idle_histogram().clone()).collect();
+        let timelines = if self.timelines {
+            Some(
+                disks
+                    .iter()
+                    .map(|d| d.timeline().unwrap_or_default().to_vec())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let stream = disks.iter().map(|d| d.stream_metrics().clone()).collect();
+        let per_disk: Vec<_> = disks.into_iter().map(|d| d.stats().clone()).collect();
+        let tiers = match &self.tiers {
+            Some(setup) => {
+                let cfg = &setup.config;
+                let per_tier = (0..cfg.num_tiers())
+                    .map(|t| {
+                        let lo = cfg.first_disk(t);
+                        let slice = &per_disk[lo..lo + cfg.tiers()[t].disks];
+                        TierStats {
+                            class: cfg.tiers()[t].class.name,
+                            disks: cfg.tiers()[t].disks,
+                            energy_j: slice.iter().map(|d| d.energy_j).sum(),
+                            busy_ms: slice.iter().map(|d| d.busy_ms).sum(),
+                            standby_ms: slice.iter().map(|d| d.standby_ms).sum(),
+                            spin_downs: slice.iter().map(|d| d.spin_downs).sum(),
+                            migration_requests: slice.iter().map(|d| d.migration_requests).sum(),
+                            migration_bytes: slice.iter().map(|d| d.migration_bytes).sum(),
+                        }
+                    })
+                    .collect();
+                Some(TierReport { per_tier, events })
+            }
+            None => None,
+        };
         SimReport {
             makespan_ms: acc.makespan,
             total_io_time_ms: acc.total_io_time_ms,
             total_response_ms: acc.total_response_ms,
-            idle_histograms: disks.iter().map(|d| d.idle_histogram().clone()).collect(),
-            timelines: if self.timelines {
-                Some(
-                    disks
-                        .iter()
-                        .map(|d| d.timeline().unwrap_or_default().to_vec())
-                        .collect(),
-                )
-            } else {
-                None
-            },
-            stream: disks.iter().map(|d| d.stream_metrics().clone()).collect(),
-            per_disk: disks.into_iter().map(|d| d.stats().clone()).collect(),
+            idle_histograms,
+            timelines,
+            stream,
+            per_disk,
             app_requests,
             obs_run,
+            tiers,
         }
     }
 
@@ -209,8 +322,8 @@ impl Simulator {
         sp.add("run", obs_run);
         let threads =
             dpm_exec::effective_threads(self.threads.unwrap_or_else(dpm_exec::num_threads));
-        let (report, accounting) = if threads > 1 && self.striping.num_disks() > 1 {
-            sp.add("workers", self.striping.num_disks() as u64);
+        let (report, accounting) = if threads > 1 && self.num_disks() > 1 {
+            sp.add("workers", self.num_disks() as u64);
             self.run_stream_sharded(stream, obs_run)
         } else {
             self.run_stream_serial(stream, obs_run)
@@ -225,7 +338,20 @@ impl Simulator {
         // conservation is judged against the accounting gathered while the
         // stream flowed past — there is no trace to re-walk.
         #[cfg(debug_assertions)]
-        crate::invariants::assert_clean_streamed(&report, &self.params, &self.raid, &accounting);
+        match &self.tiers {
+            Some(setup) => crate::invariants::assert_clean_streamed_tiered(
+                &report,
+                &setup.config,
+                &self.raid,
+                &accounting,
+            ),
+            None => crate::invariants::assert_clean_streamed(
+                &report,
+                &self.params,
+                &self.raid,
+                &accounting,
+            ),
+        }
         #[cfg(not(debug_assertions))]
         let _ = &accounting;
         report
@@ -240,7 +366,8 @@ impl Simulator {
     ) -> (SimReport, TraceAccounting) {
         let _prof = dpm_prof::scope("sim_event_loop");
         let mut disks = self.make_disks(obs_run);
-        let mut accounting = TraceAccounting::new(self.striping.num_disks());
+        let mut router = self.make_router();
+        let mut accounting = TraceAccounting::new(self.num_disks());
         let mut acc = Accum::default();
         let mut prev_arrival = f64::NEG_INFINITY;
         let mut pieces: Vec<(usize, u64, u64)> = Vec::new();
@@ -252,25 +379,36 @@ impl Simulator {
             prev_arrival = r.arrival_ms;
             let mut completion = r.arrival_ms;
             let mut device_ms = 0.0_f64;
-            self.split_request_into(r.offset, r.len, &mut pieces);
+            match &router {
+                Some(rt) => rt.volume.split_range_into(r.offset, r.len, &mut pieces),
+                None => self.split_request_into(r.offset, r.len, &mut pieces),
+            }
             accounting.push(&r, &pieces);
             for &(disk, local_byte, len) in &pieces {
                 let out = disks[disk].service(&SubRequest {
                     arrival_ms: r.arrival_ms,
                     local_byte,
                     len,
+                    migration: false,
                 });
                 completion = completion.max(out.completion_ms);
                 device_ms = device_ms.max(out.stall_ms + out.service_ms);
             }
             acc.push(r.arrival_ms, completion, device_ms);
+            if let Some(rt) = &mut router {
+                for (disk, sub) in rt.after_request(r.offset, r.arrival_ms) {
+                    let out = disks[disk].service(&sub);
+                    acc.observe(out.completion_ms);
+                }
+            }
         }
         for d in &mut disks {
             d.finish(acc.makespan);
         }
         let app_requests = accounting.app_requests;
+        let events = router.map(|r| r.events).unwrap_or_default();
         (
-            self.build_report(disks, acc, app_requests, obs_run),
+            self.build_report(disks, acc, app_requests, obs_run, events),
             accounting,
         )
     }
@@ -297,9 +435,10 @@ impl Simulator {
         stream: &mut dyn RequestStream,
         obs_run: u64,
     ) -> (SimReport, TraceAccounting) {
-        let n = self.striping.num_disks();
+        let n = self.num_disks();
         let mut accounting = TraceAccounting::new(n);
         let mut acc = Accum::default();
+        let mut router = self.make_router();
 
         // One window awaiting join while the next is in service: capacity
         // two batches per queue gives the pipeline its single overlap slot
@@ -337,17 +476,38 @@ impl Simulator {
                             "trace must be sorted by arrival time"
                         );
                         prev_arrival = r.arrival_ms;
-                        self.split_request_into(r.offset, r.len, &mut pieces);
+                        match &router {
+                            Some(rt) => rt.volume.split_range_into(r.offset, r.len, &mut pieces),
+                            None => self.split_request_into(r.offset, r.len, &mut pieces),
+                        }
                         accounting.push(&r, &pieces);
                         window.arrivals.push(r.arrival_ms);
                         window.piece_counts.push(pieces.len() as u32);
+                        window.migration.push(false);
                         for &(disk, local_byte, len) in &pieces {
                             window.piece_disks.push(disk as u32);
                             batches[disk].push(SubRequest {
                                 arrival_ms: r.arrival_ms,
                                 local_byte,
                                 len,
+                                migration: false,
                             });
+                        }
+                        // Migration decisions happen here, in the split
+                        // stage — the same point the serial pass consults
+                        // the router — so the per-disk sub-request order
+                        // (hence every outcome) is identical.
+                        if let Some(rt) = router.as_mut() {
+                            let subs = rt.after_request(r.offset, r.arrival_ms);
+                            if !subs.is_empty() {
+                                window.arrivals.push(r.arrival_ms);
+                                window.piece_counts.push(subs.len() as u32);
+                                window.migration.push(true);
+                                for (disk, sub) in subs {
+                                    window.piece_disks.push(disk as u32);
+                                    batches[disk].push(sub);
+                                }
+                            }
                         }
                     }
                     // Ship it (empty per-disk batches included, so the
@@ -377,7 +537,13 @@ impl Simulator {
                                 completion = completion.max(out.completion_ms);
                                 device_ms = device_ms.max(out.stall_ms + out.service_ms);
                             }
-                            acc.push(arrival_ms, completion, device_ms);
+                            if meta.migration[i] {
+                                // Background traffic: extends the makespan
+                                // but charges no application I/O time.
+                                acc.observe(completion);
+                            } else {
+                                acc.push(arrival_ms, completion, device_ms);
+                            }
                         }
                     }
                 }
@@ -387,10 +553,144 @@ impl Simulator {
             d.finish(acc.makespan);
         }
         let app_requests = accounting.app_requests;
+        let events = router.map(|r| r.events).unwrap_or_default();
         (
-            self.build_report(disks, acc, app_requests, obs_run),
+            self.build_report(disks, acc, app_requests, obs_run, events),
             accounting,
         )
+    }
+}
+
+/// Run-local tier state: the (mutable) placed volume plus the online
+/// migration policy. Both passes drive it from the split stage in the same
+/// per-request order, so the promote/demote sequence — and with it every
+/// per-disk sub-request stream — is deterministic at any thread count.
+struct TierRouter {
+    volume: TieredVolume,
+    migration: Option<MigrationConfig>,
+    /// Seeded tie-break stream for equally-hot/cold candidates.
+    rng: XorShift64Star,
+    /// Per-array access counts in the current window (grown on demand).
+    counts: Vec<u64>,
+    /// Requests seen in the current window.
+    seen: u64,
+    /// Application requests processed so far (stamps migration events).
+    processed: u64,
+    events: Vec<MigrationEvent>,
+}
+
+impl TierRouter {
+    /// Accounts one application request; at a window boundary, runs the
+    /// promote/demote policy and returns the migration transfers as
+    /// `(disk, sub-request)` in deterministic service order (each move's
+    /// source-tier reads then destination-tier writes, by disk).
+    fn after_request(&mut self, offset: u64, now_ms: f64) -> Vec<(usize, SubRequest)> {
+        self.processed += 1;
+        let Some(cfg) = self.migration else {
+            return Vec::new();
+        };
+        if let Some(array) = self.volume.array_of_offset(offset) {
+            if array >= self.counts.len() {
+                self.counts.resize(array + 1, 0);
+            }
+            self.counts[array] += 1;
+        }
+        self.seen += 1;
+        if self.seen < cfg.window_requests {
+            return Vec::new();
+        }
+        self.seen = 0;
+        let moves = self.window_decision(&cfg);
+        let mut subs = Vec::new();
+        for mv in &moves {
+            self.events.push(MigrationEvent {
+                at_request: self.processed,
+                array: mv.array,
+                from_tier: mv.from_tier,
+                to_tier: mv.to_tier,
+                bytes: mv.bytes,
+            });
+            for &(disk, len) in mv.reads.iter().chain(mv.writes.iter()) {
+                subs.push((
+                    disk,
+                    SubRequest {
+                        arrival_ms: now_ms,
+                        local_byte: 0,
+                        len,
+                        migration: true,
+                    },
+                ));
+            }
+        }
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        subs
+    }
+
+    /// One window boundary's worth of decisions: promote the hottest
+    /// whole array stranded off the fast tier when its window count beats
+    /// the fast tier's coldest resident by the configured margin, demoting
+    /// that resident to make room when capacity demands it.
+    fn window_decision(&mut self, cfg: &MigrationConfig) -> Vec<MigrationMove> {
+        let nt = self.volume.topology().num_tiers();
+        let mut out = Vec::new();
+        if nt < 2 {
+            return out;
+        }
+        for _ in 0..cfg.max_moves_per_window {
+            let mut hot: Option<usize> = None;
+            for a in 0..self.counts.len() {
+                if self.counts[a] == 0 || self.volume.tier_of_array(a).is_none_or(|t| t == 0) {
+                    continue;
+                }
+                hot = match hot {
+                    None => Some(a),
+                    Some(h) if self.counts[a] > self.counts[h] => Some(a),
+                    Some(h) if self.counts[a] == self.counts[h] && self.rng.next_u64() & 1 == 1 => {
+                        Some(a)
+                    }
+                    keep => keep,
+                };
+            }
+            let Some(hot) = hot else { break };
+            let hot_tier = self.volume.tier_of_array(hot).expect("hot is whole");
+            let mut cold: Option<usize> = None;
+            for a in 0..self.volume.num_arrays() {
+                if self.volume.tier_of_array(a) != Some(0) {
+                    continue;
+                }
+                let ca = self.counts.get(a).copied().unwrap_or(0);
+                cold = match cold {
+                    None => Some(a),
+                    Some(c) => {
+                        let cc = self.counts.get(c).copied().unwrap_or(0);
+                        if ca < cc || (ca == cc && self.rng.next_u64() & 1 == 1) {
+                            Some(a)
+                        } else {
+                            Some(c)
+                        }
+                    }
+                };
+            }
+            let hot_count = self.counts[hot] as f64;
+            let cold_count = cold.map_or(0, |c| self.counts.get(c).copied().unwrap_or(0)) as f64;
+            if hot_count < cfg.promote_margin * cold_count.max(1.0) {
+                break;
+            }
+            if !self.volume.fits(hot, 0) {
+                let Some(cold) = cold else { break };
+                if !self.volume.fits(cold, hot_tier) {
+                    break;
+                }
+                out.push(self.volume.remap_array(cold, hot_tier));
+                if !self.volume.fits(hot, 0) {
+                    break;
+                }
+            }
+            out.push(self.volume.remap_array(hot, 0));
+        }
+        out
     }
 }
 
@@ -400,6 +700,9 @@ struct WindowMeta {
     arrivals: Vec<f64>,
     piece_counts: Vec<u32>,
     piece_disks: Vec<u32>,
+    /// Whether entry `i` is a block of migration transfers (folded into
+    /// the makespan only) rather than an application request.
+    migration: Vec<bool>,
 }
 
 /// The per-request aggregates both passes fold in identical order.
@@ -414,6 +717,12 @@ impl Accum {
     fn push(&mut self, arrival_ms: f64, completion: f64, device_ms: f64) {
         self.total_io_time_ms += device_ms;
         self.total_response_ms += completion - arrival_ms;
+        self.makespan = self.makespan.max(completion);
+    }
+
+    /// Folds a background (migration) completion into the makespan without
+    /// charging application I/O or response time.
+    fn observe(&mut self, completion: f64) {
         self.makespan = self.makespan.max(completion);
     }
 }
@@ -680,5 +989,131 @@ mod raid_tests {
         // Tiny request: one member does all of it.
         assert_eq!(r.max_member_bytes(100), 100);
         assert_eq!(RaidConfig::single().max_member_bytes(12345), 12345);
+    }
+}
+
+#[cfg(test)]
+mod tier_tests {
+    use super::*;
+    use crate::params::{DiskClass, TpmConfig};
+    use crate::request::{IoRequest, RequestKind};
+    use dpm_layout::{LayoutMap, PlacementPlan, TieredVolume};
+
+    fn layout(striping: Striping) -> LayoutMap {
+        let p = dpm_ir::parse_program(
+            "program t;
+             array A[64][64] : f64;
+             array B[32][64] : f64;
+             array C[16][64] : f64;
+             nest L { for i = 0 .. 0 { A[0][0] = B[0][0] + C[0][0]; } }",
+        )
+        .unwrap();
+        LayoutMap::new(&p, striping)
+    }
+
+    fn read(t: f64, offset: u64, len: u64) -> IoRequest {
+        IoRequest {
+            arrival_ms: t,
+            offset,
+            len,
+            kind: RequestKind::Read,
+            proc_id: 0,
+        }
+    }
+
+    /// A single-class tier configuration with a whole-array file-order
+    /// placement reproduces the flat simulator bit for bit (per-disk
+    /// stats, makespan, energy), with only the tier summary added.
+    #[test]
+    fn single_class_tiers_match_flat_exactly() {
+        let striping = Striping::new(1024, 4, 0);
+        let m = layout(striping);
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let plan = PlacementPlan::uniform(0, &sizes);
+        let config = TierConfig::single_class(1024, DiskClass::performance(), 4);
+        let vol = TieredVolume::new(&m, config.topology(), &plan);
+        let trace = Trace::from_requests(vec![
+            read(0.0, 0, 10_000),
+            read(5_000.0, m.file_base(1), 4_096),
+            read(120_000.0, m.file_base(2) + 1_024, 2_048),
+        ]);
+        let policy = PowerPolicy::Tpm(TpmConfig::default());
+        let flat = Simulator::new(DiskParams::default(), policy, striping)
+            .with_exec_threads(1)
+            .run(&trace);
+        let tiered = Simulator::new(DiskParams::default(), policy, striping)
+            .with_tiers(config, vol)
+            .with_exec_threads(1)
+            .run(&trace);
+        assert!(
+            tiered.tiers.is_some(),
+            "tiered run must carry a tier report"
+        );
+        let mut a = flat.clone();
+        let mut b = tiered.clone();
+        a.obs_run = 0;
+        b.obs_run = 0;
+        b.tiers = None;
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            flat.total_energy_j().to_bits(),
+            tiered.total_energy_j().to_bits()
+        );
+    }
+
+    /// Online migration promotes a hot array parked on the cold tier, the
+    /// moved bytes balance (reads + writes = 2x logical), and the decision
+    /// sequence is identical at any thread count.
+    #[test]
+    fn migration_promotes_hot_array_deterministically() {
+        let striping = Striping::new(1024, 4, 0);
+        let m = layout(striping);
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        // Everything starts on the cold (nearline) tier.
+        let plan = PlacementPlan::uniform(1, &sizes);
+        let config = TierConfig::perf_nearline(1024, 2, 2);
+        let vol = TieredVolume::new(&m, config.topology(), &plan);
+        // Hammer array C with closely spaced reads.
+        let c_lo = m.file_base(2);
+        let reqs: Vec<IoRequest> = (0..64)
+            .map(|k| read(100.0 * k as f64, c_lo + 1024 * (k % 8), 1024))
+            .collect();
+        let trace = Trace::from_requests(reqs);
+        let mig = MigrationConfig {
+            window_requests: 16,
+            ..MigrationConfig::default()
+        };
+        let run = |threads: usize| {
+            Simulator::new(DiskParams::default(), PowerPolicy::None, striping)
+                .with_tiers(config.clone(), vol.clone())
+                .with_migration(mig)
+                .with_exec_threads(threads)
+                .run(&trace)
+        };
+        let serial = run(1);
+        let tiers = serial.tiers.as_ref().expect("tier report");
+        assert!(!tiers.events.is_empty(), "no promotion fired");
+        let first = tiers.events[0];
+        assert_eq!(first.array, 2);
+        assert_eq!(first.from_tier, 1);
+        assert_eq!(first.to_tier, 0);
+        assert_eq!(first.bytes, m.file_len(2));
+        let event_bytes: u64 = tiers.events.iter().map(|e| e.bytes).sum();
+        assert_eq!(serial.total_migration_bytes(), 2 * event_bytes);
+        assert!(serial.total_migration_requests() > 0);
+        // App-request conservation is untouched by migration traffic.
+        assert_eq!(serial.app_requests, 64);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            let mut a = serial.clone();
+            let mut b = parallel.clone();
+            a.obs_run = 0;
+            b.obs_run = 0;
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "threads={threads} diverged"
+            );
+        }
     }
 }

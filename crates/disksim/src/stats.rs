@@ -45,6 +45,13 @@ pub struct DiskStats {
     /// Whether the disk was marked degraded (a request exhausted its
     /// retries at least once).
     pub degraded: bool,
+    /// Migration transfers serviced (hot/cold moves between tiers).
+    /// Counted separately from `requests` so application-request
+    /// conservation stays exact under migration.
+    pub migration_requests: u64,
+    /// Bytes moved by migration transfers (likewise separate from
+    /// `bytes`).
+    pub migration_bytes: u64,
 }
 
 /// Histogram of idle-period lengths with buckets chosen around the
@@ -232,6 +239,52 @@ pub fn ascii_timelines(timelines: &[Vec<Span>], makespan_ms: f64, width: usize) 
     out
 }
 
+/// One promote/demote decision taken by the online migration policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// Application-request index at whose window boundary the move fired.
+    pub at_request: u64,
+    /// The array moved.
+    pub array: usize,
+    /// Source tier.
+    pub from_tier: usize,
+    /// Destination tier.
+    pub to_tier: usize,
+    /// Logical bytes moved.
+    pub bytes: u64,
+}
+
+/// Aggregated statistics for one tier of a heterogeneous run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierStats {
+    /// Class name of the tier's disks.
+    pub class: &'static str,
+    /// Disks in the tier.
+    pub disks: usize,
+    /// Energy consumed by the tier's disks (J).
+    pub energy_j: f64,
+    /// Busy time summed over the tier's disks (ms).
+    pub busy_ms: f64,
+    /// Standby time summed over the tier's disks (ms).
+    pub standby_ms: f64,
+    /// Spin-downs summed over the tier's disks.
+    pub spin_downs: u64,
+    /// Migration transfers serviced by the tier's disks.
+    pub migration_requests: u64,
+    /// Migration bytes moved through the tier's disks.
+    pub migration_bytes: u64,
+}
+
+/// Tier-level results of a heterogeneous run: per-tier aggregates plus
+/// the full promote/demote sequence (empty without online migration).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TierReport {
+    /// One entry per tier, in tier order.
+    pub per_tier: Vec<TierStats>,
+    /// Promote/demote decisions in the order they fired.
+    pub events: Vec<MigrationEvent>,
+}
+
 /// The result of simulating one trace.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -265,6 +318,11 @@ pub struct SimReport {
     /// incrementally with O(1) memory per disk. Empty for hand-built
     /// reports.
     pub stream: Vec<DiskStreamMetrics>,
+    /// Tier-level results for heterogeneous runs (see
+    /// [`Simulator::with_tiers`](crate::Simulator::with_tiers)). `None`
+    /// for flat single-class runs, keeping their reports byte-identical
+    /// to the pre-tier simulator.
+    pub tiers: Option<TierReport>,
 }
 
 impl SimReport {
@@ -350,6 +408,17 @@ impl SimReport {
     /// How many disks ended the run marked degraded.
     pub fn degraded_disks(&self) -> usize {
         self.per_disk.iter().filter(|d| d.degraded).count()
+    }
+
+    /// Total migration transfers serviced across disks.
+    pub fn total_migration_requests(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.migration_requests).sum()
+    }
+
+    /// Total migration bytes moved across disks (reads + writes, so a
+    /// one-array move counts its logical bytes twice).
+    pub fn total_migration_bytes(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.migration_bytes).sum()
     }
 
     /// An unachievable *oracle* lower bound on energy for this run's disk
@@ -620,6 +689,7 @@ mod tests {
             app_requests: 0,
             obs_run: 0,
             stream: Vec::new(),
+            tiers: None,
         };
         let oracle = r.oracle_energy_j(&params);
         let expect = 13.5 * 10.0 + 2.5 * 90.0;
@@ -645,6 +715,7 @@ mod tests {
             app_requests: 4,
             obs_run: 0,
             stream: Vec::new(),
+            tiers: None,
         };
         assert_eq!(r.total_energy_j(), 20.0);
         assert_eq!(r.total_sub_requests(), 6);

@@ -13,6 +13,7 @@ fn sub(t: f64, byte: u64) -> SubRequest {
         arrival_ms: t,
         local_byte: byte,
         len: 4096,
+        migration: false,
     }
 }
 

@@ -27,6 +27,7 @@ fn arb_stream() -> impl Strategy<Value = Vec<SubRequest>> {
                 arrival_ms: t,
                 local_byte: pos,
                 len,
+                migration: false,
             });
             pos += len;
         }

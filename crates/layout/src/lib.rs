@@ -25,7 +25,12 @@
 mod map;
 mod mapping;
 mod striping;
+mod tier;
 
 pub use map::LayoutMap;
 pub use mapping::{ArraySlice, FileMapping};
 pub use striping::{DiskId, DiskLocation, Striping};
+pub use tier::{
+    ArrayDemand, MigrationMove, PlacementEntry, PlacementPlan, TierRange, TierTopology,
+    TieredVolume,
+};

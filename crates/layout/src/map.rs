@@ -148,6 +148,11 @@ impl LayoutMap {
         self.volume
     }
 
+    /// Number of files (arrays) placed in the volume.
+    pub fn num_files(&self) -> usize {
+        self.file_base.len()
+    }
+
     /// Volume byte offset of an element.
     ///
     /// # Panics

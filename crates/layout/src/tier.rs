@@ -1,0 +1,866 @@
+//! Tiered (heterogeneous) volume layouts: tiers of disks, placement plans
+//! assigning array byte ranges to tiers, and the tiered address mapper.
+//!
+//! The flat world exposes one round-robin [`Striping`](crate::Striping)
+//! across a homogeneous array. A *tiered* volume partitions the disks into
+//! contiguous groups ("tiers"), each backed by one disk class (the class
+//! parameters themselves live in the simulator crate; this layer only needs
+//! disk counts and capacities). A [`PlacementPlan`] says which byte ranges
+//! of which arrays live on which tier; a [`TieredVolume`] turns the plan
+//! into an address mapper with exactly the flat splitter's contract:
+//! `split_range_into` cuts a volume byte range into per-disk
+//! `(disk, local_byte, len)` pieces, sorted and merged identically.
+//!
+//! Layout discipline mirrors the flat one: within a tier, placement entries
+//! pack back-to-back in units of whole *tier stripe rows* (one stripe on
+//! every disk of the tier), so every entry starts at the tier's first disk
+//! and round-robins from there. A single-tier topology whose plan places
+//! the arrays whole, in file order, therefore reproduces the flat
+//! [`Striping`](crate::Striping) addresses bit for bit — the regression
+//! anchor the simulator tests rely on.
+
+use crate::map::LayoutMap;
+use crate::striping::DiskId;
+use std::fmt;
+
+/// One tier of the topology: a contiguous run of identical disks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierRange {
+    /// Number of disks in this tier.
+    pub disks: usize,
+    /// Usable capacity of *each* disk, in bytes.
+    pub capacity_bytes: u64,
+}
+
+/// The disk-count/capacity skeleton of a heterogeneous array: what the
+/// placement machinery needs to know about the tiers, without any power or
+/// performance parameters (those stay in the simulator's disk classes).
+///
+/// Tier 0 is by convention the fastest (performance) tier; higher indices
+/// are progressively colder. Global disk ids are assigned contiguously in
+/// tier order: tier 0 owns disks `0..d0`, tier 1 owns `d0..d0+d1`, and so
+/// on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierTopology {
+    stripe_unit: u64,
+    tiers: Vec<TierRange>,
+}
+
+impl TierTopology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_unit == 0`, `tiers` is empty, or any tier has no
+    /// disks or zero capacity.
+    pub fn new(stripe_unit: u64, tiers: Vec<TierRange>) -> Self {
+        assert!(stripe_unit > 0, "stripe unit must be positive");
+        assert!(!tiers.is_empty(), "need at least one tier");
+        for (t, tier) in tiers.iter().enumerate() {
+            assert!(tier.disks > 0, "tier {t} has no disks");
+            assert!(tier.capacity_bytes > 0, "tier {t} has zero capacity");
+        }
+        TierTopology { stripe_unit, tiers }
+    }
+
+    /// Stripe unit in bytes (shared by every tier).
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
+    }
+
+    /// The tiers, in tier order.
+    pub fn tiers(&self) -> &[TierRange] {
+        &self.tiers
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total number of disks across all tiers.
+    pub fn num_disks(&self) -> usize {
+        self.tiers.iter().map(|t| t.disks).sum()
+    }
+
+    /// Global id of the first disk of `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range.
+    pub fn first_disk(&self, tier: usize) -> DiskId {
+        assert!(tier < self.tiers.len(), "tier {tier} out of range");
+        self.tiers[..tier].iter().map(|t| t.disks).sum()
+    }
+
+    /// The tier owning global disk `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range.
+    pub fn tier_of_disk(&self, disk: DiskId) -> usize {
+        let mut lo = 0;
+        for (t, tier) in self.tiers.iter().enumerate() {
+            if disk < lo + tier.disks {
+                return t;
+            }
+            lo += tier.disks;
+        }
+        panic!("disk {disk} out of range ({} disks)", self.num_disks());
+    }
+
+    /// Bytes in one stripe row of `tier` (one stripe unit on each of its
+    /// disks).
+    pub fn row_bytes(&self, tier: usize) -> u64 {
+        self.stripe_unit * self.tiers[tier].disks as u64
+    }
+
+    /// Total usable capacity of `tier` in bytes (all its disks).
+    pub fn tier_capacity_bytes(&self, tier: usize) -> u64 {
+        self.tiers[tier].capacity_bytes * self.tiers[tier].disks as u64
+    }
+}
+
+impl fmt::Display for TierTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe_unit={}B", self.stripe_unit)?;
+        for (t, tier) in self.tiers.iter().enumerate() {
+            write!(f, ", tier{}={}x{}B", t, tier.disks, tier.capacity_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// One placement decision: bytes `[byte_lo, byte_hi)` of `array`'s file
+/// live on `tier`. Offsets are file-relative (0 = the array's first byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementEntry {
+    /// Array (file) index.
+    pub array: usize,
+    /// First file-relative byte covered.
+    pub byte_lo: u64,
+    /// One past the last file-relative byte covered.
+    pub byte_hi: u64,
+    /// Destination tier.
+    pub tier: usize,
+}
+
+/// Per-array demand fed to the placement builders: how big the array's
+/// file is and how hot the compiler statically knows it to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayDemand {
+    /// Rounded file size in bytes (`LayoutMap::file_len`).
+    pub bytes: u64,
+    /// Static access count (closed-form element accesses touching the
+    /// array over the whole program).
+    pub heat: u64,
+}
+
+/// A complete assignment of array byte ranges to tiers.
+///
+/// Legality (each array covered exactly once, entries stripe-aligned,
+/// capacities respected) is *verified* by `dpm-analyze`; the builders here
+/// only produce legal plans, and [`TieredVolume::new`] re-asserts the
+/// invariants it depends on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// The placement entries. Public so verification and mutation tests
+    /// can inspect and perturb plans directly.
+    pub entries: Vec<PlacementEntry>,
+}
+
+impl PlacementPlan {
+    /// Places every array whole on a single tier, in array order.
+    pub fn uniform(tier: usize, sizes: &[u64]) -> Self {
+        PlacementPlan {
+            entries: sizes
+                .iter()
+                .enumerate()
+                .map(|(array, &bytes)| PlacementEntry {
+                    array,
+                    byte_lo: 0,
+                    byte_hi: bytes,
+                    tier,
+                })
+                .collect(),
+        }
+    }
+
+    /// The compiler-guided builder: arrays sorted by static heat *density*
+    /// (accesses per byte, hottest first) are packed whole onto the
+    /// fastest tier with room, falling through to colder tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first array that fits on no tier.
+    pub fn greedy(topo: &TierTopology, demands: &[ArrayDemand]) -> Result<Self, String> {
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = demands[a].heat as f64 / demands[a].bytes.max(1) as f64;
+            let db = demands[b].heat as f64 / demands[b].bytes.max(1) as f64;
+            db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+        });
+        Self::pack(topo, demands, &order)
+    }
+
+    /// The heat-blind heuristic competitor: arrays in index order dealt
+    /// round-robin across tiers, overflowing to the next tier with room.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first array that fits on no tier.
+    pub fn round_robin(topo: &TierTopology, demands: &[ArrayDemand]) -> Result<Self, String> {
+        let nt = topo.num_tiers();
+        let mut rows_used = vec![0u64; nt];
+        let mut entries = Vec::with_capacity(demands.len());
+        for (array, d) in demands.iter().enumerate() {
+            let want = array % nt;
+            let tier = (0..nt)
+                .map(|k| (want + k) % nt)
+                .find(|&t| {
+                    let rows = d.bytes.max(1).div_ceil(topo.row_bytes(t));
+                    (rows_used[t] + rows) * topo.row_bytes(t) <= topo.tier_capacity_bytes(t)
+                })
+                .ok_or_else(|| format!("array {array} ({} B) fits on no tier", d.bytes))?;
+            rows_used[tier] += d.bytes.max(1).div_ceil(topo.row_bytes(tier));
+            entries.push(PlacementEntry {
+                array,
+                byte_lo: 0,
+                byte_hi: d.bytes,
+                tier,
+            });
+        }
+        entries.sort_by_key(|e| e.array);
+        Ok(PlacementPlan { entries })
+    }
+
+    /// Packs arrays whole, visiting them in `order`, always preferring the
+    /// fastest tier with remaining capacity.
+    fn pack(topo: &TierTopology, demands: &[ArrayDemand], order: &[usize]) -> Result<Self, String> {
+        let nt = topo.num_tiers();
+        let mut rows_used = vec![0u64; nt];
+        let mut entries = Vec::with_capacity(demands.len());
+        for &array in order {
+            let bytes = demands[array].bytes.max(1);
+            let tier = (0..nt)
+                .find(|&t| {
+                    let rows = bytes.div_ceil(topo.row_bytes(t));
+                    (rows_used[t] + rows) * topo.row_bytes(t) <= topo.tier_capacity_bytes(t)
+                })
+                .ok_or_else(|| format!("array {array} ({bytes} B) fits on no tier"))?;
+            rows_used[tier] += bytes.div_ceil(topo.row_bytes(tier));
+            entries.push(PlacementEntry {
+                array,
+                byte_lo: 0,
+                byte_hi: demands[array].bytes,
+                tier,
+            });
+        }
+        entries.sort_by_key(|e| e.array);
+        Ok(PlacementPlan { entries })
+    }
+
+    /// The tier assigned to `array`, when the plan places it whole on one
+    /// tier (`None` for split or missing arrays).
+    pub fn tier_of_array(&self, array: usize) -> Option<usize> {
+        let mut found = None;
+        for e in self.entries.iter().filter(|e| e.array == array) {
+            match found {
+                None => found = Some(e.tier),
+                Some(t) if t != e.tier => return None,
+                _ => {}
+            }
+        }
+        found
+    }
+}
+
+/// One placed run of volume bytes: `[vol_lo, vol_hi)` lives on `tier`
+/// starting at tier-local stripe index `base_ts`.
+#[derive(Clone, Copy, Debug)]
+struct VolSeg {
+    vol_lo: u64,
+    vol_hi: u64,
+    tier: usize,
+    base_ts: u64,
+    /// Index into the plan's per-array grouping (which array this segment
+    /// belongs to), for migration remapping.
+    array: usize,
+}
+
+/// The per-disk I/O read from / written to by one migration move.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationMove {
+    /// The array moved.
+    pub array: usize,
+    /// Source tier.
+    pub from_tier: usize,
+    /// Destination tier.
+    pub to_tier: usize,
+    /// Logical bytes moved (the array's placed extent).
+    pub bytes: u64,
+    /// Per-disk read traffic `(disk, len)` on the source tier.
+    pub reads: Vec<(DiskId, u64)>,
+    /// Per-disk write traffic `(disk, len)` on the destination tier.
+    pub writes: Vec<(DiskId, u64)>,
+}
+
+/// A placed, addressable tiered volume: maps flat volume byte offsets (the
+/// address space the trace generator emits) to `(global disk, local byte)`
+/// under a [`PlacementPlan`], and supports whole-array remapping for
+/// online migration.
+#[derive(Clone, Debug)]
+pub struct TieredVolume {
+    topo: TierTopology,
+    /// Segments sorted by `vol_lo`, covering the volume contiguously.
+    segments: Vec<VolSeg>,
+    /// Append-only allocation cursor per tier, in stripe rows.
+    cursor_rows: Vec<u64>,
+    /// Live (currently mapped) bytes per tier, row-rounded — frees on
+    /// demotion even though local addresses are never reused.
+    live_rows: Vec<u64>,
+    /// Number of arrays (files) the plan covers.
+    num_arrays: usize,
+}
+
+impl TieredVolume {
+    /// Builds the volume for `layout` under `plan`.
+    ///
+    /// Entries are allocated per tier in `(array, byte_lo)` order — the
+    /// file order of the flat layout — each starting on a fresh tier
+    /// stripe row. With a single tier whose plan places every array whole,
+    /// the resulting addresses equal the flat `Striping`'s exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover every array's `[0, file_len)`
+    /// exactly once with stripe-aligned entries on valid tiers, or if a
+    /// tier's capacity is exceeded. (Use `dpm-analyze`'s placement
+    /// verifier for diagnosable rejection; the panics here are the last
+    /// line of defense.)
+    pub fn new(layout: &LayoutMap, topo: TierTopology, plan: &PlacementPlan) -> Self {
+        let su = topo.stripe_unit();
+        let num_arrays = layout.num_files();
+        let mut by_array: Vec<Vec<PlacementEntry>> = vec![Vec::new(); num_arrays];
+        for e in &plan.entries {
+            assert!(
+                e.array < num_arrays,
+                "entry names unknown array {}",
+                e.array
+            );
+            assert!(
+                e.tier < topo.num_tiers(),
+                "entry names unknown tier {}",
+                e.tier
+            );
+            assert!(
+                e.byte_lo < e.byte_hi,
+                "empty placement entry for array {}",
+                e.array
+            );
+            assert!(
+                e.byte_lo % su == 0
+                    && (e.byte_hi % su == 0 || e.byte_hi == layout.file_len(e.array)),
+                "entry for array {} splits a stripe at {}..{}",
+                e.array,
+                e.byte_lo,
+                e.byte_hi
+            );
+            by_array[e.array].push(*e);
+        }
+        let mut cursor_rows = vec![0u64; topo.num_tiers()];
+        let mut segments = Vec::new();
+        for (array, entries) in by_array.iter_mut().enumerate() {
+            entries.sort_by_key(|e| e.byte_lo);
+            let len = layout.file_len(array);
+            let mut covered = 0u64;
+            for e in entries.iter() {
+                assert!(
+                    e.byte_lo == covered,
+                    "array {array}: placement gap or overlap at byte {covered}"
+                );
+                covered = e.byte_hi;
+                let elen = e.byte_hi - e.byte_lo;
+                let rows = elen.div_ceil(topo.row_bytes(e.tier));
+                let base_ts = cursor_rows[e.tier] * topo.tiers()[e.tier].disks as u64;
+                cursor_rows[e.tier] += rows;
+                assert!(
+                    cursor_rows[e.tier] * topo.row_bytes(e.tier)
+                        <= topo.tier_capacity_bytes(e.tier),
+                    "tier {} capacity exceeded placing array {array}",
+                    e.tier
+                );
+                segments.push(VolSeg {
+                    vol_lo: layout.file_base(array) + e.byte_lo,
+                    vol_hi: layout.file_base(array) + e.byte_hi,
+                    tier: e.tier,
+                    base_ts,
+                    array,
+                });
+            }
+            assert!(
+                covered == len,
+                "array {array}: plan covers {covered} of {len} bytes"
+            );
+        }
+        segments.sort_by_key(|s| s.vol_lo);
+        let live_rows = cursor_rows.clone();
+        TieredVolume {
+            topo,
+            segments,
+            cursor_rows,
+            live_rows,
+            num_arrays,
+        }
+    }
+
+    /// Number of arrays (files) placed on this volume.
+    pub fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    /// The topology this volume is placed on.
+    pub fn topology(&self) -> &TierTopology {
+        &self.topo
+    }
+
+    /// Total number of disks.
+    pub fn num_disks(&self) -> usize {
+        self.topo.num_disks()
+    }
+
+    /// The tier currently holding `array` (whole-array granularity;
+    /// `None` when the array is split across tiers).
+    pub fn tier_of_array(&self, array: usize) -> Option<usize> {
+        let mut found = None;
+        for s in self.segments.iter().filter(|s| s.array == array) {
+            match found {
+                None => found = Some(s.tier),
+                Some(t) if t != s.tier => return None,
+                _ => {}
+            }
+        }
+        found
+    }
+
+    /// Live (currently mapped) bytes on `tier`, row-rounded.
+    pub fn live_bytes(&self, tier: usize) -> u64 {
+        self.live_rows[tier] * self.topo.row_bytes(tier)
+    }
+
+    /// The array owning volume byte `offset`, or `None` outside the placed
+    /// volume. O(log segments); the migration policy uses this to attribute
+    /// each request to an array.
+    pub fn array_of_offset(&self, offset: u64) -> Option<usize> {
+        let ix = self.segments.partition_point(|s| s.vol_hi <= offset);
+        let seg = self.segments.get(ix)?;
+        (seg.vol_lo <= offset).then_some(seg.array)
+    }
+
+    /// Whether `array` (placed whole on one tier) could be remapped to
+    /// `to_tier` without exceeding the destination's *live* capacity.
+    /// `false` for split arrays or when `to_tier` is the current tier.
+    pub fn fits(&self, array: usize, to_tier: usize) -> bool {
+        let Some(from_tier) = self.tier_of_array(array) else {
+            return false;
+        };
+        if from_tier == to_tier {
+            return false;
+        }
+        let rows: u64 = self
+            .segments
+            .iter()
+            .filter(|s| s.array == array)
+            .map(|s| (s.vol_hi - s.vol_lo).div_ceil(self.topo.row_bytes(to_tier)))
+            .sum();
+        (self.live_rows[to_tier] + rows) * self.topo.row_bytes(to_tier)
+            <= self.topo.tier_capacity_bytes(to_tier)
+    }
+
+    /// Splits the volume byte range `[offset, offset + len)` into per-disk
+    /// pieces `(global disk, local_byte, len)`, sorted by
+    /// `(disk, local_byte)` with locally adjacent pieces merged — the same
+    /// contract (and, for flat-equivalent placements, the same output) as
+    /// [`Striping::split_range_into`](crate::Striping::split_range_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the range extends past the placed volume.
+    pub fn split_range_into(&self, offset: u64, len: u64, out: &mut Vec<(DiskId, u64, u64)>) {
+        assert!(len > 0, "range length must be positive");
+        out.clear();
+        let su = self.topo.stripe_unit();
+        let end = offset + len;
+        let mut ix = self.segments.partition_point(|s| s.vol_hi <= offset);
+        let mut cursor = offset;
+        while cursor < end {
+            let seg = self
+                .segments
+                .get(ix)
+                .unwrap_or_else(|| panic!("offset {cursor} beyond the placed volume"));
+            assert!(
+                seg.vol_lo <= cursor,
+                "offset {cursor} falls in a placement hole before segment at {}",
+                seg.vol_lo
+            );
+            let lo = cursor;
+            let hi = end.min(seg.vol_hi);
+            let n = self.topo.tiers()[seg.tier].disks as u64;
+            let disk_lo = self.topo.first_disk(seg.tier) as u64;
+            let within_lo = lo - seg.vol_lo;
+            let within_hi = hi - seg.vol_lo;
+            let first = within_lo / su;
+            let last = (within_hi - 1) / su;
+            for s in first..=last {
+                let stripe_lo = s * su;
+                let plo = within_lo.max(stripe_lo);
+                let phi = within_hi.min(stripe_lo + su);
+                let ts = seg.base_ts + s;
+                let disk = (disk_lo + ts % n) as DiskId;
+                let local = (ts / n) * su + (plo - stripe_lo);
+                out.push((disk, local, phi - plo));
+            }
+            cursor = hi;
+            ix += 1;
+        }
+        out.sort_by_key(|&(d, b, _)| (d, b));
+        let mut w = 0;
+        for r in 1..out.len() {
+            let (rd, rb, rl) = out[r];
+            let (wd, wb, wl) = out[w];
+            if wd == rd && wb + wl == rb {
+                out[w].2 += rl;
+            } else {
+                w += 1;
+                out[w] = (rd, rb, rl);
+            }
+        }
+        out.truncate(w + 1);
+    }
+
+    /// Remaps `array` (placed whole on one tier) to `to_tier`, appending
+    /// it at the destination's allocation cursor, and returns the per-disk
+    /// migration traffic. Local addresses are append-only; the vacated
+    /// rows are released from the source tier's live accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is split across tiers, already on `to_tier`,
+    /// or the destination lacks live capacity.
+    pub fn remap_array(&mut self, array: usize, to_tier: usize) -> MigrationMove {
+        let from_tier = self
+            .tier_of_array(array)
+            .unwrap_or_else(|| panic!("array {array} is split across tiers"));
+        assert_ne!(
+            from_tier, to_tier,
+            "array {array} already on tier {to_tier}"
+        );
+        let su = self.topo.stripe_unit();
+        // Gather per-disk shares of the current placement (reads).
+        let mut reads: Vec<(DiskId, u64)> = Vec::new();
+        let mut writes: Vec<(DiskId, u64)> = Vec::new();
+        let mut bytes = 0u64;
+        let mut freed_rows = 0u64;
+        let mut new_rows = 0u64;
+        for seg in self.segments.iter_mut().filter(|s| s.array == array) {
+            let elen = seg.vol_hi - seg.vol_lo;
+            bytes += elen;
+            Self::shares(&self.topo, seg.tier, elen, su, &mut reads);
+            freed_rows += elen.div_ceil(self.topo.row_bytes(seg.tier));
+            let rows = elen.div_ceil(self.topo.row_bytes(to_tier));
+            let base_ts = self.cursor_rows[to_tier] * self.topo.tiers()[to_tier].disks as u64;
+            self.cursor_rows[to_tier] += rows;
+            new_rows += rows;
+            seg.tier = to_tier;
+            seg.base_ts = base_ts;
+            Self::shares(&self.topo, to_tier, elen, su, &mut writes);
+        }
+        assert!(bytes > 0, "array {array} has no placed bytes");
+        self.live_rows[from_tier] -= freed_rows;
+        self.live_rows[to_tier] += new_rows;
+        assert!(
+            self.live_bytes(to_tier) <= self.topo.tier_capacity_bytes(to_tier),
+            "tier {to_tier} live capacity exceeded migrating array {array}"
+        );
+        Self::merge_shares(&mut reads);
+        Self::merge_shares(&mut writes);
+        MigrationMove {
+            array,
+            from_tier,
+            to_tier,
+            bytes,
+            reads,
+            writes,
+        }
+    }
+
+    /// Per-disk byte shares of a `len`-byte extent striped over `tier`:
+    /// stripe `s` goes to the tier's disk `s % n`, the last stripe
+    /// partial.
+    fn shares(topo: &TierTopology, tier: usize, len: u64, su: u64, out: &mut Vec<(DiskId, u64)>) {
+        let n = topo.tiers()[tier].disks as u64;
+        let disk_lo = topo.first_disk(tier) as u64;
+        let stripes = len.div_ceil(su);
+        let tail = len - (stripes - 1) * su;
+        for k in 0..n.min(stripes) {
+            let full = stripes / n + u64::from(k < stripes % n);
+            let mut share = full * su;
+            if (stripes - 1) % n == k {
+                share = share - su + tail;
+            }
+            if share > 0 {
+                out.push(((disk_lo + k) as DiskId, share));
+            }
+        }
+    }
+
+    /// Sums duplicate disk entries (an array remapped in several segments).
+    fn merge_shares(shares: &mut Vec<(DiskId, u64)>) {
+        shares.sort_by_key(|&(d, _)| d);
+        let mut w = 0;
+        for r in 1..shares.len() {
+            if shares[r].0 == shares[w].0 {
+                shares[w].1 += shares[r].1;
+            } else {
+                w += 1;
+                shares[w] = shares[r];
+            }
+        }
+        shares.truncate((w + 1).min(shares.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::striping::Striping;
+    use dpm_ir::parse_program;
+
+    fn layout(striping: Striping) -> (dpm_ir::Program, LayoutMap) {
+        let p = parse_program(
+            "program t;
+             array A[64][64] : f64;
+             array B[32][64] : f64;
+             array C[16][64] : f64;
+             nest L { for i = 0 .. 0 { A[0][0] = B[0][0] + C[0][0]; } }",
+        )
+        .unwrap();
+        let m = LayoutMap::new(&p, striping);
+        (p, m)
+    }
+
+    fn demands(layout: &LayoutMap, heats: &[u64]) -> Vec<ArrayDemand> {
+        heats
+            .iter()
+            .enumerate()
+            .map(|(a, &heat)| ArrayDemand {
+                bytes: layout.file_len(a),
+                heat,
+            })
+            .collect()
+    }
+
+    /// A single-tier volume with whole-array placement reproduces the flat
+    /// striping addresses exactly — pieces, order, and merging.
+    #[test]
+    fn single_tier_matches_flat_striping() {
+        let striping = Striping::new(1024, 4, 0);
+        let (_, m) = layout(striping);
+        let topo = TierTopology::new(
+            1024,
+            vec![TierRange {
+                disks: 4,
+                capacity_bytes: 1 << 30,
+            }],
+        );
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let plan = PlacementPlan::uniform(0, &sizes);
+        let vol = TieredVolume::new(&m, topo, &plan);
+        let mut flat = Vec::new();
+        let mut tiered = Vec::new();
+        for (off, len) in [
+            (0u64, 1u64),
+            (0, 10_000),
+            (777, 5_000),
+            (1023, 2),
+            (4096, 1),
+            (32 * 1024, 16 * 1024),
+            (m.volume_bytes() - 4096, 4096),
+        ] {
+            striping.split_range_into(off, len, &mut flat);
+            vol.split_range_into(off, len, &mut tiered);
+            assert_eq!(flat, tiered, "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    fn two_tier_split_covers_range_within_tier_disks() {
+        let striping = Striping::new(1024, 6, 0);
+        let (_, m) = layout(striping);
+        let topo = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1 << 30,
+                },
+                TierRange {
+                    disks: 4,
+                    capacity_bytes: 1 << 30,
+                },
+            ],
+        );
+        // A hot on tier 0, B and C cold on tier 1.
+        let plan = PlacementPlan {
+            entries: vec![
+                PlacementEntry {
+                    array: 0,
+                    byte_lo: 0,
+                    byte_hi: m.file_len(0),
+                    tier: 0,
+                },
+                PlacementEntry {
+                    array: 1,
+                    byte_lo: 0,
+                    byte_hi: m.file_len(1),
+                    tier: 1,
+                },
+                PlacementEntry {
+                    array: 2,
+                    byte_lo: 0,
+                    byte_hi: m.file_len(2),
+                    tier: 1,
+                },
+            ],
+        };
+        let vol = TieredVolume::new(&m, topo, &plan);
+        let mut out = Vec::new();
+        // A range spanning the A/B file boundary touches both tiers.
+        let a_len = m.file_len(0);
+        vol.split_range_into(a_len - 2048, 4096, &mut out);
+        let total: u64 = out.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 4096);
+        assert!(out.iter().any(|&(d, _, _)| d < 2), "no tier-0 piece");
+        assert!(out.iter().any(|&(d, _, _)| d >= 2), "no tier-1 piece");
+        // Every piece's disk belongs to the tier that owns its bytes.
+        for &(d, _, _) in &out {
+            assert!(d < 6);
+        }
+        assert_eq!(vol.tier_of_array(0), Some(0));
+        assert_eq!(vol.tier_of_array(1), Some(1));
+    }
+
+    #[test]
+    fn remap_moves_exact_share_totals() {
+        let striping = Striping::new(1024, 6, 0);
+        let (_, m) = layout(striping);
+        let topo = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1 << 30,
+                },
+                TierRange {
+                    disks: 4,
+                    capacity_bytes: 1 << 30,
+                },
+            ],
+        );
+        let sizes: Vec<u64> = (0..3).map(|a| m.file_len(a)).collect();
+        let plan = PlacementPlan::uniform(1, &sizes);
+        let mut vol = TieredVolume::new(&m, topo, &plan);
+        let before_live_1 = vol.live_bytes(1);
+        let mv = vol.remap_array(2, 0);
+        assert_eq!(mv.from_tier, 1);
+        assert_eq!(mv.to_tier, 0);
+        assert_eq!(mv.bytes, m.file_len(2));
+        let read_total: u64 = mv.reads.iter().map(|&(_, l)| l).sum();
+        let write_total: u64 = mv.writes.iter().map(|&(_, l)| l).sum();
+        assert_eq!(read_total, mv.bytes);
+        assert_eq!(write_total, mv.bytes);
+        assert!(mv.reads.iter().all(|&(d, _)| (2..6).contains(&d)));
+        assert!(mv.writes.iter().all(|&(d, _)| d < 2));
+        assert!(vol.live_bytes(1) < before_live_1);
+        assert_eq!(vol.tier_of_array(2), Some(0));
+        // The remapped array still splits cleanly and lands on tier 0.
+        let mut out = Vec::new();
+        vol.split_range_into(m.file_base(2), m.file_len(2), &mut out);
+        assert!(out.iter().all(|&(d, _, _)| d < 2));
+        let total: u64 = out.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, m.file_len(2));
+    }
+
+    #[test]
+    fn greedy_puts_hottest_on_fast_tier_and_respects_capacity() {
+        let striping = Striping::new(1024, 6, 0);
+        let (_, m) = layout(striping);
+        // Tier 0 fits only the smallest array (C = 16*64*8 = 8 KiB, rounded
+        // to the 6-disk flat rows -> 12 KiB); give it 16 KiB total.
+        let topo = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 8 * 1024,
+                },
+                TierRange {
+                    disks: 4,
+                    capacity_bytes: 1 << 30,
+                },
+            ],
+        );
+        // C is by far the hottest per byte.
+        let d = demands(&m, &[10, 10, 1_000_000]);
+        let plan = PlacementPlan::greedy(&topo, &d).unwrap();
+        assert_eq!(
+            plan.tier_of_array(2),
+            Some(0),
+            "hottest array not on tier 0"
+        );
+        assert_eq!(plan.tier_of_array(0), Some(1));
+        assert_eq!(plan.tier_of_array(1), Some(1));
+        // The plan builds a volume without tripping capacity asserts.
+        let _ = TieredVolume::new(&m, topo, &plan);
+    }
+
+    #[test]
+    fn round_robin_distributes_by_index() {
+        let striping = Striping::new(1024, 6, 0);
+        let (_, m) = layout(striping);
+        let topo = TierTopology::new(
+            1024,
+            vec![
+                TierRange {
+                    disks: 2,
+                    capacity_bytes: 1 << 30,
+                },
+                TierRange {
+                    disks: 4,
+                    capacity_bytes: 1 << 30,
+                },
+            ],
+        );
+        let d = demands(&m, &[1, 1, 1]);
+        let plan = PlacementPlan::round_robin(&topo, &d).unwrap();
+        assert_eq!(plan.tier_of_array(0), Some(0));
+        assert_eq!(plan.tier_of_array(1), Some(1));
+        assert_eq!(plan.tier_of_array(2), Some(0));
+    }
+
+    #[test]
+    fn greedy_errs_when_nothing_fits() {
+        let topo = TierTopology::new(
+            1024,
+            vec![TierRange {
+                disks: 1,
+                capacity_bytes: 1024,
+            }],
+        );
+        let d = [ArrayDemand {
+            bytes: 1 << 20,
+            heat: 1,
+        }];
+        assert!(PlacementPlan::greedy(&topo, &d).is_err());
+    }
+}

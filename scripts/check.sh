@@ -75,12 +75,20 @@ run ./target/release/chaos_bench tiny BENCH_chaos.json
 # codec stays within 16 bytes/request.
 run ./target/release/stream_bench BENCH_stream.json
 
-# Bench-trend regression gate: schema-checks the four BenchRecord files
+# Tiered-placement gate: the whole suite through flat / compiler-placed /
+# heuristic / online-migrated scenarios on a starved heterogeneous array.
+# Hard-fails unless the compiler-guided placement beats the flat baseline
+# and never loses to the heat-blind heuristic, a single-class tier config
+# replays bit-identical to the flat simulator, and migration byte
+# accounting balances (2x the event log's logical bytes).
+run ./target/release/tier_bench tiny BENCH_tier.json
+
+# Bench-trend regression gate: schema-checks the five BenchRecord files
 # just produced, fails on any failed gate or on metrics regressed beyond
 # DPM_BENCH_TOL (default 8x) vs scripts/BENCH_*_baseline.json, and appends
 # every record to results/BENCH_TREND.jsonl so the perf trajectory
 # accumulates run over run. (The BenchRecord wire format itself is pinned
 # by tests/golden/bench_record.json via the workspace test run above.)
-run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json BENCH_stream.json
+run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json BENCH_stream.json BENCH_tier.json
 
 echo "All checks passed."

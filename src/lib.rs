@@ -71,7 +71,10 @@ pub use dpm_trace as trace;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use dpm_analyze::{lint_program, verify_disk_major, verify_schedule, Diagnostic};
+    pub use dpm_analyze::{
+        array_demands, lint_program, static_access_counts, verify_disk_major, verify_placement,
+        verify_schedule, Diagnostic,
+    };
     pub use dpm_apps::{by_name, paper_striping, suite, BenchApp, Scale};
     pub use dpm_core::{
         apply_transform, mean_disk_run_length, original_schedule, parallelize_baseline,
@@ -79,12 +82,14 @@ pub mod prelude {
         restructure_symbolic, Assignment, Schedule, Transform,
     };
     pub use dpm_disksim::{
-        DiskParams, DrpmConfig, IoRequest, PowerPolicy, RequestKind, SimReport, Simulator,
-        TpmConfig, Trace,
+        DiskClass, DiskParams, DrpmConfig, IoRequest, MigrationConfig, PowerPolicy, RequestKind,
+        SimReport, Simulator, Tier, TierConfig, TierReport, TpmConfig, Trace,
     };
     pub use dpm_faults::{FaultPlan, RetryPolicy};
     pub use dpm_ir::{analyze, parse_program, DependenceInfo, Program};
-    pub use dpm_layout::{LayoutMap, Striping};
+    pub use dpm_layout::{
+        ArrayDemand, LayoutMap, PlacementEntry, PlacementPlan, Striping, TierTopology, TieredVolume,
+    };
     pub use dpm_trace::{
         disk_switch_count, ExecutionOrder, OriginalOrder, TraceGenOptions, TraceGenerator,
     };

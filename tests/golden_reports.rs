@@ -79,6 +79,74 @@ fn build_figure9() -> Json {
     })
 }
 
+/// The tier-sweep golden: every application of the Tiny suite through the
+/// four placement scenarios, with per-tier energy/busy/standby/migration
+/// counters and the full promote/demote sequence of the migrated run.
+fn build_tier() -> Json {
+    dpm_exec::serial_scope(|| {
+        let config = dpm_bench::TierSweepConfig::default();
+        let sweep = dpm_bench::run_tier_suite(Scale::Tiny, &config);
+        let apps: Vec<Json> = sweep
+            .iter()
+            .map(|app| {
+                let scenarios: Vec<Json> = app
+                    .results
+                    .iter()
+                    .map(|r| {
+                        let mut fields = vec![
+                            ("scenario".to_string(), Json::Str(r.scenario.label().into())),
+                            ("energy_j".to_string(), Json::F64(r.energy_j)),
+                            ("app_requests".to_string(), Json::U64(r.report.app_requests)),
+                        ];
+                        if let Some(t) = &r.report.tiers {
+                            let per_tier: Vec<Json> = t
+                                .per_tier
+                                .iter()
+                                .map(|ts| {
+                                    Json::obj(vec![
+                                        ("class", Json::Str(ts.class.into())),
+                                        ("disks", Json::U64(ts.disks as u64)),
+                                        ("energy_j", Json::F64(ts.energy_j)),
+                                        ("busy_ms", Json::F64(ts.busy_ms)),
+                                        ("standby_ms", Json::F64(ts.standby_ms)),
+                                        ("spin_downs", Json::U64(ts.spin_downs)),
+                                        ("migration_requests", Json::U64(ts.migration_requests)),
+                                        ("migration_bytes", Json::U64(ts.migration_bytes)),
+                                    ])
+                                })
+                                .collect();
+                            fields.push(("per_tier".to_string(), Json::Arr(per_tier)));
+                            let events: Vec<Json> = t
+                                .events
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("at_request", Json::U64(e.at_request)),
+                                        ("array", Json::U64(e.array as u64)),
+                                        ("from_tier", Json::U64(e.from_tier as u64)),
+                                        ("to_tier", Json::U64(e.to_tier as u64)),
+                                        ("bytes", Json::U64(e.bytes)),
+                                    ])
+                                })
+                                .collect();
+                            fields.push(("migrations".to_string(), Json::Arr(events)));
+                        }
+                        Json::Obj(fields)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("app", Json::Str(app.app.into())),
+                    ("scenarios", Json::Arr(scenarios)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("title", Json::Str("tier_tiny".into())),
+            ("apps", Json::Arr(apps)),
+        ])
+    })
+}
+
 /// Keys excluded from comparison: run ids differ per process, and pass
 /// timings are wall-clock measurements.
 const SKIP_KEYS: [&str; 2] = ["obs_run", "pass_timings_us"];
@@ -173,6 +241,11 @@ fn table2_tiny_matches_golden() {
 #[test]
 fn figure9_tiny_matches_golden() {
     check_golden("figure9_tiny.json", &build_figure9());
+}
+
+#[test]
+fn tier_tiny_matches_golden() {
+    check_golden("tier_tiny.json", &build_tier());
 }
 
 /// The skip-list actually skips: a report compared against itself with a

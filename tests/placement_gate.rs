@@ -1,0 +1,133 @@
+//! The placement legality gate, end to end through the facade: every
+//! plan the optimizer emits for the Tiny suite verifies clean, and
+//! hand-mutated plans are each rejected with a distinct, stable
+//! diagnostic code (the same contract `crates/analyze/tests/
+//! placement_mutation.rs` pins at the crate level — here it runs against
+//! the *optimizer's own output*, so a regression in either layer trips
+//! it).
+
+use disk_reuse::optimizer::{place_energy_aware, place_heuristic};
+use disk_reuse::prelude::*;
+use dpm_bench::TierSweepConfig;
+
+/// The sweep's starved two-tier setup for one app.
+fn setup(app: &BenchApp) -> (Program, LayoutMap, TierConfig) {
+    let config = TierSweepConfig::default();
+    let program = app.program();
+    let layout = LayoutMap::new(&program, config.striping());
+    let tiers = config.tiers_for(layout.volume_bytes());
+    (program, layout, tiers)
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut c: Vec<&'static str> = diags.iter().map(|d| d.code.as_str()).collect();
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+/// Every optimizer-emitted placement across the Tiny suite verifies
+/// clean, and the energy-aware pass never scores worse than the
+/// heat-blind heuristic under its own model.
+#[test]
+fn optimizer_placements_verify_clean_across_tiny_suite() {
+    for app in suite(Scale::Tiny) {
+        let (program, layout, tiers) = setup(&app);
+        let compiler = place_energy_aware(&program, &layout, &tiers)
+            .unwrap_or_else(|e| panic!("{}: energy-aware placement failed: {e}", app.name));
+        let heuristic = place_heuristic(&program, &layout, &tiers)
+            .unwrap_or_else(|e| panic!("{}: heuristic placement failed: {e}", app.name));
+        for (label, placed) in [("compiler", &compiler), ("heuristic", &heuristic)] {
+            let diags = verify_placement(&program, &layout, &tiers.topology(), &placed.plan);
+            assert!(
+                diags.is_empty(),
+                "{}: {label} plan failed verification: {diags:?}",
+                app.name
+            );
+            assert!(
+                placed.modeled_energy_j.is_finite() && placed.modeled_energy_j > 0.0,
+                "{}: {label} model score not positive-finite",
+                app.name
+            );
+            // The verified plan must actually build a volume.
+            let _ = TieredVolume::new(&layout, tiers.topology(), &placed.plan);
+        }
+        assert!(
+            compiler.modeled_energy_j <= heuristic.modeled_energy_j,
+            "{}: energy-aware pass scored worse than the heuristic it subsumes",
+            app.name
+        );
+    }
+}
+
+/// Each mutation class is rejected with its own stable code, for every
+/// app of the suite: the diagnostics are an API, not prose.
+#[test]
+fn mutated_plans_are_rejected_with_distinct_codes() {
+    for app in suite(Scale::Tiny) {
+        let (program, layout, tiers) = setup(&app);
+        let topo = tiers.topology();
+        let placed = place_energy_aware(&program, &layout, &tiers).expect("legal placement");
+        let plan = &placed.plan;
+        let su = topo.stripe_unit();
+
+        // Duplicate coverage: a cold-tier byte range placed twice (the
+        // cold tier has native capacity to spare, so only the overlap is
+        // illegal — the code must be DUP alone, not a capacity side
+        // effect).
+        let cold = plan
+            .entries
+            .iter()
+            .position(|e| e.tier == topo.num_tiers() - 1)
+            .expect("an entry on the cold tier");
+        let mut dup = plan.clone();
+        let copy = dup.entries[cold];
+        dup.entries.push(copy);
+        assert_eq!(
+            codes(&verify_placement(&program, &layout, &topo, &dup)),
+            ["E_PLACEMENT_DUP"],
+            "{}: duplicate entry",
+            app.name
+        );
+
+        // Missing coverage: drop an entry.
+        let mut missing = plan.clone();
+        missing.entries.remove(0);
+        assert_eq!(
+            codes(&verify_placement(&program, &layout, &topo, &missing)),
+            ["E_PLACEMENT_MISSING"],
+            "{}: dropped entry",
+            app.name
+        );
+
+        // Stripe straddle: cut an entry mid-stripe-unit.
+        let wide = plan
+            .entries
+            .iter()
+            .position(|e| e.byte_hi - e.byte_lo > su)
+            .expect("an entry wider than one stripe unit");
+        let mut straddle = plan.clone();
+        let cut = straddle.entries[wide].byte_lo + su / 2;
+        let mut tail = straddle.entries[wide];
+        straddle.entries[wide].byte_hi = cut;
+        tail.byte_lo = cut;
+        straddle.entries.push(tail);
+        let got = codes(&verify_placement(&program, &layout, &topo, &straddle));
+        assert!(
+            got.contains(&"E_PLACEMENT_STRADDLE"),
+            "{}: mid-stripe cut reported {got:?}",
+            app.name
+        );
+
+        // Capacity overflow: force everything onto the starved fast tier.
+        let sizes: Vec<u64> = placed.demands.iter().map(|d| d.bytes).collect();
+        let overflow = PlacementPlan::uniform(0, &sizes);
+        let got = codes(&verify_placement(&program, &layout, &topo, &overflow));
+        assert_eq!(
+            got,
+            ["E_PLACEMENT_CAPACITY"],
+            "{}: fast-tier overflow",
+            app.name
+        );
+    }
+}

@@ -158,6 +158,130 @@ mod randomized {
         }
     }
 
+    /// Heterogeneous storage under random tier splits, placements, and
+    /// mid-run migration policies: every class-aware invariant holds —
+    /// per-tier energy conservation against each disk's own parameter
+    /// set, tier-aggregate consistency, and migration byte balance
+    /// (physical migration traffic is exactly twice the logical bytes of
+    /// the promote/demote events: one read, one write).
+    #[test]
+    fn random_tier_scenarios_satisfy_class_aware_invariants() {
+        use dpm_disksim::{DiskClass, MigrationConfig, Tier, TierConfig};
+
+        const TIER_CASES: u64 = 24;
+        let apps = suite(Scale::Tiny);
+        for case in 0..TIER_CASES {
+            let mut rng = XorShift64Star::new(SEED.rotate_left(29) ^ case);
+            let app = &apps[rng.range_i64(0, apps.len() as i64 - 1) as usize];
+            let program = app.program();
+            let su = 1024u64 << rng.range_i64(3, 5); // 8 KiB .. 32 KiB
+            let fast_disks = rng.range_i64(1, 3) as usize;
+            let cold_disks = rng.range_i64(2, 6) as usize;
+            let striping = Striping::new(su, fast_disks + cold_disks, 0);
+            let layout = LayoutMap::new(&program, striping);
+
+            // Starve the fast tier to a random fraction of the volume so
+            // both tiers are exercised; the cold tier keeps a random
+            // slow-class's native capacity.
+            let fraction = 0.15 + 0.45 * rng.next_f64();
+            let want = (layout.volume_bytes() as f64 * fraction).ceil() as u64;
+            let per_disk = (want / fast_disks as u64).div_ceil(su).max(1) * su;
+            let fast = DiskClass {
+                capacity_bytes: per_disk,
+                ..DiskClass::performance()
+            };
+            let cold = if rng.range_i64(0, 1) == 0 {
+                DiskClass::nearline()
+            } else {
+                DiskClass::archive()
+            };
+            let config = TierConfig::new(
+                su,
+                vec![
+                    Tier {
+                        class: fast,
+                        disks: fast_disks,
+                    },
+                    Tier {
+                        class: cold,
+                        disks: cold_disks,
+                    },
+                ],
+            );
+            let topo = config.topology();
+            let demands = array_demands(&program, &layout);
+            let plan = if rng.range_i64(0, 1) == 0 {
+                PlacementPlan::greedy(&topo, &demands).expect("greedy placement")
+            } else {
+                // Round-robin can overflow the starved fast tier; fall
+                // back to the packer when it does.
+                PlacementPlan::round_robin(&topo, &demands)
+                    .or_else(|_| PlacementPlan::greedy(&topo, &demands))
+                    .expect("fallback placement")
+            };
+            assert!(
+                verify_placement(&program, &layout, &topo, &plan).is_empty(),
+                "case {case}: builder emitted an illegal plan"
+            );
+            let vol = TieredVolume::new(&layout, topo, &plan);
+
+            let deps = analyze(&program);
+            let schedule = apply_transform(&program, &layout, &deps, Transform::DiskReuse);
+            let gen = TraceGenerator::new(
+                &program,
+                &layout,
+                TraceGenOptions {
+                    max_request_bytes: su,
+                    ..TraceGenOptions::default()
+                },
+            );
+            let trace = gen.generate(&schedule).0;
+
+            let migration = MigrationConfig {
+                window_requests: rng.range_i64(32, 512) as u64,
+                max_moves_per_window: rng.range_i64(1, 3) as u32,
+                promote_margin: 1.0 + 2.0 * rng.next_f64(),
+                seed: SEED ^ case,
+            };
+            let mut sim = Simulator::new(
+                DiskClass::performance().params,
+                random_policy(&mut rng),
+                striping,
+            )
+            .with_tiers(config.clone(), vol)
+            .with_exec_threads(1);
+            let migrate = rng.range_i64(0, 3) > 0; // most cases migrate
+            if migrate {
+                sim = sim.with_migration(migration);
+            }
+            let report = sim.run(&trace);
+
+            let violations =
+                invariants::check_report_tiered(&report, &config, &RaidConfig::single());
+            assert!(
+                violations.is_empty(),
+                "case {case} (seed {SEED:#x}): class-aware invariants violated:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  - {v}\n"))
+                    .collect::<String>()
+            );
+            let tiers = report.tiers.as_ref().expect("tier summary present");
+            let event_bytes: u64 = tiers.events.iter().map(|e| e.bytes).sum();
+            assert_eq!(
+                report.total_migration_bytes(),
+                2 * event_bytes,
+                "case {case}: migration traffic out of balance"
+            );
+            if !migrate {
+                assert!(
+                    tiers.events.is_empty(),
+                    "case {case}: migration fired without a policy"
+                );
+            }
+        }
+    }
+
     /// The same seeded scenario replays bit-identically — the property the
     /// failure messages above rely on.
     #[test]
