@@ -99,6 +99,20 @@ pub enum DiagCode {
     PlacementStraddle,
     /// The bytes placed on a tier exceed the tier's capacity.
     PlacementCapacity,
+    /// A pre-activation directive's provable lead time is shorter than the
+    /// disk's spin-up time, so the next access could stall reactively.
+    HintLeadShort,
+    /// A disk access falls inside a window the directives keep the disk
+    /// spun down (not provably before the spin-down or after the
+    /// matching pre-activation completes).
+    HintAccessInWindow,
+    /// Two directives of the same kind target the same disk at the same
+    /// schedule position, or both kinds collide at one position.
+    HintDuplicate,
+    /// A disk's directive sequence does not alternate spin-down →
+    /// pre-activate (a spin-down left open mid-schedule, or a
+    /// pre-activation with no prior spin-down).
+    HintUnmatched,
     /// `Program::validate` failed (dangling ids, rank mismatches, …).
     Malformed,
     /// The symbolic verifier declined and defers to the exact engine.
@@ -134,6 +148,10 @@ impl DiagCode {
             DiagCode::PlacementMissing => "E_PLACEMENT_MISSING",
             DiagCode::PlacementStraddle => "E_PLACEMENT_STRADDLE",
             DiagCode::PlacementCapacity => "E_PLACEMENT_CAPACITY",
+            DiagCode::HintLeadShort => "E_HINT_LEAD_SHORT",
+            DiagCode::HintAccessInWindow => "E_HINT_ACCESS_IN_WINDOW",
+            DiagCode::HintDuplicate => "E_HINT_DUP",
+            DiagCode::HintUnmatched => "E_HINT_UNMATCHED",
             DiagCode::Malformed => "E_MALFORMED",
             DiagCode::NeedsExact => "I_NEEDS_EXACT",
             DiagCode::Suppressed => "I_SUPPRESSED",

@@ -45,7 +45,9 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod energy;
 pub mod footprint;
+pub mod hints;
 pub mod lint;
 pub mod placement;
 pub mod report;
@@ -55,7 +57,9 @@ pub mod verify;
 pub use diag::{
     error_count, warning_count, DiagCode, DiagSink, Diagnostic, Location, Severity, MAX_PER_CODE,
 };
+pub use energy::{disk_idle_windows, predict_energy, IdleWindow, PredictedDisk, PredictedReport};
 pub use footprint::{footprint_contains, static_volume_footprint};
+pub use hints::verify_hints;
 pub use lint::lint_program;
 pub use placement::{array_demands, static_access_counts, verify_placement};
 pub use report::{analyze_suite, SuiteReport};

@@ -330,8 +330,8 @@ fn barrier_witness(
     let max_src_phase = src.iter().map(|(p, _)| p.phase).max()?;
     let min_dst_phase = dst.iter().map(|(p, _)| p.phase).min()?;
     if max_src_phase > min_dst_phase {
-        let s = *src.iter().find(|(p, _)| p.phase == max_src_phase).unwrap();
-        let d = *dst.iter().find(|(p, _)| p.phase == min_dst_phase).unwrap();
+        let s = *src.iter().find(|(p, _)| p.phase == max_src_phase)?;
+        let d = *dst.iter().find(|(p, _)| p.phase == min_dst_phase)?;
         return Some((s, d));
     }
     if max_src_phase < min_dst_phase {

@@ -353,7 +353,10 @@ pub fn run_app(
             let (trace, stats) = gen.generate(&schedule);
             traces.push((shape, trace, stats));
         }
-        let (_, trace, stats) = traces.iter().find(|(s, _, _)| *s == shape).unwrap();
+        let (_, trace, stats) = traces
+            .iter()
+            .find(|(s, _, _)| *s == shape)
+            .expect("every version shape was generated above");
         let sim =
             Simulator::new(config.disk, v.policy(), config.striping).with_faults(config.faults);
         let report = sim.run(trace);
@@ -570,7 +573,10 @@ pub fn run_app_streamed(
             }
             spills.push((shape, SpilledTrace::spill(&gen, &schedule)));
         }
-        let (_, spill) = spills.iter().find(|(s, _)| *s == shape).unwrap();
+        let (_, spill) = spills
+            .iter()
+            .find(|(s, _)| *s == shape)
+            .expect("every version shape was spilled above");
         let sim =
             Simulator::new(config.disk, v.policy(), config.striping).with_faults(config.faults);
         results.push(VersionResult {

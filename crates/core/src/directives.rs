@@ -1,0 +1,181 @@
+//! Explicit power-management directives attached to schedule points.
+//!
+//! The paper's compiler does not merely *reorder* iterations — it inserts
+//! explicit `spin_down()` / `pre_activate()` calls into the transformed
+//! code at the points where the static analysis proves a disk enters a
+//! long idle window (spin-down) and shortly before it is touched again
+//! (pre-activation, issued at least one spin-up time ahead). This module
+//! is the IR for those calls: a [`Directive`] names a disk, a schedule
+//! position, and a kind; a [`DirectiveTable`] is the full set the
+//! hint-insertion pass emits and `dpm_analyze::verify_hints` checks.
+//!
+//! Semantics: a directive fires at the *start* of executing the iteration
+//! at its [`SchedulePos`] — before that iteration's own disk accesses are
+//! issued. A `SpinDown` on disk *d* means *d* is put into standby there
+//! and must not be accessed again until the matching `PreActivate`, which
+//! starts the spin-up early enough that the disk is at full speed when
+//! the next access to *d* arrives.
+
+use std::cmp::Ordering;
+
+/// A point in a [`crate::Schedule`]: phase, processor, and the index of
+/// the iteration within that processor's slice of the phase.
+///
+/// Ordered lexicographically `(phase, proc, idx)`. Note that positions on
+/// *different* processors within one phase are concurrent in real
+/// executions — the `Ord` instance is a stable total order for tables and
+/// reports, not a happens-before relation. `dpm_analyze::verify_hints`
+/// treats cross-processor orderings conservatively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SchedulePos {
+    /// Phase index (schedules are barrier-separated phase lists).
+    pub phase: u32,
+    /// Processor index within the phase.
+    pub proc: u32,
+    /// Iteration index within the processor's sequence for the phase.
+    pub idx: u32,
+}
+
+impl SchedulePos {
+    /// Creates a position.
+    pub fn new(phase: u32, proc: u32, idx: u32) -> Self {
+        SchedulePos { phase, proc, idx }
+    }
+}
+
+impl PartialOrd for SchedulePos {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SchedulePos {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.phase, self.proc, self.idx).cmp(&(other.phase, other.proc, other.idx))
+    }
+}
+
+/// What a directive asks the disk to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DirectiveKind {
+    /// Put the disk into standby now; no access may target it until the
+    /// matching [`DirectiveKind::PreActivate`] completes.
+    SpinDown,
+    /// Start spinning the disk back up now, so it is at full speed when
+    /// the next access arrives. Must lead that access by at least the
+    /// spin-up time.
+    PreActivate,
+}
+
+impl DirectiveKind {
+    /// Short label for reports (`"spin_down"` / `"pre_activate"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DirectiveKind::SpinDown => "spin_down",
+            DirectiveKind::PreActivate => "pre_activate",
+        }
+    }
+}
+
+/// One compiler-inserted power-management call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Directive {
+    /// Where in the schedule the call is issued.
+    pub at: SchedulePos,
+    /// The disk (I/O node) the call targets.
+    pub disk: u32,
+    /// Spin-down or pre-activate.
+    pub kind: DirectiveKind,
+}
+
+/// The full set of directives the hint-insertion pass attached to a
+/// schedule, kept sorted by `(disk, at)` for deterministic iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirectiveTable {
+    entries: Vec<Directive>,
+}
+
+impl DirectiveTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        DirectiveTable::default()
+    }
+
+    /// Adds a directive, keeping the table sorted by `(disk, at, kind)`.
+    pub fn push(&mut self, d: Directive) {
+        let key = |e: &Directive| (e.disk, e.at, e.kind == DirectiveKind::PreActivate);
+        let pos = self.entries.partition_point(|e| key(e) <= key(&d));
+        self.entries.insert(pos, d);
+    }
+
+    /// All directives, sorted by `(disk, at)`.
+    pub fn entries(&self) -> &[Directive] {
+        &self.entries
+    }
+
+    /// Number of directives.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no directives were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The directives targeting `disk`, in schedule order.
+    pub fn for_disk(&self, disk: u32) -> impl Iterator<Item = &Directive> {
+        self.entries.iter().filter(move |d| d.disk == disk)
+    }
+
+    /// Count of directives of `kind`.
+    pub fn count(&self, kind: DirectiveKind) -> usize {
+        self.entries.iter().filter(|d| d.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_order_is_lexicographic() {
+        let a = SchedulePos::new(0, 0, 5);
+        let b = SchedulePos::new(0, 1, 0);
+        let c = SchedulePos::new(1, 0, 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn table_keeps_disk_then_pos_order() {
+        let mut t = DirectiveTable::new();
+        t.push(Directive {
+            at: SchedulePos::new(2, 0, 0),
+            disk: 1,
+            kind: DirectiveKind::PreActivate,
+        });
+        t.push(Directive {
+            at: SchedulePos::new(0, 0, 3),
+            disk: 1,
+            kind: DirectiveKind::SpinDown,
+        });
+        t.push(Directive {
+            at: SchedulePos::new(1, 0, 0),
+            disk: 0,
+            kind: DirectiveKind::SpinDown,
+        });
+        let order: Vec<(u32, u32)> = t.entries().iter().map(|d| (d.disk, d.at.phase)).collect();
+        assert_eq!(order, vec![(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(t.for_disk(1).count(), 2);
+        assert_eq!(t.count(DirectiveKind::SpinDown), 2);
+        assert_eq!(t.count(DirectiveKind::PreActivate), 1);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DirectiveKind::SpinDown.label(), "spin_down");
+        assert_eq!(DirectiveKind::PreActivate.label(), "pre_activate");
+    }
+}

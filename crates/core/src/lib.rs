@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod classic;
+mod directives;
 mod multi;
 mod schedule;
 mod single;
 mod symbolic;
 
 pub use classic::{can_fuse, can_interchange, fuse_program, interchange, tile};
+pub use directives::{Directive, DirectiveKind, DirectiveTable, SchedulePos};
 pub use multi::{
     affinity_classes, disk_group_owner, distribution_dims, parallelize_baseline,
     parallelize_layout_aware, region_owner, Assignment,

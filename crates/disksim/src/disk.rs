@@ -1,7 +1,7 @@
 //! Per-disk (per-I/O-node) simulation: service-time accounting, energy
 //! integration, and the TPM / DRPM power-management state machines.
 
-use crate::params::{DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
+use crate::params::{DirectiveConfig, DiskParams, DrpmConfig, PowerPolicy, RaidConfig, TpmConfig};
 use crate::stats::{DiskStats, IdleHistogram, Span, SpanState};
 use dpm_faults::{FaultInjector, RetryPolicy};
 use dpm_prof::DiskStreamMetrics;
@@ -365,7 +365,49 @@ impl DiskSim {
             }
             PowerPolicy::Tpm(cfg) => self.pass_idle_tpm(gap, request_follows, &cfg),
             PowerPolicy::Drpm(cfg) => self.pass_idle_drpm(gap, &cfg),
+            PowerPolicy::Directive(cfg) => self.pass_idle_directive(gap, request_follows, &cfg),
         }
+    }
+
+    /// Compiler-directed power management: the directives this gap would
+    /// carry have been *verified* (`dpm_analyze::verify_hints`), so their
+    /// runtime effect is fully determined by the gap itself — a window at
+    /// least `min_idle_ms` long spins down at its start, and when a
+    /// request follows, the pre-activation spin-up completes exactly at
+    /// the gap end (zero reactive stall). Shorter windows carry no
+    /// directives and idle at full speed. Spin-up fault injection is not
+    /// consulted here: the directive gate runs under the zero-fault plan,
+    /// and a verified directive set makes no claim about failing spindles.
+    fn pass_idle_directive(
+        &mut self,
+        gap: f64,
+        request_follows: bool,
+        cfg: &DirectiveConfig,
+    ) -> f64 {
+        let transitions = self.params.spin_down_ms
+            + if request_follows {
+                self.params.spin_up_ms
+            } else {
+                0.0
+            };
+        if gap < cfg.min_idle_ms || gap < transitions {
+            self.accrue_idle(gap);
+            return 0.0;
+        }
+        // Spin down at the window start.
+        self.stats.spin_downs += 1;
+        self.stats.transition_ms += self.params.spin_down_ms;
+        self.stats.energy_j += self.members() * self.params.spin_down_energy_j;
+        self.push_span(self.params.spin_down_ms, SpanState::Transition);
+        self.accrue_standby(gap - transitions);
+        if request_follows {
+            // Pre-activation: the spin-up overlaps the tail of the window.
+            self.stats.spin_ups += 1;
+            self.stats.transition_ms += self.params.spin_up_ms;
+            self.stats.energy_j += self.members() * self.params.spin_up_energy_j;
+            self.push_span(self.params.spin_up_ms, SpanState::Transition);
+        }
+        0.0
     }
 
     fn pass_idle_tpm(&mut self, gap: f64, request_follows: bool, cfg: &TpmConfig) -> f64 {
@@ -821,6 +863,76 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.spin_downs, 1);
         assert_eq!(s.spin_ups, 0);
+    }
+
+    #[test]
+    fn directive_long_idle_spins_down_without_stall() {
+        let cfg = DirectiveConfig::for_params(&params());
+        let mut d = DiskSim::new(params(), PowerPolicy::Directive(cfg));
+        let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+        // 100 s window: spin-down at the window start, standby, then a
+        // pre-activated spin-up ending exactly at the next arrival.
+        let a2 = c1 + 100_000.0;
+        let out = d.service(&sub(a2, 1 << 30, 1024));
+        let s = d.stats();
+        assert_eq!(s.spin_downs, 1);
+        assert_eq!(s.spin_ups, 1);
+        assert!((out.stall_ms - 0.0).abs() < 1e-9, "stall {}", out.stall_ms);
+        let p = params();
+        let expect_standby = 100_000.0 - p.spin_down_ms - p.spin_up_ms;
+        assert!((s.standby_ms - expect_standby).abs() < 1e-9);
+        // The request completes exactly one service time after arrival.
+        let svc = p.service_ms(1024, 15_000, false);
+        assert!((out.completion_ms - a2 - svc).abs() < 1e-9);
+        d.finish(out.completion_ms);
+    }
+
+    #[test]
+    fn directive_short_idle_stays_at_full_speed() {
+        let cfg = DirectiveConfig::for_params(&params());
+        let mut d = DiskSim::new(params(), PowerPolicy::Directive(cfg));
+        let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+        // Just under the break-even window: no directive, pure idle.
+        let _ = d.service(&sub(c1 + cfg.min_idle_ms - 1.0, 1 << 30, 1024));
+        let s = d.stats();
+        assert_eq!(s.spin_downs, 0);
+        assert_eq!(s.standby_ms, 0.0);
+    }
+
+    #[test]
+    fn directive_trailing_idle_spins_down_without_spin_up() {
+        let cfg = DirectiveConfig::for_params(&params());
+        let mut d = DiskSim::new(params(), PowerPolicy::Directive(cfg));
+        let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+        d.finish(c1 + 100_000.0);
+        let s = d.stats();
+        assert_eq!(s.spin_downs, 1);
+        assert_eq!(s.spin_ups, 0);
+        let expect_standby = 100_000.0 - params().spin_down_ms;
+        assert!((s.standby_ms - expect_standby).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directive_beats_reactive_tpm_on_long_idle() {
+        let run = |policy| {
+            let mut d = DiskSim::new(params(), policy);
+            let c1 = d.service(&sub(0.0, 0, 1024)).completion_ms;
+            let c2 = d.service(&sub(c1 + 200_000.0, 1 << 30, 1024)).completion_ms;
+            d.finish(c2);
+            (d.stats().energy_j, c2)
+        };
+        let (base_e, _) = run(PowerPolicy::None);
+        let (tpm_e, tpm_end) = run(PowerPolicy::Tpm(TpmConfig::default()));
+        let cfg = DirectiveConfig::for_params(&params());
+        let (dir_e, dir_end) = run(PowerPolicy::Directive(cfg));
+        // The static policy spins down immediately (no timeout wait) and
+        // never stalls the request (no reactive spin-up).
+        assert!(dir_e < tpm_e, "directive {dir_e} >= tpm {tpm_e}");
+        assert!(dir_e < base_e, "directive {dir_e} >= base {base_e}");
+        assert!(
+            dir_end < tpm_end,
+            "directive end {dir_end} >= tpm {tpm_end}"
+        );
     }
 
     #[test]

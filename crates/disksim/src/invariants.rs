@@ -340,6 +340,17 @@ fn check_report_params(
                 ),
             );
         }
+        // Spin-state accounting: every spin-up answers a prior spin-down;
+        // only a trailing spin-down (trace ends in standby) may go
+        // unanswered. Holds under every policy — reactive timeout,
+        // proactive, or compiler-directed.
+        if d.spin_ups > d.spin_downs {
+            violation(
+                &mut v,
+                Some(disk),
+                format!("spin-ups {} exceed spin-downs {}", d.spin_ups, d.spin_downs),
+            );
+        }
     }
     // (3) Timeline coverage, when recorded.
     if let Some(timelines) = &report.timelines {
@@ -617,6 +628,46 @@ mod tests {
         report.per_disk[0].energy_j *= 100.0;
         let v = check_report(&report, &DiskParams::default(), &RaidConfig::single());
         assert!(v.iter().any(|x| x.what.contains("conservation bounds")));
+    }
+
+    #[test]
+    fn detects_spin_state_mismatch() {
+        let striping = Striping::new(4096, 2, 0);
+        let sim = Simulator::new(DiskParams::default(), PowerPolicy::None, striping);
+        let t = trace();
+        let mut report = sim.run(&t);
+        report.per_disk[0].spin_ups = report.per_disk[0].spin_downs + 1;
+        let v = check_report(&report, &DiskParams::default(), &RaidConfig::single());
+        assert!(v.iter().any(|x| x.what.contains("exceed spin-downs")));
+    }
+
+    #[test]
+    fn directive_run_satisfies_invariants() {
+        let striping = Striping::new(4096, 2, 0);
+        let params = DiskParams::default();
+        let cfg = crate::params::DirectiveConfig::for_params(&params);
+        let sim = Simulator::new(params, PowerPolicy::Directive(cfg), striping).with_timelines();
+        // Two bursts separated by a window well past break-even, plus a
+        // long trailing gap: exercises both the pre-activated and the
+        // unanswered spin-down.
+        let mut reqs: Vec<IoRequest> = (0..8u32)
+            .map(|k| read(f64::from(k) * 10.0, u64::from(k) * 8192, 16 * 1024))
+            .collect();
+        reqs.extend((0..8u32).map(|k| {
+            read(
+                60_000.0 + f64::from(k) * 10.0,
+                u64::from(k) * 8192,
+                16 * 1024,
+            )
+        }));
+        let t = Trace::from_requests(reqs);
+        let report = sim.run(&t);
+        assert!(
+            report.total_spin_downs() > 0,
+            "directive policy never engaged"
+        );
+        assert!(check_report(&report, &DiskParams::default(), &RaidConfig::single()).is_empty());
+        assert!(check_trace_accounting(&report, &t, &striping).is_empty());
     }
 
     #[test]

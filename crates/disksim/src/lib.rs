@@ -53,8 +53,8 @@ mod stream;
 pub use disk::{DiskSim, SubRequest};
 pub use dpm_faults::{FaultInjector, FaultPlan, RetryPolicy};
 pub use params::{
-    DiskClass, DiskParams, DrpmConfig, MigrationConfig, PowerPolicy, RaidConfig, Tier, TierConfig,
-    TpmConfig,
+    DirectiveConfig, DiskClass, DiskParams, DrpmConfig, MigrationConfig, PowerPolicy, RaidConfig,
+    Tier, TierConfig, TpmConfig,
 };
 pub use request::{IoRequest, RequestKind, Trace, TraceParseError, TRACE_BLOCK_BYTES};
 pub use sim::Simulator;

@@ -511,6 +511,36 @@ impl Default for RaidConfig {
     }
 }
 
+/// Knobs of the compiler-directed (static) power policy: the disk acts on
+/// explicit `SpinDown`/`PreActivate` directives rather than an idle
+/// timeout. The simulator models a *verified* directive set (see
+/// `dpm_analyze::verify_hints`), so a spin-down happens at the start of an
+/// idle window and the matching pre-activation completes exactly when the
+/// next request arrives — no reactive spin-up stall, no timeout wait.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirectiveConfig {
+    /// Minimum idle-window length the compiler targets, in milliseconds.
+    /// Windows shorter than this carry no directives and are spent at
+    /// full-speed idle. Must be at least `spin_down_ms + spin_up_ms` so a
+    /// window always fits both transitions; the [`DirectiveConfig::for_params`]
+    /// constructor also raises it to the break-even time so every
+    /// compiler-inserted spin-down is guaranteed to save energy.
+    pub min_idle_ms: f64,
+}
+
+impl DirectiveConfig {
+    /// The configuration the hint-insertion pass targets for `params`:
+    /// spin down exactly the windows that are provably profitable
+    /// (`break_even_ms`) and physically feasible (both transitions fit).
+    pub fn for_params(params: &DiskParams) -> Self {
+        DirectiveConfig {
+            min_idle_ms: params
+                .break_even_ms()
+                .max(params.spin_down_ms + params.spin_up_ms),
+        }
+    }
+}
+
 /// Which power-management mechanism each disk runs.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum PowerPolicy {
@@ -522,6 +552,9 @@ pub enum PowerPolicy {
     Tpm(TpmConfig),
     /// Dynamic RPM scaling.
     Drpm(DrpmConfig),
+    /// Compiler-directed: explicit verified spin-down/pre-activate
+    /// directives, executed without timeouts or reactive stalls.
+    Directive(DirectiveConfig),
 }
 
 impl fmt::Display for PowerPolicy {
@@ -530,6 +563,7 @@ impl fmt::Display for PowerPolicy {
             PowerPolicy::None => write!(f, "none"),
             PowerPolicy::Tpm(c) => write!(f, "TPM(timeout={}ms)", c.spin_down_timeout_ms),
             PowerPolicy::Drpm(c) => write!(f, "DRPM(min={}rpm)", c.min_rpm),
+            PowerPolicy::Directive(c) => write!(f, "Directive(min_idle={}ms)", c.min_idle_ms),
         }
     }
 }
@@ -588,5 +622,19 @@ mod tests {
     fn drpm_levels() {
         let c = DrpmConfig::default();
         assert_eq!(c.levels(15_000), vec![15_000, 12_000, 9_000, 6_000, 3_000]);
+    }
+
+    #[test]
+    fn directive_min_idle_covers_break_even_and_transitions() {
+        let d = DiskParams::ultrastar_36z15();
+        let c = DirectiveConfig::for_params(&d);
+        assert!(c.min_idle_ms >= d.break_even_ms());
+        assert!(c.min_idle_ms >= d.spin_down_ms + d.spin_up_ms);
+        // Ultrastar: break-even (~15.2 s) dominates the 12.4 s transitions.
+        assert!((c.min_idle_ms - d.break_even_ms()).abs() < 1e-9);
+        assert_eq!(
+            format!("{}", PowerPolicy::Directive(c)),
+            format!("Directive(min_idle={}ms)", c.min_idle_ms)
+        );
     }
 }

@@ -309,8 +309,12 @@ impl Simulator {
     /// Dispatches to a per-disk sharded pass over persistent shard workers
     /// (see [`dpm_exec::shard_scope`]) when more than one worker thread is
     /// in effect (see [`with_exec_threads`](Self::with_exec_threads) and
-    /// `DPM_THREADS`) and the volume has more than one disk; otherwise
-    /// runs the serial reference pass. Both produce bit-identical reports.
+    /// `DPM_THREADS`) and the volume has more than one disk — but only
+    /// after probing the stream for a full window of requests: a run that
+    /// ends inside its first window cannot amortize a worker lease, so it
+    /// takes the serial reference pass no matter the thread count. Both
+    /// passes produce bit-identical reports, so the adaptive choice is
+    /// invisible in the output.
     ///
     /// # Panics
     ///
@@ -323,8 +327,21 @@ impl Simulator {
         let threads =
             dpm_exec::effective_threads(self.threads.unwrap_or_else(dpm_exec::num_threads));
         let (report, accounting) = if threads > 1 && self.num_disks() > 1 {
-            sp.add("workers", self.num_disks() as u64);
-            self.run_stream_sharded(stream, obs_run)
+            let mut prefix = Vec::with_capacity(STREAM_WINDOW);
+            while prefix.len() < STREAM_WINDOW {
+                match stream.next_request() {
+                    Some(r) => prefix.push(r),
+                    None => break,
+                }
+            }
+            let small = prefix.len() < STREAM_WINDOW;
+            let mut probed = crate::stream::Prefetched::new(prefix, stream);
+            if small {
+                self.run_stream_serial(&mut probed, obs_run)
+            } else {
+                sp.add("workers", self.num_disks() as u64);
+                self.run_stream_sharded(&mut probed, obs_run)
+            }
         } else {
             self.run_stream_serial(stream, obs_run)
         };

@@ -626,9 +626,10 @@ pub(crate) fn run_lease<O>(
         return (mid(), None);
     }
     let set = set();
-    // SAFETY: `run_lease` blocks below until `finished == count` before
-    // this frame can unwind, on the panic path included.
     let lease = Arc::new(LeaseJob {
+        // SAFETY: `run_lease` blocks below until `finished == count`
+        // before this frame can unwind, on the panic path included, so
+        // the erased `body` borrow outlives every worker's use of it.
         body: unsafe { TaskPtr::erase(body) },
         count,
         sync: Mutex::new(LeaseSync {

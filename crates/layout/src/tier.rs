@@ -198,7 +198,9 @@ impl PlacementPlan {
         order.sort_by(|&a, &b| {
             let da = demands[a].heat as f64 / demands[a].bytes.max(1) as f64;
             let db = demands[b].heat as f64 / demands[b].bytes.max(1) as f64;
-            db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+            // Densities are finite ratios of non-negative integers, so
+            // total_cmp is exactly partial_cmp here — minus the panic path.
+            db.total_cmp(&da).then(a.cmp(&b))
         });
         Self::pack(topo, demands, &order)
     }

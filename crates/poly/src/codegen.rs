@@ -235,15 +235,13 @@ impl ScanNest {
                 .iter()
                 .map(|b| b.display_with(names, false))
                 .collect();
-            let lo = if lo.len() == 1 {
-                lo.into_iter().next().unwrap()
-            } else {
-                format!("max({})", lo.join(", "))
+            let lo = match <[String; 1]>::try_from(lo) {
+                Ok([only]) => only,
+                Err(many) => format!("max({})", many.join(", ")),
             };
-            let hi = if hi.len() == 1 {
-                hi.into_iter().next().unwrap()
-            } else {
-                format!("min({})", hi.join(", "))
+            let hi = match <[String; 1]>::try_from(hi) {
+                Ok([only]) => only,
+                Err(many) => format!("min({})", many.join(", ")),
             };
             out.push_str(&format!(
                 "{indent}for {} = {} .. {} {{\n",

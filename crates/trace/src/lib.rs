@@ -559,7 +559,7 @@ impl<'p> TraceGenerator<'p> {
                     .enumerate()
                     .min_by(|(_, a), (_, b)| a.first_ms.total_cmp(&b.first_ms))
                     .map(|(i, _)| i)
-                    .unwrap();
+                    .expect("pending is non-empty: len >= streams.max(1) >= 1");
                 let p = st.pending.swap_remove(oldest);
                 self.emit(proc, p, contention, st, stats);
             }

@@ -28,6 +28,18 @@ run cargo clippy --offline --workspace --all-targets -- \
     -D clippy::todo \
     -D clippy::unimplemented
 
+# Stricter bar for library code only (`--lib` excludes tests, benches and
+# bins, where unwrap/expect on infallible setup is idiomatic): every
+# `unsafe` block needs a SAFETY comment, and library code may not unwrap —
+# fallible paths must surface typed errors or documented expects.
+run cargo clippy --offline --workspace --lib -- \
+    -D warnings \
+    -D clippy::dbg_macro \
+    -D clippy::todo \
+    -D clippy::unimplemented \
+    -D clippy::undocumented_unsafe_blocks \
+    -D clippy::unwrap_used
+
 # Static legality gate: lint every app, symbolically verify the disk-major
 # plan, and exactly verify all four scheduler outputs per app. Exits
 # non-zero on any Error-severity diagnostic, so an illegal schedule or a
@@ -83,12 +95,20 @@ run ./target/release/stream_bench BENCH_stream.json
 # accounting balances (2x the event log's logical bytes).
 run ./target/release/tier_bench tiny BENCH_tier.json
 
-# Bench-trend regression gate: schema-checks the five BenchRecord files
+# Prediction-soundness gate: the static energy oracle's closed-form
+# bounds must contain the simulated energy of every Tiny-suite cell x
+# policy, the walked iteration counts must match dpm-poly's closed
+# forms, and insert_power_hints must emit directive tables that
+# verify_hints accepts. Also trends bound tightness and the spin-down
+# prediction hit-rate.
+run ./target/release/oracle_bench tiny BENCH_oracle.json
+
+# Bench-trend regression gate: schema-checks the six BenchRecord files
 # just produced, fails on any failed gate or on metrics regressed beyond
 # DPM_BENCH_TOL (default 8x) vs scripts/BENCH_*_baseline.json, and appends
 # every record to results/BENCH_TREND.jsonl so the perf trajectory
 # accumulates run over run. (The BenchRecord wire format itself is pinned
 # by tests/golden/bench_record.json via the workspace test run above.)
-run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json BENCH_stream.json BENCH_tier.json
+run ./target/release/bench-report BENCH_parallel.json BENCH_poly.json BENCH_chaos.json BENCH_stream.json BENCH_tier.json BENCH_oracle.json
 
 echo "All checks passed."

@@ -72,18 +72,21 @@ pub use dpm_trace as trace;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use dpm_analyze::{
-        array_demands, lint_program, static_access_counts, verify_disk_major, verify_placement,
-        verify_schedule, Diagnostic,
+        array_demands, disk_idle_windows, lint_program, predict_energy, static_access_counts,
+        verify_disk_major, verify_hints, verify_placement, verify_schedule, Diagnostic, IdleWindow,
+        PredictedReport,
     };
     pub use dpm_apps::{by_name, paper_striping, suite, BenchApp, Scale};
     pub use dpm_core::{
         apply_transform, mean_disk_run_length, original_schedule, parallelize_baseline,
         parallelize_layout_aware, restructure_single, restructure_single_reference,
-        restructure_symbolic, Assignment, Schedule, Transform,
+        restructure_symbolic, Assignment, Directive, DirectiveKind, DirectiveTable, Schedule,
+        SchedulePos, Transform,
     };
     pub use dpm_disksim::{
-        DiskClass, DiskParams, DrpmConfig, IoRequest, MigrationConfig, PowerPolicy, RequestKind,
-        SimReport, Simulator, Tier, TierConfig, TierReport, TpmConfig, Trace,
+        DirectiveConfig, DiskClass, DiskParams, DrpmConfig, IoRequest, MigrationConfig,
+        PowerPolicy, RequestKind, SimReport, Simulator, Tier, TierConfig, TierReport, TpmConfig,
+        Trace,
     };
     pub use dpm_faults::{FaultPlan, RetryPolicy};
     pub use dpm_ir::{analyze, parse_program, DependenceInfo, Program};

@@ -1,0 +1,174 @@
+//! Mutation suite for `verify_hints`: start from a *verified* directive
+//! table produced by `insert_power_hints`, break it in each of the ways
+//! the verifier claims to catch, and assert the exact stable `E_HINT_*`
+//! code comes back. A verifier that accepts any of these mutants would
+//! let the simulator spin a disk down under live accesses or wake it too
+//! late — this suite is what makes the "verified directives" claim mean
+//! something.
+
+use disk_reuse::optimizer::insert_power_hints;
+use disk_reuse::prelude::*;
+
+/// One array spanning four stripes of a two-disk volume: L1 hammers
+/// block 0 (disk 0) for ~20.5 s, then L2 hammers block 3 (disk 1), so
+/// both disks have one provable idle window past break-even.
+fn fixture() -> (Program, LayoutMap) {
+    let p = parse_program(
+        "program t;
+         array A[2048] : f64;
+         nest L1 { for i = 0 .. 511 { A[i] = A[i] + 1 @ 30000000; } }
+         nest L2 { for i = 1536 .. 2047 { A[i] = A[i] + 1 @ 30000000; } }",
+    )
+    .expect("fixture parses");
+    let layout = LayoutMap::new(&p, Striping::new(4096, 2, 0));
+    (p, layout)
+}
+
+/// Inserted hints for the fixture plus everything needed to re-verify a
+/// mutated copy of them.
+struct Setup {
+    program: Program,
+    layout: LayoutMap,
+    schedule: Schedule,
+    options: TraceGenOptions,
+    params: DiskParams,
+    table: DirectiveTable,
+}
+
+fn setup() -> Setup {
+    let (program, layout) = fixture();
+    let schedule = original_schedule(&program);
+    let options = TraceGenOptions::default();
+    let params = DiskParams::default();
+    let table = insert_power_hints(&program, &layout, &schedule, &options, &params)
+        .expect("the unmutated table verifies clean");
+    assert!(
+        table.count(DirectiveKind::PreActivate) >= 1 && table.count(DirectiveKind::SpinDown) >= 2,
+        "fixture must exercise both directive kinds, got {:?}",
+        table.entries()
+    );
+    Setup {
+        program,
+        layout,
+        schedule,
+        options,
+        params,
+        table,
+    }
+}
+
+fn verify_codes(s: &Setup, table: &DirectiveTable) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = verify_hints(
+        &s.program,
+        &s.layout,
+        &s.schedule,
+        &s.options,
+        &s.params,
+        table,
+    )
+    .iter()
+    .map(|d| d.code.as_str())
+    .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// Rebuilds a table from mutated entries.
+fn rebuild(entries: Vec<Directive>) -> DirectiveTable {
+    let mut t = DirectiveTable::new();
+    for d in entries {
+        t.push(d);
+    }
+    t
+}
+
+/// Shifting the pre-activation toward its closing access until the
+/// provable compute lead drops under the spin-up time is rejected with
+/// `E_HINT_LEAD_SHORT` — a late wake-up means the access stalls on a
+/// sleeping disk.
+#[test]
+fn late_pre_activation_is_lead_short() {
+    let s = setup();
+    let mut entries = s.table.entries().to_vec();
+    let pre = entries
+        .iter_mut()
+        .find(|d| d.kind == DirectiveKind::PreActivate)
+        .expect("fixture inserts a pre-activation");
+    // Iterations cost 40 ms each and disk 1's burst opens at idx 512:
+    // idx 480 leaves a 1280 ms lead against a 10900 ms spin-up.
+    pre.at = SchedulePos::new(pre.at.phase, pre.at.proc, 480);
+    let codes = verify_codes(&s, &rebuild(entries));
+    assert_eq!(codes, ["E_HINT_LEAD_SHORT"]);
+}
+
+/// Pulling a spin-down back into its disk's active burst puts live
+/// accesses inside the spun-down window: rejected with
+/// `E_HINT_ACCESS_IN_WINDOW`.
+#[test]
+fn access_inside_spun_down_window_is_rejected() {
+    let s = setup();
+    let mut entries = s.table.entries().to_vec();
+    let sd = entries
+        .iter_mut()
+        .find(|d| d.kind == DirectiveKind::SpinDown && d.disk == 0)
+        .expect("fixture parks disk 0 after its burst");
+    // Disk 0 is accessed on every iteration of 0..512; spinning it down
+    // at idx 100 strands iterations 100..511 behind a parked spindle.
+    sd.at = SchedulePos::new(sd.at.phase, sd.at.proc, 100);
+    let codes = verify_codes(&s, &rebuild(entries));
+    assert!(
+        codes.contains(&"E_HINT_ACCESS_IN_WINDOW"),
+        "expected E_HINT_ACCESS_IN_WINDOW, got {codes:?}"
+    );
+}
+
+/// Issuing the same directive twice at one schedule point is rejected
+/// with `E_HINT_DUP` (and a contradictory pair at one point likewise).
+#[test]
+fn duplicate_directive_is_rejected() {
+    let s = setup();
+    let mut entries = s.table.entries().to_vec();
+    let dup = *entries
+        .iter()
+        .find(|d| d.kind == DirectiveKind::SpinDown)
+        .expect("fixture inserts a spin-down");
+    entries.push(dup);
+    let codes = verify_codes(&s, &rebuild(entries));
+    assert!(
+        codes.contains(&"E_HINT_DUP"),
+        "expected E_HINT_DUP, got {codes:?}"
+    );
+}
+
+/// A pre-activation with no spin-down before it on the same disk has
+/// nothing to wake: rejected with `E_HINT_UNMATCHED`.
+#[test]
+fn unmatched_pre_activation_is_rejected() {
+    let s = setup();
+    let mut entries = s.table.entries().to_vec();
+    entries.retain(|d| !(d.kind == DirectiveKind::SpinDown && d.disk == 1));
+    let codes = verify_codes(&s, &rebuild(entries));
+    assert!(
+        codes.contains(&"E_HINT_UNMATCHED"),
+        "expected E_HINT_UNMATCHED, got {codes:?}"
+    );
+}
+
+/// A directive at a schedule point that does not exist is rejected with
+/// `E_MALFORMED` before any semantic check runs.
+#[test]
+fn out_of_range_directive_is_malformed() {
+    let s = setup();
+    let mut entries = s.table.entries().to_vec();
+    entries.push(Directive {
+        at: SchedulePos::new(7, 0, 0),
+        disk: 0,
+        kind: DirectiveKind::SpinDown,
+    });
+    let codes = verify_codes(&s, &rebuild(entries));
+    assert!(
+        codes.contains(&"E_MALFORMED"),
+        "expected E_MALFORMED, got {codes:?}"
+    );
+}

@@ -1,0 +1,187 @@
+//! Golden snapshot of the static energy oracle's `PredictedReport`s:
+//! every Tiny-suite application under the original single-processor
+//! schedule and reactive TPM, plus a synthetic long-burst program (the
+//! only Tiny-sized input whose windows clear break-even) under all three
+//! power policies. Any change to the bound math, the window derivation,
+//! or the report wire format shows up here as a per-field diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! DPM_UPDATE_GOLDEN=1 cargo test --test oracle_golden
+//! ```
+
+use disk_reuse::prelude::*;
+use dpm_disksim::RaidConfig;
+use dpm_obs::Json;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn predict(
+    program: &Program,
+    layout: &LayoutMap,
+    options: &TraceGenOptions,
+    policy: &PowerPolicy,
+) -> Json {
+    let schedule = original_schedule(program);
+    predict_energy(
+        program,
+        layout,
+        &schedule,
+        options,
+        &DiskParams::default(),
+        policy,
+        &RaidConfig::single(),
+    )
+    .to_json()
+}
+
+fn build_oracle_tiny() -> Json {
+    let striping = paper_striping();
+    let options = TraceGenOptions {
+        max_request_bytes: striping.stripe_unit(),
+        ..TraceGenOptions::default()
+    };
+    let mut apps = Vec::new();
+    for app in suite(dpm_apps::Scale::Tiny) {
+        let program = app.program();
+        let layout = LayoutMap::new(&program, striping);
+        apps.push(Json::obj(vec![
+            ("app", Json::Str(app.name.into())),
+            (
+                "tpm",
+                predict(
+                    &program,
+                    &layout,
+                    &options,
+                    &PowerPolicy::Tpm(TpmConfig::default()),
+                ),
+            ),
+        ]));
+    }
+    // The long-burst fixture: the only Tiny-sized input with provable
+    // idle windows, so its report pins the window/opportunity fields.
+    let burst = parse_program(
+        "program burst;
+         array A[2048] : f64;
+         nest L1 { for i = 0 .. 511 { A[i] = A[i] + 1 @ 30000000; } }
+         nest L2 { for i = 1536 .. 2047 { A[i] = A[i] + 1 @ 30000000; } }",
+    )
+    .expect("burst fixture parses");
+    let burst_layout = LayoutMap::new(&burst, Striping::new(4096, 2, 0));
+    let burst_options = TraceGenOptions::default();
+    let params = DiskParams::default();
+    let burst_reports = Json::obj(vec![
+        (
+            "none",
+            predict(&burst, &burst_layout, &burst_options, &PowerPolicy::None),
+        ),
+        (
+            "tpm",
+            predict(
+                &burst,
+                &burst_layout,
+                &burst_options,
+                &PowerPolicy::Tpm(TpmConfig::default()),
+            ),
+        ),
+        (
+            "directive",
+            predict(
+                &burst,
+                &burst_layout,
+                &burst_options,
+                &PowerPolicy::Directive(DirectiveConfig::for_params(&params)),
+            ),
+        ),
+    ]);
+    Json::obj(vec![
+        ("title", Json::Str("oracle_tiny".into())),
+        ("apps", Json::Arr(apps)),
+        ("burst", burst_reports),
+    ])
+}
+
+fn as_number(j: &Json) -> Option<f64> {
+    match *j {
+        Json::U64(x) => Some(x as f64),
+        Json::I64(x) => Some(x as f64),
+        Json::F64(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// Recursive structural diff with numeric tolerance, mirroring
+/// `tests/golden_reports.rs` (the oracle report has no run-varying
+/// fields, so no skip-list is needed).
+fn diff(path: &str, got: &Json, want: &Json, out: &mut Vec<String>) {
+    if let (Some(a), Some(b)) = (as_number(got), as_number(want)) {
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        if (a - b).abs() > tol {
+            out.push(format!("{path}: got {a}, golden has {b}"));
+        }
+        return;
+    }
+    match (got, want) {
+        (Json::Obj(g), Json::Obj(w)) => {
+            for (k, gv) in g {
+                match w.iter().find(|(wk, _)| wk == k) {
+                    Some((_, wv)) => diff(&format!("{path}.{k}"), gv, wv, out),
+                    None => out.push(format!("{path}.{k}: missing from golden")),
+                }
+            }
+            for (k, _) in w {
+                if !g.iter().any(|(gk, _)| gk == k) {
+                    out.push(format!("{path}.{k}: in golden but not in fresh report"));
+                }
+            }
+        }
+        (Json::Arr(g), Json::Arr(w)) => {
+            if g.len() != w.len() {
+                out.push(format!("{path}: length {} vs golden {}", g.len(), w.len()));
+            }
+            for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                diff(&format!("{path}[{i}]"), gv, wv, out);
+            }
+        }
+        _ if got == want => {}
+        _ => out.push(format!("{path}: got {got}, golden has {want}")),
+    }
+}
+
+#[test]
+fn oracle_tiny_matches_golden() {
+    let fresh = build_oracle_tiny();
+    let path = golden_path("oracle_tiny.json");
+    if std::env::var_os("DPM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, fresh.to_string() + "\n").expect("write golden");
+        eprintln!("oracle_golden: regenerated {}", path.display());
+        return;
+    }
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n\
+             (regenerate with DPM_UPDATE_GOLDEN=1 cargo test --test oracle_golden)",
+            path.display()
+        )
+    });
+    let golden = Json::parse(&body).expect("golden file parses as JSON");
+    let mut diffs = Vec::new();
+    diff("oracle_tiny", &fresh, &golden, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "oracle_tiny.json: fresh report diverges from golden in {} place(s):\n{}\n\
+         If the change is intentional, regenerate with \
+         DPM_UPDATE_GOLDEN=1 cargo test --test oracle_golden",
+        diffs.len(),
+        diffs
+            .iter()
+            .map(|d| format!("  - {d}\n"))
+            .collect::<String>()
+    );
+}
